@@ -1,0 +1,220 @@
+//! Criterion benchmarks — one group per paper table/figure.
+//!
+//! The analytic groups measure the cost of regenerating the paper's
+//! tables/figures (LP solves); the empirical groups measure online query
+//! latency of the concrete index structures at several space budgets, which
+//! is the wall-clock realization of the space-time tradeoffs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqap_common::Rat;
+use cqap_indexes::{
+    BfsBaseline, FullReachMaterialization, KReachGoldstein, SetDisjointnessIndex, SquareIndex,
+    TriangleIndex, TwoReachIndex,
+};
+use cqap_panda::analysis::{figure4a_curve, table1_3reach};
+use cqap_query::workload::{graph_pair_requests, set_tuple_requests, Graph, SetFamily};
+
+/// Table 1: verifying all claimed tradeoffs with the exact-rational LP.
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.bench_function("verify_all_rules", |b| {
+        b.iter(|| {
+            let (_, reports) = table1_3reach().expect("table 1");
+            assert!(reports.iter().all(|r| r.all_verified()));
+            black_box(reports.len())
+        })
+    });
+    group.finish();
+}
+
+/// Figure 4a: the analytic combined curve on a coarse grid.
+fn bench_fig4a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a");
+    group.sample_size(10);
+    group.bench_function("combined_curve_5_points", |b| {
+        let sigmas: Vec<Rat> = (0..5).map(|i| Rat::new(i, 2)).collect();
+        b.iter(|| black_box(figure4a_curve(&sigmas).expect("curve")))
+    });
+    group.finish();
+}
+
+/// §5 running example and Figure 4a/4b empirical side: per-query latency of
+/// the reachability structures at several budgets.
+fn bench_reachability(c: &mut Criterion) {
+    let graph = Graph::skewed(4_000, 20_000, 15, 400, 7);
+    let requests = graph_pair_requests(&graph, 256, 11);
+    let n = graph.len();
+
+    let mut group = c.benchmark_group("2reach");
+    let bfs = BfsBaseline::build(&graph, 2);
+    group.bench_function("bfs_baseline", |b| {
+        b.iter(|| {
+            for &(u, v) in &requests {
+                black_box(bfs.query(u, v));
+            }
+        })
+    });
+    for exp in [1.0f64, 1.5, 2.0] {
+        let budget = (n as f64).powf(exp) as usize;
+        let idx = TwoReachIndex::build(&graph, budget);
+        group.bench_with_input(BenchmarkId::new("two_reach", format!("E^{exp}")), &idx, |b, idx| {
+            b.iter(|| {
+                for &(u, v) in &requests {
+                    black_box(idx.query(u, v));
+                }
+            })
+        });
+    }
+    let full = FullReachMaterialization::build(&graph, 2);
+    group.bench_function("full_materialization", |b| {
+        b.iter(|| {
+            for &(u, v) in &requests {
+                black_box(full.query(u, v));
+            }
+        })
+    });
+    group.finish();
+
+    for k in [3usize, 4] {
+        let mut group = c.benchmark_group(format!("fig4{}_empirical", if k == 3 { 'a' } else { 'b' }));
+        group.sample_size(10);
+        for exp in [1.0f64, 1.5, 2.0] {
+            let budget = (n as f64).powf(exp) as usize;
+            let idx = KReachGoldstein::build(&graph, k, budget);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{k}reach_goldstein"), format!("E^{exp}")),
+                &idx,
+                |b, idx| {
+                    b.iter(|| {
+                        for &(u, v) in &requests {
+                            black_box(idx.query(u, v));
+                        }
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+/// §6.1: k-set disjointness per-query latency across budgets.
+fn bench_kset(c: &mut Criterion) {
+    let family = SetFamily::zipf(1_000, 100_000, 8_000, 1.0, 13);
+    let n = family.len();
+    let queries: Vec<(u64, u64)> = set_tuple_requests(&family, 2, 256, 3)
+        .into_iter()
+        .map(|t| (t.get(0), t.get(1)))
+        .collect();
+    let mut group = c.benchmark_group("kset");
+    for exp in [0.5f64, 1.0, 1.5] {
+        let budget = (n as f64).powf(exp) as usize;
+        let idx = SetDisjointnessIndex::build(&family, budget);
+        group.bench_with_input(
+            BenchmarkId::new("disjointness", format!("N^{exp}")),
+            &idx,
+            |b, idx| {
+                b.iter(|| {
+                    for &(x, y) in &queries {
+                        black_box(idx.intersects(x, y));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Example 5.2 (square) and Example E.4 (triangle).
+fn bench_square_triangle(c: &mut Criterion) {
+    let graph = Graph::skewed(3_000, 15_000, 12, 300, 19);
+    let requests = graph_pair_requests(&graph, 256, 23);
+    let n = graph.len();
+
+    let mut group = c.benchmark_group("square");
+    for exp in [1.0f64, 2.0] {
+        let budget = (n as f64).powf(exp) as usize;
+        let idx = SquareIndex::build(&graph, budget);
+        group.bench_with_input(BenchmarkId::new("square", format!("E^{exp}")), &idx, |b, idx| {
+            b.iter(|| {
+                for &(a, c2) in &requests {
+                    black_box(idx.query(a, c2));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let idx = TriangleIndex::build(&graph);
+    let edge_queries: Vec<_> = graph.edges.iter().take(256).copied().collect();
+    c.bench_function("triangle/edge_detection", |b| {
+        b.iter(|| {
+            for &(u, v) in &edge_queries {
+                black_box(idx.edge_in_triangle(u, v));
+            }
+        })
+    });
+}
+
+/// Appendix F: hierarchical CQAP per-query latency across thresholds.
+fn bench_hierarchical(c: &mut Criterion) {
+    use cqap_indexes::hierarchical::HierarchicalInstance;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let inst = HierarchicalInstance::generate(400, 8, 120, 6, 64, 37);
+    let mut rng = StdRng::seed_from_u64(41);
+    let requests: Vec<(u64, u64, u64, u64)> = (0..256)
+        .map(|_| {
+            (
+                rng.random_range(0..64),
+                rng.random_range(0..64),
+                rng.random_range(0..64),
+                rng.random_range(0..64),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("hierarchical");
+    for threshold in [1usize, 16, 1 << 20] {
+        let idx = cqap_indexes::HierarchicalIndex::build_with_threshold(&inst, threshold);
+        group.bench_with_input(
+            BenchmarkId::new("query", format!("delta_{threshold}")),
+            &idx,
+            |b, idx| {
+                b.iter(|| {
+                    for &(z1, z2, z3, z4) in &requests {
+                        black_box(idx.query(z1, z2, z3, z4));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// §6.4 batching remark: one-by-one vs. batched answering.
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batching");
+    group.sample_size(10);
+    group.bench_function("one_by_one_vs_batched", |b| {
+        b.iter(|| {
+            let rows = cqap_bench::batching_experiment(cqap_bench::Scale::small());
+            black_box(rows.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig4a,
+    bench_reachability,
+    bench_kset,
+    bench_square_triangle,
+    bench_hierarchical,
+    bench_batching
+);
+criterion_main!(benches);

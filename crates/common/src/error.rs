@@ -1,0 +1,115 @@
+//! Shared error type for the CQAP workspace.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T, E = CqapError> = std::result::Result<T, E>;
+
+/// Errors produced by the CQAP crates.
+///
+/// The workspace prefers returning `CqapError` over panicking for anything
+/// that depends on user input (malformed queries, schema mismatches,
+/// infeasible LPs, invalid decompositions). Internal invariant violations
+/// still use `debug_assert!`/`panic!`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqapError {
+    /// A relation was used with a schema of unexpected arity or variables.
+    SchemaMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        found: String,
+    },
+    /// A query refers to a variable that does not exist.
+    UnknownVariable(String),
+    /// A query or decomposition is structurally invalid.
+    InvalidQuery(String),
+    /// A tree decomposition violates one of its defining properties.
+    InvalidDecomposition(String),
+    /// A PMTD violates one of the properties of Definition 3.2.
+    InvalidPmtd(String),
+    /// The linear program was infeasible.
+    LpInfeasible(String),
+    /// The linear program was unbounded.
+    LpUnbounded(String),
+    /// An access request does not match the access pattern of the CQAP.
+    AccessPatternMismatch {
+        /// Expected arity of the access request.
+        expected_arity: usize,
+        /// Provided arity.
+        found_arity: usize,
+    },
+    /// The requested space budget cannot be met.
+    SpaceBudgetExceeded {
+        /// Budget in tuples.
+        budget: usize,
+        /// Tuples that would be required.
+        required: usize,
+    },
+    /// Catch-all for other error conditions.
+    Other(String),
+}
+
+impl fmt::Display for CqapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqapError::SchemaMismatch { expected, found } => {
+                write!(f, "schema mismatch: expected {expected}, found {found}")
+            }
+            CqapError::UnknownVariable(v) => write!(f, "unknown variable: {v}"),
+            CqapError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            CqapError::InvalidDecomposition(msg) => {
+                write!(f, "invalid tree decomposition: {msg}")
+            }
+            CqapError::InvalidPmtd(msg) => write!(f, "invalid PMTD: {msg}"),
+            CqapError::LpInfeasible(msg) => write!(f, "linear program infeasible: {msg}"),
+            CqapError::LpUnbounded(msg) => write!(f, "linear program unbounded: {msg}"),
+            CqapError::AccessPatternMismatch {
+                expected_arity,
+                found_arity,
+            } => write!(
+                f,
+                "access request arity {found_arity} does not match access pattern arity {expected_arity}"
+            ),
+            CqapError::SpaceBudgetExceeded { budget, required } => write!(
+                f,
+                "space budget of {budget} tuples exceeded: {required} tuples required"
+            ),
+            CqapError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CqapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CqapError::SchemaMismatch {
+            expected: "R(x1,x2)".into(),
+            found: "R(x1)".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("R(x1,x2)"));
+        assert!(s.contains("R(x1)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CqapError>();
+    }
+
+    #[test]
+    fn space_budget_message() {
+        let e = CqapError::SpaceBudgetExceeded {
+            budget: 10,
+            required: 20,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("20"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Values and tuples.
+//!
+//! Every attribute value is an interned [`Val`] (`u64`). A [`Tuple`] is a
+//! fixed-arity sequence of values; tuples of arity ≤ 4 are stored inline so
+//! the relational operators never allocate per tuple for the binary and
+//! ternary relations that make up all of the paper's workloads.
+
+use std::fmt;
+
+/// An attribute value. Workload generators intern vertex ids, set ids and
+/// element ids directly as `u64`.
+pub type Val = u64;
+
+const INLINE: usize = 4;
+
+/// A relational tuple of fixed arity.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    repr: Repr,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Repr {
+    /// Arity ≤ INLINE, stored without heap allocation.
+    Inline { len: u8, data: [Val; INLINE] },
+    /// Arity > INLINE.
+    Heap(Box<[Val]>),
+}
+
+impl Tuple {
+    /// The empty (arity-0) tuple, used for Boolean query results.
+    pub fn empty() -> Self {
+        Tuple {
+            repr: Repr::Inline {
+                len: 0,
+                data: [0; INLINE],
+            },
+        }
+    }
+
+    /// Creates a tuple from a slice of values.
+    pub fn from_slice(vals: &[Val]) -> Self {
+        if vals.len() <= INLINE {
+            let mut data = [0; INLINE];
+            data[..vals.len()].copy_from_slice(vals);
+            Tuple {
+                repr: Repr::Inline {
+                    len: vals.len() as u8,
+                    data,
+                },
+            }
+        } else {
+            Tuple {
+                repr: Repr::Heap(vals.to_vec().into_boxed_slice()),
+            }
+        }
+    }
+
+    /// Creates a unary tuple.
+    #[inline]
+    pub fn unary(a: Val) -> Self {
+        Tuple::from_slice(&[a])
+    }
+
+    /// Creates a binary tuple.
+    #[inline]
+    pub fn pair(a: Val, b: Val) -> Self {
+        Tuple::from_slice(&[a, b])
+    }
+
+    /// Creates a ternary tuple.
+    #[inline]
+    pub fn triple(a: Val, b: Val, c: Val) -> Self {
+        Tuple::from_slice(&[a, b, c])
+    }
+
+    /// Number of values in the tuple.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(b) => b.len(),
+        }
+    }
+
+    /// The values as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Val] {
+        match &self.repr {
+            Repr::Inline { len, data } => &data[..*len as usize],
+            Repr::Heap(b) => b,
+        }
+    }
+
+    /// Value at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= arity()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Val {
+        self.as_slice()[i]
+    }
+
+    /// Projects the tuple onto the given positions (in the given order).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        let slice = self.as_slice();
+        if positions.len() <= INLINE {
+            let mut data = [0; INLINE];
+            for (k, &p) in positions.iter().enumerate() {
+                data[k] = slice[p];
+            }
+            Tuple {
+                repr: Repr::Inline {
+                    len: positions.len() as u8,
+                    data,
+                },
+            }
+        } else {
+            Tuple {
+                repr: Repr::Heap(positions.iter().map(|&p| slice[p]).collect()),
+            }
+        }
+    }
+
+    /// Concatenates two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let total = a.len() + b.len();
+        if total <= INLINE {
+            let mut data = [0; INLINE];
+            data[..a.len()].copy_from_slice(a);
+            data[a.len()..total].copy_from_slice(b);
+            Tuple {
+                repr: Repr::Inline {
+                    len: total as u8,
+                    data,
+                },
+            }
+        } else {
+            let mut v = Vec::with_capacity(total);
+            v.extend_from_slice(a);
+            v.extend_from_slice(b);
+            Tuple {
+                repr: Repr::Heap(v.into_boxed_slice()),
+            }
+        }
+    }
+
+    /// Returns a copy of the values as a `Vec`.
+    pub fn to_vec(&self) -> Vec<Val> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.as_slice().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&[Val]> for Tuple {
+    fn from(vals: &[Val]) -> Self {
+        Tuple::from_slice(vals)
+    }
+}
+
+impl From<Vec<Val>> for Tuple {
+    fn from(vals: Vec<Val>) -> Self {
+        Tuple::from_slice(&vals)
+    }
+}
+
+impl<const N: usize> From<[Val; N]> for Tuple {
+    fn from(vals: [Val; N]) -> Self {
+        Tuple::from_slice(&vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_heap() {
+        let t = Tuple::from_slice(&[1, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.as_slice(), &[1, 2, 3]);
+        assert!(matches!(t.repr, Repr::Inline { .. }));
+
+        let big = Tuple::from_slice(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(big.arity(), 6);
+        assert_eq!(big.get(5), 6);
+        assert!(matches!(big.repr, Repr::Heap(_)));
+    }
+
+    #[test]
+    fn equality_across_representations() {
+        // The same logical tuple always has the same representation because
+        // representation is chosen by arity, so equality is structural.
+        let a = Tuple::from_slice(&[7, 8]);
+        let b = Tuple::pair(7, 8);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn projection() {
+        let t = Tuple::from_slice(&[10, 20, 30, 40, 50]);
+        assert_eq!(t.project(&[0, 2]), Tuple::pair(10, 30));
+        assert_eq!(t.project(&[4, 0]), Tuple::pair(50, 10));
+        assert_eq!(t.project(&[]), Tuple::empty());
+        assert_eq!(
+            t.project(&[0, 1, 2, 3, 4]).as_slice(),
+            &[10, 20, 30, 40, 50]
+        );
+    }
+
+    #[test]
+    fn concat() {
+        let a = Tuple::pair(1, 2);
+        let b = Tuple::triple(3, 4, 5);
+        assert_eq!(a.concat(&b).as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(a.concat(&Tuple::empty()), a);
+        assert_eq!(Tuple::empty().concat(&a), a);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let e = Tuple::empty();
+        assert_eq!(e.arity(), 0);
+        assert_eq!(e.as_slice(), &[] as &[Val]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tuple::triple(1, 2, 3).to_string(), "(1,2,3)");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Tuple = [1u64, 2, 3].into();
+        assert_eq!(t, Tuple::triple(1, 2, 3));
+        let t: Tuple = vec![4u64, 5].into();
+        assert_eq!(t, Tuple::pair(4, 5));
+    }
+}

@@ -1,0 +1,238 @@
+//! The concrete PMTD sets used in the paper's worked examples.
+//!
+//! Each function returns the exact set of PMTDs the paper analyzes, in the
+//! order the paper lists them, so the rule-generation and tradeoff layers
+//! can regenerate Table 1 and Figures 1–4 verbatim.
+
+use crate::enumerate::{induced_pmtds, prune};
+use crate::pmtd::Pmtd;
+use crate::td::TreeDecomposition;
+use cqap_common::{vars, Result};
+use cqap_query::{families as qf, Cqap};
+
+/// The three PMTDs of **Figure 1** for the 3-reachability CQAP:
+/// `(T134, T123)`, `(T134, S13)`, `(S14)`.
+pub fn pmtds_3reach_fig1() -> Result<(Cqap, Vec<Pmtd>)> {
+    let q = qf::k_path_distinct(3);
+    let chain = TreeDecomposition::path(vec![vars![1, 3, 4], vars![1, 2, 3]])?;
+    let single = TreeDecomposition::single(vars![1, 2, 3, 4]);
+    let pmtds = vec![
+        Pmtd::for_cqap(chain.clone(), [], &q)?,
+        Pmtd::for_cqap(chain, [1], &q)?,
+        Pmtd::for_cqap(single, [0], &q)?,
+    ];
+    Ok((q, pmtds))
+}
+
+/// The five PMTDs of **Figure 3** (all non-redundant, non-dominant PMTDs
+/// for 3-reachability): the Figure 1 set plus the mirror-image chain
+/// `{x1,x2,x4} → {x2,x3,x4}` with and without its leaf materialized.
+pub fn pmtds_3reach_all() -> Result<(Cqap, Vec<Pmtd>)> {
+    let (q, mut pmtds) = pmtds_3reach_fig1()?;
+    let chain_b = TreeDecomposition::path(vec![vars![1, 2, 4], vars![2, 3, 4]])?;
+    // Insert the mirror chain's two PMTDs before the single-bag PMTD to
+    // match the paper's Figure 3 ordering (left-to-right, top-to-bottom).
+    let single = pmtds.pop().expect("three PMTDs");
+    pmtds.push(Pmtd::for_cqap(chain_b.clone(), [], &q)?);
+    pmtds.push(Pmtd::for_cqap(chain_b, [1], &q)?);
+    pmtds.push(single);
+    Ok((q, pmtds))
+}
+
+/// The two PMTDs of **Figure 2** for the square CQAP:
+/// `(T134, T132)` and `(S13)`.
+pub fn pmtds_square() -> Result<(Cqap, Vec<Pmtd>)> {
+    let q = qf::square(true);
+    let chain = TreeDecomposition::path(vec![vars![1, 3, 4], vars![1, 2, 3]])?;
+    let single = TreeDecomposition::single(vars![1, 2, 3, 4]);
+    let pmtds = vec![
+        Pmtd::for_cqap(chain, [], &q)?,
+        Pmtd::for_cqap(single, [0], &q)?,
+    ];
+    Ok((q, pmtds))
+}
+
+/// The two PMTDs of **Section 6.1** for the k-set-intersection CQAP (single
+/// bag `[k+1]`, materialized or not).
+pub fn pmtds_kset(k: usize) -> Result<(Cqap, Vec<Pmtd>)> {
+    let q = qf::k_set_intersection(k);
+    let pmtds = crate::enumerate::trivial_pmtds(&q)?;
+    Ok((q, pmtds))
+}
+
+/// The two PMTDs used by **Example E.4** for the triangle query with an
+/// empty access pattern: `(T123)` and `(S13)`.
+pub fn pmtds_triangle() -> Result<(Cqap, Vec<Pmtd>)> {
+    let q = qf::triangle_edge();
+    let single = TreeDecomposition::single(vars![1, 2, 3]);
+    let pmtds = vec![
+        Pmtd::for_cqap(single.clone(), [], &q)?,
+        Pmtd::for_cqap(single, [0], &q)?,
+    ];
+    Ok((q, pmtds))
+}
+
+/// The two PMTDs used by the **Section 5** running example for the
+/// 2-reachability query: `(T123)` and `(S13)`.
+pub fn pmtds_2reach() -> Result<(Cqap, Vec<Pmtd>)> {
+    let q = qf::k_path_distinct(2);
+    let single = TreeDecomposition::single(vars![1, 2, 3]);
+    let pmtds = vec![
+        Pmtd::for_cqap(single.clone(), [], &q)?,
+        Pmtd::for_cqap(single, [0], &q)?,
+    ];
+    Ok((q, pmtds))
+}
+
+/// The eleven PMTDs of **Example E.8** for the 4-reachability CQAP, in the
+/// paper's order:
+///
+/// ```text
+/// (T1235, T345), (T1235, S35), (T1345, T123), (T1345, S13), (T1245, T234),
+/// (T1245, S24), (T125, T2345), (T125, S25), (T145, T1234), (T145, S14), (S15)
+/// ```
+pub fn pmtds_4reach() -> Result<(Cqap, Vec<Pmtd>)> {
+    let q = qf::k_path_distinct(4);
+    let chains = [
+        vec![vars![1, 2, 3, 5], vars![3, 4, 5]],
+        vec![vars![1, 3, 4, 5], vars![1, 2, 3]],
+        vec![vars![1, 2, 4, 5], vars![2, 3, 4]],
+        vec![vars![1, 2, 5], vars![2, 3, 4, 5]],
+        vec![vars![1, 4, 5], vars![1, 2, 3, 4]],
+    ];
+    let mut pmtds = Vec::with_capacity(11);
+    for bags in chains {
+        let td = TreeDecomposition::path(bags)?;
+        pmtds.push(Pmtd::for_cqap(td.clone(), [], &q)?);
+        pmtds.push(Pmtd::for_cqap(td, [1], &q)?);
+    }
+    pmtds.push(Pmtd::for_cqap(
+        TreeDecomposition::single(vars![1, 2, 3, 4, 5]),
+        [0],
+        &q,
+    )?);
+    Ok((q, pmtds))
+}
+
+/// The PMTD set of **Appendix F** for the two-level Boolean hierarchical
+/// CQAP (Figure 6b): the induced PMTDs of the decomposition
+/// `{x, z1..z4} → {x, y1, z1, z2}, {x, y2, z3, z4}` after pruning.
+pub fn pmtds_hierarchical() -> Result<(Cqap, Vec<Pmtd>)> {
+    let q = qf::hierarchical_two_level();
+    // Variable layout from `qf::hierarchical_two_level`:
+    // x = x1, y1 = x2, y2 = x3, z1..z4 = x4..x7.
+    let td = TreeDecomposition::new(
+        vec![
+            vars![1, 4, 5, 6, 7],
+            vars![1, 2, 4, 5],
+            vars![1, 3, 6, 7],
+        ],
+        vec![None, Some(0), Some(0)],
+        0,
+    )?;
+    let pmtds = prune(induced_pmtds(&td, &q)?);
+    Ok((q, pmtds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_summaries() {
+        let (_, ps) = pmtds_3reach_fig1().unwrap();
+        let s: Vec<String> = ps.iter().map(Pmtd::summary).collect();
+        assert_eq!(s, vec!["(T134, T123)", "(T134, S13)", "(S14)"]);
+    }
+
+    #[test]
+    fn figure3_has_five_mutually_non_dominant_pmtds() {
+        let (_, ps) = pmtds_3reach_all().unwrap();
+        assert_eq!(ps.len(), 5);
+        let s: Vec<String> = ps.iter().map(Pmtd::summary).collect();
+        assert_eq!(
+            s,
+            vec![
+                "(T134, T123)",
+                "(T134, S13)",
+                "(T124, T234)",
+                "(T124, S24)",
+                "(S14)"
+            ]
+        );
+        for p in &ps {
+            assert!(p.is_non_redundant());
+        }
+        for (i, a) in ps.iter().enumerate() {
+            for (j, b) in ps.iter().enumerate() {
+                if i != j {
+                    assert!(!a.dominated_by(b), "{} ⊑ {}", a.summary(), b.summary());
+                }
+            }
+        }
+        // Pruning the set leaves it unchanged.
+        assert_eq!(prune(ps).len(), 5);
+    }
+
+    #[test]
+    fn figure2_square() {
+        let (_, ps) = pmtds_square().unwrap();
+        let s: Vec<String> = ps.iter().map(Pmtd::summary).collect();
+        assert_eq!(s, vec!["(T134, T123)", "(S13)"]);
+    }
+
+    #[test]
+    fn example_e8_eleven_pmtds() {
+        let (_, ps) = pmtds_4reach().unwrap();
+        assert_eq!(ps.len(), 11);
+        let s: Vec<String> = ps.iter().map(Pmtd::summary).collect();
+        assert_eq!(
+            s,
+            vec![
+                "(T1235, T345)",
+                "(T1235, S35)",
+                "(T1345, T123)",
+                "(T1345, S13)",
+                "(T1245, T234)",
+                "(T1245, S24)",
+                "(T125, T2345)",
+                "(T125, S25)",
+                "(T145, T1234)",
+                "(T145, S14)",
+                "(S15)"
+            ]
+        );
+        for p in &ps {
+            assert!(p.is_non_redundant(), "{}", p.summary());
+        }
+    }
+
+    #[test]
+    fn kset_and_triangle_and_2reach() {
+        let (_, ps) = pmtds_kset(3).unwrap();
+        assert_eq!(ps.len(), 2);
+        let (_, ps) = pmtds_triangle().unwrap();
+        assert_eq!(
+            ps.iter().map(Pmtd::summary).collect::<Vec<_>>(),
+            vec!["(T123)", "(S13)"]
+        );
+        let (_, ps) = pmtds_2reach().unwrap();
+        assert_eq!(
+            ps.iter().map(Pmtd::summary).collect::<Vec<_>>(),
+            vec!["(T123)", "(S13)"]
+        );
+    }
+
+    #[test]
+    fn hierarchical_pmtds_are_valid() {
+        let (q, ps) = pmtds_hierarchical().unwrap();
+        assert!(!ps.is_empty());
+        for p in &ps {
+            assert!(p.is_non_redundant());
+            assert!(p.access() == q.access());
+        }
+        // The fully-materialized single bag (S-view over Z) must be present:
+        // it corresponds to storing the full answer keyed by Z.
+        assert!(ps.iter().any(|p| p.summary() == "(S4567)"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # cqap-decomp
+//!
+//! Tree decompositions and *partially materialized tree decompositions*
+//! (PMTDs), the structural half of the paper's framework (Section 3):
+//!
+//! * [`TreeDecomposition`] — a rooted tree decomposition with validity
+//!   checks (edge coverage, running-intersection property) and the
+//!   `TOP_r(x)` / free-connex machinery of Definition 3.1.
+//! * [`Pmtd`] — a tree decomposition augmented with a materialization set
+//!   `M` (Definition 3.2), the view-schema mapping `ν(·)`, S-views and
+//!   T-views, redundancy (Definition 3.4) and domination (Definition 3.5).
+//! * [`enumerate`] — enumeration of candidate PMTDs: the two trivial PMTDs
+//!   of Theorem 6.1, all PMTDs of a fixed decomposition, the *induced* PMTD
+//!   sets of Section 6.3 (merge-and-truncate along antichains), and
+//!   domination/redundancy pruning.
+//! * [`families`] — the concrete PMTD sets the paper draws in Figures 1, 2,
+//!   3 and uses in Appendix E (3-reachability, 4-reachability, the square
+//!   query, k-set intersection).
+
+pub mod enumerate;
+pub mod families;
+pub mod pmtd;
+pub mod td;
+
+pub use pmtd::{Pmtd, View, ViewKind};
+pub use td::TreeDecomposition;

@@ -1,0 +1,408 @@
+//! Shannon-flow inequalities and proof sequences (Appendix D.1).
+//!
+//! A Shannon-flow inequality `⟨δ, h⟩ ≥ ⟨λ, h⟩` holds for every polymatroid
+//! `h`. [`ShannonFlow::is_valid`] checks validity exactly by maximizing
+//! `⟨λ − δ, h⟩` over the polymatroid cone: the inequality is valid iff the
+//! optimum is 0 (the cone is pointed at the origin, so the only other
+//! possible outcome is "unbounded").
+//!
+//! A [`ProofSequence`] is the paper's constructive certificate: a sequence
+//! of weighted applications of the four rules (R1)–(R4) that transforms `δ`
+//! into a vector dominating `λ` while staying non-negative.
+//! [`ProofSequence::verify`] replays the steps and checks both conditions.
+
+use crate::lp::{Lp, LpOutcome};
+use crate::polycone::PolyVars;
+use crate::terms::{CondTerm, LinComb};
+use cqap_common::{FxHashMap, Rat, VarSet};
+
+/// A Shannon-flow inequality `⟨δ, h⟩ ≥ ⟨λ, h⟩` over polymatroids on `[n]`.
+#[derive(Clone, Debug)]
+pub struct ShannonFlow {
+    /// Ground-set size.
+    pub num_vars: usize,
+    /// The left-hand side `δ`.
+    pub lhs: LinComb,
+    /// The right-hand side `λ`.
+    pub rhs: LinComb,
+}
+
+impl ShannonFlow {
+    /// Creates an inequality.
+    pub fn new(num_vars: usize, lhs: LinComb, rhs: LinComb) -> Self {
+        ShannonFlow { num_vars, lhs, rhs }
+    }
+
+    /// Whether the inequality holds for every polymatroid on `[n]`.
+    pub fn is_valid(&self) -> bool {
+        let n = self.num_vars;
+        let pv = PolyVars { n, base: 0 };
+        let mut lp = Lp::new(PolyVars::block_len(n));
+        pv.add_polymatroid_constraints(&mut lp);
+        // objective = ⟨λ − δ, h⟩, accumulated per subset variable.
+        let mut coeff: FxHashMap<usize, Rat> = FxHashMap::default();
+        let mut accumulate = |comb: &LinComb, sign: Rat| {
+            for (c, t) in comb.terms() {
+                // h(of|on) = h(of ∪ on) − h(on).
+                if let Some(v) = pv.var(t.of.union(t.on)) {
+                    *coeff.entry(v).or_default() += sign * *c;
+                }
+                if let Some(v) = pv.var(t.on) {
+                    *coeff.entry(v).or_default() -= sign * *c;
+                }
+            }
+        };
+        accumulate(&self.rhs, Rat::ONE);
+        accumulate(&self.lhs, -Rat::ONE);
+        for (v, c) in coeff {
+            lp.set_objective(v, c);
+        }
+        match lp.solve() {
+            LpOutcome::Optimal { value, .. } => !value.is_positive(),
+            LpOutcome::Unbounded => false,
+            LpOutcome::Infeasible => unreachable!("the polymatroid cone contains 0"),
+        }
+    }
+}
+
+/// One of the four proof rules of Appendix D.1, each a vector over
+/// conditional terms that is non-positive for every polymatroid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// (R1) submodularity: `h(I∪J | J) − h(I | I∩J) ≤ 0` for incomparable
+    /// `I ⊥ J`.
+    Submodularity {
+        /// The first incomparable set `I`.
+        i: VarSet,
+        /// The second incomparable set `J`.
+        j: VarSet,
+    },
+    /// (R2) monotonicity: `−h(Y|∅) + h(X|∅) ≤ 0` for `X ⊂ Y`.
+    Monotonicity {
+        /// The smaller set `X`.
+        x: VarSet,
+        /// The larger set `Y`.
+        y: VarSet,
+    },
+    /// (R3) composition: `h(Y|∅) − h(Y|X) − h(X|∅) ≤ 0` for `X ⊂ Y`.
+    Composition {
+        /// The inner set `X`.
+        x: VarSet,
+        /// The outer set `Y`.
+        y: VarSet,
+    },
+    /// (R4) decomposition: `−h(Y|∅) + h(Y|X) + h(X|∅) ≤ 0` for `X ⊂ Y`.
+    Decomposition {
+        /// The inner set `X`.
+        x: VarSet,
+        /// The outer set `Y`.
+        y: VarSet,
+    },
+}
+
+impl ProofStep {
+    /// The step as a sparse vector over conditional terms (the direction
+    /// that is added to `δ` when the step is applied with positive weight).
+    pub fn as_vector(&self) -> Vec<(Rat, CondTerm)> {
+        match *self {
+            ProofStep::Submodularity { i, j } => vec![
+                (Rat::ONE, CondTerm::given(i.union(j), j)),
+                (-Rat::ONE, CondTerm::given(i, i.intersect(j))),
+            ],
+            ProofStep::Monotonicity { x, y } => vec![
+                (-Rat::ONE, CondTerm::plain(y)),
+                (Rat::ONE, CondTerm::plain(x)),
+            ],
+            ProofStep::Composition { x, y } => vec![
+                (Rat::ONE, CondTerm::plain(y)),
+                (-Rat::ONE, CondTerm::given(y, x)),
+                (-Rat::ONE, CondTerm::plain(x)),
+            ],
+            ProofStep::Decomposition { x, y } => vec![
+                (-Rat::ONE, CondTerm::plain(y)),
+                (Rat::ONE, CondTerm::given(y, x)),
+                (Rat::ONE, CondTerm::plain(x)),
+            ],
+        }
+    }
+
+    /// Whether the step's side conditions hold (`I ⊥ J`, resp. `X ⊂ Y`).
+    pub fn is_well_formed(&self) -> bool {
+        match *self {
+            ProofStep::Submodularity { i, j } => i.is_incomparable(j),
+            ProofStep::Monotonicity { x, y }
+            | ProofStep::Composition { x, y }
+            | ProofStep::Decomposition { x, y } => x.is_strict_subset(y),
+        }
+    }
+
+    /// The inequality `⟨step, h⟩ ≤ 0` expressed as a [`ShannonFlow`]
+    /// (`0 ≥ step`), used to sanity-check each rule against the LP oracle.
+    pub fn as_flow(&self, num_vars: usize) -> ShannonFlow {
+        let mut rhs = LinComb::new();
+        for (c, t) in self.as_vector() {
+            rhs.add(c, t);
+        }
+        ShannonFlow::new(num_vars, LinComb::new(), rhs)
+    }
+}
+
+/// A weighted sequence of proof steps (Appendix D.1).
+#[derive(Clone, Debug, Default)]
+pub struct ProofSequence {
+    steps: Vec<(Rat, ProofStep)>,
+}
+
+/// The outcome of replaying a proof sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofOutcome {
+    /// The sequence is a valid proof of `⟨δ,h⟩ ≥ ⟨λ,h⟩`.
+    Valid,
+    /// A step has an invalid side condition or non-positive weight.
+    MalformedStep(usize),
+    /// After applying step `index`, some coordinate of the running vector
+    /// became negative.
+    NegativeCoordinate {
+        /// Index of the offending step.
+        index: usize,
+        /// The coordinate that went negative.
+        term: CondTerm,
+    },
+    /// The final vector does not dominate `λ`.
+    DoesNotDominate(CondTerm),
+}
+
+impl ProofSequence {
+    /// The empty proof sequence.
+    pub fn new() -> Self {
+        ProofSequence::default()
+    }
+
+    /// Appends a step with the given positive weight.
+    #[must_use]
+    pub fn then(mut self, weight: Rat, step: ProofStep) -> Self {
+        self.steps.push((weight, step));
+        self
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[(Rat, ProofStep)] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Replays the sequence starting from `δ = lhs` and checks that (a)
+    /// every step is well formed with positive weight, (b) the running
+    /// vector stays non-negative, and (c) the final vector dominates `λ =
+    /// rhs` coordinate-wise.
+    pub fn verify(&self, flow: &ShannonFlow) -> ProofOutcome {
+        let mut delta: FxHashMap<CondTerm, Rat> = FxHashMap::default();
+        for (c, t) in flow.lhs.terms() {
+            *delta.entry(*t).or_default() += *c;
+        }
+        for (idx, (w, step)) in self.steps.iter().enumerate() {
+            if !w.is_positive() || !step.is_well_formed() {
+                return ProofOutcome::MalformedStep(idx);
+            }
+            for (c, t) in step.as_vector() {
+                *delta.entry(t).or_default() += *w * c;
+            }
+            if let Some((t, _)) = delta.iter().find(|(_, v)| v.is_negative()) {
+                return ProofOutcome::NegativeCoordinate {
+                    index: idx,
+                    term: *t,
+                };
+            }
+        }
+        for (c, t) in flow.rhs.terms() {
+            let have = delta.get(t).copied().unwrap_or(Rat::ZERO);
+            if have < *c {
+                return ProofOutcome::DoesNotDominate(*t);
+            }
+        }
+        ProofOutcome::Valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terms::term;
+    use cqap_common::rat::rat;
+    use cqap_common::vars;
+
+    #[test]
+    fn each_rule_is_a_valid_shannon_inequality() {
+        let steps = [
+            ProofStep::Submodularity {
+                i: vars![1, 2],
+                j: vars![2, 3],
+            },
+            ProofStep::Monotonicity {
+                x: vars![1],
+                y: vars![1, 2],
+            },
+            ProofStep::Composition {
+                x: vars![1],
+                y: vars![1, 2, 3],
+            },
+            ProofStep::Decomposition {
+                x: vars![2],
+                y: vars![1, 2],
+            },
+        ];
+        for s in steps {
+            assert!(s.is_well_formed());
+            assert!(s.as_flow(3).is_valid(), "{s:?} should be ≤ 0");
+        }
+        assert!(!ProofStep::Submodularity {
+            i: vars![1],
+            j: vars![1, 2]
+        }
+        .is_well_formed());
+        assert!(!ProofStep::Monotonicity {
+            x: vars![1, 2],
+            y: vars![1, 2]
+        }
+        .is_well_formed());
+    }
+
+    #[test]
+    fn preprocessing_inequality_of_section_5() {
+        // h(1) + h(3) ≥ h(13): the preprocessing Shannon-flow inequality of
+        // the Section 5 running example.
+        let flow = ShannonFlow::new(
+            3,
+            LinComb::new()
+                .with(Rat::ONE, term(&[1], &[]))
+                .with(Rat::ONE, term(&[3], &[])),
+            LinComb::new().with(Rat::ONE, term(&[1, 3], &[])),
+        );
+        assert!(flow.is_valid());
+
+        // Its proof sequence from the paper: one submodularity step
+        // (h(1) ≥ h(13|3)) followed by one composition step
+        // (h(13|3) + h(3) ≥ h(13)).
+        let proof = ProofSequence::new()
+            .then(
+                Rat::ONE,
+                ProofStep::Submodularity {
+                    i: vars![1],
+                    j: vars![3],
+                },
+            )
+            .then(
+                Rat::ONE,
+                ProofStep::Composition {
+                    x: vars![3],
+                    y: vars![1, 3],
+                },
+            );
+        assert_eq!(proof.verify(&flow), ProofOutcome::Valid);
+    }
+
+    #[test]
+    fn online_inequality_of_section_5() {
+        // h(2|1) + h(2|3) + 2 h(13) ≥ 2 h(123).
+        let flow = ShannonFlow::new(
+            3,
+            LinComb::new()
+                .with(Rat::ONE, term(&[2], &[1]))
+                .with(Rat::ONE, term(&[2], &[3]))
+                .with(Rat::int(2), term(&[1, 3], &[])),
+            LinComb::new().with(Rat::int(2), term(&[1, 2, 3], &[])),
+        );
+        assert!(flow.is_valid());
+    }
+
+    #[test]
+    fn invalid_inequality_rejected() {
+        // h(1) ≥ h(12) is false.
+        let flow = ShannonFlow::new(
+            2,
+            LinComb::new().with(Rat::ONE, term(&[1], &[])),
+            LinComb::new().with(Rat::ONE, term(&[1, 2], &[])),
+        );
+        assert!(!flow.is_valid());
+        // And halving the right side does not fix it.
+        let flow2 = ShannonFlow::new(
+            2,
+            LinComb::new().with(Rat::ONE, term(&[1], &[])),
+            LinComb::new().with(rat(3, 2), term(&[1], &[])),
+        );
+        assert!(!flow2.is_valid());
+    }
+
+    #[test]
+    fn shearer_on_the_triangle() {
+        // The classic 1/2(h(12)+h(23)+h(13)) ≥ h(123).
+        let half = rat(1, 2);
+        let flow = ShannonFlow::new(
+            3,
+            LinComb::new()
+                .with(half, term(&[1, 2], &[]))
+                .with(half, term(&[2, 3], &[]))
+                .with(half, term(&[1, 3], &[])),
+            LinComb::new().with(Rat::ONE, term(&[1, 2, 3], &[])),
+        );
+        assert!(flow.is_valid());
+        // The same with coefficients 1/3 is false.
+        let third = rat(1, 3);
+        let bad = ShannonFlow::new(
+            3,
+            LinComb::new()
+                .with(third, term(&[1, 2], &[]))
+                .with(third, term(&[2, 3], &[]))
+                .with(third, term(&[1, 3], &[])),
+            LinComb::new().with(Rat::ONE, term(&[1, 2, 3], &[])),
+        );
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn proof_verifier_catches_problems() {
+        let flow = ShannonFlow::new(
+            3,
+            LinComb::new()
+                .with(Rat::ONE, term(&[1], &[]))
+                .with(Rat::ONE, term(&[3], &[])),
+            LinComb::new().with(Rat::ONE, term(&[1, 3], &[])),
+        );
+        // The empty proof does not dominate h(13).
+        assert!(matches!(
+            ProofSequence::new().verify(&flow),
+            ProofOutcome::DoesNotDominate(_)
+        ));
+        // Applying composition before creating h(13|3) drives h(13|3)
+        // negative.
+        let premature = ProofSequence::new().then(
+            Rat::ONE,
+            ProofStep::Composition {
+                x: vars![3],
+                y: vars![1, 3],
+            },
+        );
+        assert!(matches!(
+            premature.verify(&flow),
+            ProofOutcome::NegativeCoordinate { .. }
+        ));
+        // Zero weight is malformed.
+        let zero = ProofSequence::new().then(
+            Rat::ZERO,
+            ProofStep::Monotonicity {
+                x: vars![1],
+                y: vars![1, 3],
+            },
+        );
+        assert_eq!(zero.verify(&flow), ProofOutcome::MalformedStep(0));
+    }
+}

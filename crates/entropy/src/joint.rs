@@ -1,0 +1,269 @@
+//! Joint Shannon-flow inequalities (Definition D.4).
+//!
+//! A joint Shannon-flow inequality is an inequality over a *pair* of
+//! polymatroids `(h_S, h_T)` — `h_S` governs the preprocessing phase and
+//! `h_T` the online phase. Every joint Shannon-flow inequality yields a
+//! space-time tradeoff (Theorem 5.1 / D.6). [`JointFlow::is_valid`] decides
+//! validity exactly with one LP over the product cone `Γ_n × Γ_n`.
+//!
+//! The unit tests of this module re-derive every joint inequality the paper
+//! writes out explicitly (Section 5, Section 6.1, Appendix E.5–E.8), which
+//! is the analytic half of the reproduction of Table 1 and Figures 4a/4b.
+
+use crate::lp::{Lp, LpOutcome};
+use crate::polycone::PolyVars;
+use crate::terms::{JointLinComb, Phase};
+use cqap_common::{FxHashMap, Rat};
+
+/// A joint Shannon-flow inequality `⟨lhs, (h_S,h_T)⟩ ≥ ⟨rhs, (h_S,h_T)⟩`.
+#[derive(Clone, Debug)]
+pub struct JointFlow {
+    /// Ground-set size `n`.
+    pub num_vars: usize,
+    /// The left-hand side.
+    pub lhs: JointLinComb,
+    /// The right-hand side.
+    pub rhs: JointLinComb,
+}
+
+impl JointFlow {
+    /// Creates a joint inequality.
+    pub fn new(num_vars: usize, lhs: JointLinComb, rhs: JointLinComb) -> Self {
+        JointFlow { num_vars, lhs, rhs }
+    }
+
+    /// Whether the inequality holds for every pair of polymatroids on `[n]`.
+    pub fn is_valid(&self) -> bool {
+        let n = self.num_vars;
+        let block = PolyVars::block_len(n);
+        let pre = PolyVars { n, base: 0 };
+        let online = PolyVars { n, base: block };
+        let mut lp = Lp::new(2 * block);
+        pre.add_polymatroid_constraints(&mut lp);
+        online.add_polymatroid_constraints(&mut lp);
+
+        let mut coeff: FxHashMap<usize, Rat> = FxHashMap::default();
+        let mut accumulate = |comb: &JointLinComb, sign: Rat| {
+            for (c, p, t) in comb.terms() {
+                let pv = match p {
+                    Phase::Pre => &pre,
+                    Phase::Online => &online,
+                };
+                if let Some(v) = pv.var(t.of.union(t.on)) {
+                    *coeff.entry(v).or_default() += sign * *c;
+                }
+                if let Some(v) = pv.var(t.on) {
+                    *coeff.entry(v).or_default() -= sign * *c;
+                }
+            }
+        };
+        accumulate(&self.rhs, Rat::ONE);
+        accumulate(&self.lhs, -Rat::ONE);
+        for (v, c) in coeff {
+            lp.set_objective(v, c);
+        }
+        match lp.solve() {
+            LpOutcome::Optimal { value, .. } => !value.is_positive(),
+            LpOutcome::Unbounded => false,
+            LpOutcome::Infeasible => unreachable!("the product cone contains 0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terms::term;
+    use cqap_common::Rat;
+
+    fn j() -> JointLinComb {
+        JointLinComb::new()
+    }
+
+    /// Section 5 running example (2-reachability):
+    /// `h_S(1) + h_T(2|1) + h_S(3) + h_T(2|3) + 2 h_T(13)
+    ///  ≥ h_S(13) + 2 h_T(123)`.
+    #[test]
+    fn section5_running_example() {
+        let flow = JointFlow::new(
+            3,
+            j().with_pre(Rat::ONE, term(&[1], &[]))
+                .with_online(Rat::ONE, term(&[2], &[1]))
+                .with_pre(Rat::ONE, term(&[3], &[]))
+                .with_online(Rat::ONE, term(&[2], &[3]))
+                .with_online(Rat::int(2), term(&[1, 3], &[])),
+            j().with_pre(Rat::ONE, term(&[1, 3], &[]))
+                .with_online(Rat::int(2), term(&[1, 2, 3], &[])),
+        );
+        assert!(flow.is_valid());
+    }
+
+    /// Tightness companion to the running example: demanding `3 h_T(123)`
+    /// on the right makes the inequality false.
+    #[test]
+    fn section5_running_example_is_tight() {
+        let flow = JointFlow::new(
+            3,
+            j().with_pre(Rat::ONE, term(&[1], &[]))
+                .with_online(Rat::ONE, term(&[2], &[1]))
+                .with_pre(Rat::ONE, term(&[3], &[]))
+                .with_online(Rat::ONE, term(&[2], &[3]))
+                .with_online(Rat::int(2), term(&[1, 3], &[])),
+            j().with_pre(Rat::ONE, term(&[1, 3], &[]))
+                .with_online(Rat::int(3), term(&[1, 2, 3], &[])),
+        );
+        assert!(!flow.is_valid());
+    }
+
+    /// Example 5.2 / E.5 (square query, first rule):
+    /// `h_S(1) + h_T(4|1) + h_S(3) + h_T(4|3) + 2 h_T(13)
+    ///  ≥ h_S(13) + 2 h_T(134)`.
+    #[test]
+    fn square_query_first_rule() {
+        let flow = JointFlow::new(
+            4,
+            j().with_pre(Rat::ONE, term(&[1], &[]))
+                .with_online(Rat::ONE, term(&[4], &[1]))
+                .with_pre(Rat::ONE, term(&[3], &[]))
+                .with_online(Rat::ONE, term(&[4], &[3]))
+                .with_online(Rat::int(2), term(&[1, 3], &[])),
+            j().with_pre(Rat::ONE, term(&[1, 3], &[]))
+                .with_online(Rat::int(2), term(&[1, 3, 4], &[])),
+        );
+        assert!(flow.is_valid());
+    }
+
+    /// Example E.7, rule ρ1 for 3-reachability:
+    /// `h_S(1) + h_S(4) + h_T(2|1) + h_T(3|4) + 2 h_T(14)
+    ///  ≥ h_S(14) + h_T(124) + h_T(134)`.
+    #[test]
+    fn three_reach_rho1() {
+        let flow = JointFlow::new(
+            4,
+            j().with_pre(Rat::ONE, term(&[1], &[]))
+                .with_pre(Rat::ONE, term(&[4], &[]))
+                .with_online(Rat::ONE, term(&[2], &[1]))
+                .with_online(Rat::ONE, term(&[3], &[4]))
+                .with_online(Rat::int(2), term(&[1, 4], &[])),
+            j().with_pre(Rat::ONE, term(&[1, 4], &[]))
+                .with_online(Rat::ONE, term(&[1, 2, 4], &[]))
+                .with_online(Rat::ONE, term(&[1, 3, 4], &[])),
+        );
+        assert!(flow.is_valid());
+    }
+
+    /// Example E.7, rule ρ2 for 3-reachability:
+    /// `2(h_S(1)+h_T(2|1)) + h_S(3)+h_T(2|3) + h_S(4)+h_T(3|4) + 3 h_T(14)
+    ///  ≥ h_S(14) + h_S(13) + 3 h_T(124)`.
+    #[test]
+    fn three_reach_rho2() {
+        let flow = JointFlow::new(
+            4,
+            j().with_pre(Rat::int(2), term(&[1], &[]))
+                .with_online(Rat::int(2), term(&[2], &[1]))
+                .with_pre(Rat::ONE, term(&[3], &[]))
+                .with_online(Rat::ONE, term(&[2], &[3]))
+                .with_pre(Rat::ONE, term(&[4], &[]))
+                .with_online(Rat::ONE, term(&[3], &[4]))
+                .with_online(Rat::int(3), term(&[1, 4], &[])),
+            j().with_pre(Rat::ONE, term(&[1, 4], &[]))
+                .with_pre(Rat::ONE, term(&[1, 3], &[]))
+                .with_online(Rat::int(3), term(&[1, 2, 4], &[])),
+        );
+        assert!(flow.is_valid());
+    }
+
+    /// Example E.7, rule ρ4, first (linear-regime) proof:
+    /// `h_S(1) + h_S(4) + h_T(2|1) + h_T(3|4) + h_T(14)
+    ///  ≥ h_S(14) + h_T(123)`.
+    #[test]
+    fn three_reach_rho4_first() {
+        let flow = JointFlow::new(
+            4,
+            j().with_pre(Rat::ONE, term(&[1], &[]))
+                .with_pre(Rat::ONE, term(&[4], &[]))
+                .with_online(Rat::ONE, term(&[2], &[1]))
+                .with_online(Rat::ONE, term(&[3], &[4]))
+                .with_online(Rat::ONE, term(&[1, 4], &[])),
+            j().with_pre(Rat::ONE, term(&[1, 4], &[]))
+                .with_online(Rat::ONE, term(&[1, 2, 3], &[])),
+        );
+        assert!(flow.is_valid());
+    }
+
+    /// Example E.7, rule ρ4, second (high-space) proof:
+    /// `2 h_S(23) + h_S(12) + h_S(34) + h_S(1) + h_T(2|1) + h_S(4) +
+    ///  h_T(3|4) + h_T(14) ≥ 2 h_S(24) + 2 h_S(13) + h_T(123)`.
+    #[test]
+    fn three_reach_rho4_second() {
+        let flow = JointFlow::new(
+            4,
+            j().with_pre(Rat::int(2), term(&[2, 3], &[]))
+                .with_pre(Rat::ONE, term(&[1, 2], &[]))
+                .with_pre(Rat::ONE, term(&[3, 4], &[]))
+                .with_pre(Rat::ONE, term(&[1], &[]))
+                .with_online(Rat::ONE, term(&[2], &[1]))
+                .with_pre(Rat::ONE, term(&[4], &[]))
+                .with_online(Rat::ONE, term(&[3], &[4]))
+                .with_online(Rat::ONE, term(&[1, 4], &[])),
+            j().with_pre(Rat::int(2), term(&[2, 4], &[]))
+                .with_pre(Rat::int(2), term(&[1, 3], &[]))
+                .with_online(Rat::ONE, term(&[1, 2, 3], &[])),
+        );
+        assert!(flow.is_valid());
+    }
+
+    /// Section 6.1 joint inequality for k-set intersection with k = 3
+    /// (variables x1..x3 are the sets, x4 = y is the element):
+    /// `h_S(34) + Σ_{i∈[2]} (h_S(i|4) + h_T(4)) + 2 h_T(123)
+    ///  ≥ h_S(1234) + 2 h_T(1234)`.
+    #[test]
+    fn k_set_intersection_k3() {
+        let flow = JointFlow::new(
+            4,
+            j().with_pre(Rat::ONE, term(&[3, 4], &[]))
+                .with_pre(Rat::ONE, term(&[1], &[4]))
+                .with_online(Rat::ONE, term(&[4], &[]))
+                .with_pre(Rat::ONE, term(&[2], &[4]))
+                .with_online(Rat::ONE, term(&[4], &[]))
+                .with_online(Rat::int(2), term(&[1, 2, 3], &[])),
+            j().with_pre(Rat::ONE, term(&[1, 2, 3, 4], &[]))
+                .with_online(Rat::int(2), term(&[1, 2, 3, 4], &[])),
+        );
+        assert!(flow.is_valid());
+    }
+
+    /// Example E.8, rule ρ1 for 4-reachability:
+    /// `h_S(1) + h_T(2|1) + h_S(5) + h_T(4|5) + h_T(15)
+    ///  ≥ h_S(15) + h_T(1245)`.
+    #[test]
+    fn four_reach_rho1() {
+        let flow = JointFlow::new(
+            5,
+            j().with_pre(Rat::ONE, term(&[1], &[]))
+                .with_online(Rat::ONE, term(&[2], &[1]))
+                .with_pre(Rat::ONE, term(&[5], &[]))
+                .with_online(Rat::ONE, term(&[4], &[5]))
+                .with_online(Rat::ONE, term(&[1, 5], &[])),
+            j().with_pre(Rat::ONE, term(&[1, 5], &[]))
+                .with_online(Rat::ONE, term(&[1, 2, 4, 5], &[])),
+        );
+        assert!(flow.is_valid());
+    }
+
+    /// A deliberately-false joint inequality: dropping the `h_T(13)` budget
+    /// terms from the running example breaks it.
+    #[test]
+    fn missing_access_term_invalidates() {
+        let flow = JointFlow::new(
+            3,
+            j().with_pre(Rat::ONE, term(&[1], &[]))
+                .with_online(Rat::ONE, term(&[2], &[1]))
+                .with_pre(Rat::ONE, term(&[3], &[]))
+                .with_online(Rat::ONE, term(&[2], &[3])),
+            j().with_pre(Rat::ONE, term(&[1, 3], &[]))
+                .with_online(Rat::int(2), term(&[1, 2, 3], &[])),
+        );
+        assert!(!flow.is_valid());
+    }
+}

@@ -1,0 +1,305 @@
+//! Conditional polymatroid terms and linear combinations of them.
+
+use crate::setfn::SetFunction;
+use cqap_common::{Rat, VarSet};
+use std::fmt;
+
+/// A conditional term `h(of | on)`, i.e. `h(of ∪ on) − h(on)`. Unconditional
+/// terms use `on = ∅`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CondTerm {
+    /// The conditioned set `Y`.
+    pub of: VarSet,
+    /// The conditioning set `X`.
+    pub on: VarSet,
+}
+
+impl CondTerm {
+    /// `h(of)` (unconditional).
+    pub fn plain(of: VarSet) -> Self {
+        CondTerm {
+            of,
+            on: VarSet::EMPTY,
+        }
+    }
+
+    /// `h(of | on)`.
+    pub fn given(of: VarSet, on: VarSet) -> Self {
+        CondTerm { of, on }
+    }
+
+    /// Evaluates the term against a concrete set function.
+    pub fn eval(&self, h: &SetFunction) -> Rat {
+        h.conditional(self.of, self.on)
+    }
+}
+
+impl fmt::Debug for CondTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for CondTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.on.is_empty() {
+            write!(f, "h({})", fmt_vars(self.of))
+        } else {
+            write!(f, "h({}|{})", fmt_vars(self.of), fmt_vars(self.on))
+        }
+    }
+}
+
+fn fmt_vars(s: VarSet) -> String {
+    if s.is_empty() {
+        return "∅".to_string();
+    }
+    s.iter().map(|v| (v + 1).to_string()).collect::<String>()
+}
+
+/// Which polymatroid of a joint inequality a term refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The preprocessing polymatroid `h_S`.
+    Pre,
+    /// The online polymatroid `h_T`.
+    Online,
+}
+
+/// A linear combination of conditional terms over a single polymatroid.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinComb {
+    terms: Vec<(Rat, CondTerm)>,
+}
+
+impl LinComb {
+    /// The empty combination.
+    pub fn new() -> Self {
+        LinComb::default()
+    }
+
+    /// Adds `coeff · term` (merging with an existing identical term).
+    pub fn add(&mut self, coeff: Rat, term: CondTerm) -> &mut Self {
+        if coeff.is_zero() {
+            return self;
+        }
+        if let Some(slot) = self.terms.iter_mut().find(|(_, t)| *t == term) {
+            slot.0 += coeff;
+            if slot.0.is_zero() {
+                self.terms.retain(|(c, _)| !c.is_zero());
+            }
+        } else {
+            self.terms.push((coeff, term));
+        }
+        self
+    }
+
+    /// Builder-style [`LinComb::add`].
+    #[must_use]
+    pub fn with(mut self, coeff: Rat, term: CondTerm) -> Self {
+        self.add(coeff, term);
+        self
+    }
+
+    /// The terms.
+    pub fn terms(&self) -> &[(Rat, CondTerm)] {
+        &self.terms
+    }
+
+    /// Whether the combination has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates against a concrete set function.
+    pub fn eval(&self, h: &SetFunction) -> Rat {
+        self.terms
+            .iter()
+            .fold(Rat::ZERO, |acc, (c, t)| acc + *c * t.eval(h))
+    }
+
+    /// Sum of coefficients (the `‖·‖₁` of the paper when all coefficients
+    /// are non-negative).
+    pub fn coeff_sum(&self) -> Rat {
+        self.terms.iter().fold(Rat::ZERO, |acc, (c, _)| acc + *c)
+    }
+}
+
+impl fmt::Display for LinComb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (c, t)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if *c == Rat::ONE {
+                write!(f, "{t}")?;
+            } else {
+                write!(f, "{c}·{t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A linear combination of conditional terms over the *pair* of polymatroids
+/// `(h_S, h_T)` of a joint Shannon-flow inequality.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JointLinComb {
+    terms: Vec<(Rat, Phase, CondTerm)>,
+}
+
+impl JointLinComb {
+    /// The empty combination.
+    pub fn new() -> Self {
+        JointLinComb::default()
+    }
+
+    /// Adds `coeff · h_phase(term)`.
+    pub fn add(&mut self, coeff: Rat, phase: Phase, term: CondTerm) -> &mut Self {
+        if coeff.is_zero() {
+            return self;
+        }
+        if let Some(slot) = self
+            .terms
+            .iter_mut()
+            .find(|(_, p, t)| *p == phase && *t == term)
+        {
+            slot.0 += coeff;
+            if slot.0.is_zero() {
+                self.terms.retain(|(c, _, _)| !c.is_zero());
+            }
+        } else {
+            self.terms.push((coeff, phase, term));
+        }
+        self
+    }
+
+    /// Builder-style [`JointLinComb::add`].
+    #[must_use]
+    pub fn with(mut self, coeff: Rat, phase: Phase, term: CondTerm) -> Self {
+        self.add(coeff, phase, term);
+        self
+    }
+
+    /// Shorthand for an `h_S` term.
+    #[must_use]
+    pub fn with_pre(self, coeff: Rat, term: CondTerm) -> Self {
+        self.with(coeff, Phase::Pre, term)
+    }
+
+    /// Shorthand for an `h_T` term.
+    #[must_use]
+    pub fn with_online(self, coeff: Rat, term: CondTerm) -> Self {
+        self.with(coeff, Phase::Online, term)
+    }
+
+    /// The terms.
+    pub fn terms(&self) -> &[(Rat, Phase, CondTerm)] {
+        &self.terms
+    }
+
+    /// Evaluates against concrete set functions for the two phases.
+    pub fn eval(&self, h_pre: &SetFunction, h_online: &SetFunction) -> Rat {
+        self.terms.iter().fold(Rat::ZERO, |acc, (c, p, t)| {
+            let v = match p {
+                Phase::Pre => t.eval(h_pre),
+                Phase::Online => t.eval(h_online),
+            };
+            acc + *c * v
+        })
+    }
+}
+
+impl fmt::Display for JointLinComb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (c, p, t)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            let tag = match p {
+                Phase::Pre => "S",
+                Phase::Online => "T",
+            };
+            if *c == Rat::ONE {
+                write!(f, "{tag}:{t}")?;
+            } else {
+                write!(f, "{c}·{tag}:{t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: `term(&[1,3], &[])` builds `h({x1,x3})` using 1-based
+/// variable numbers as written in the paper.
+pub fn term(of: &[usize], on: &[usize]) -> CondTerm {
+    CondTerm::given(
+        VarSet::from_iter(of.iter().map(|&v| v - 1)),
+        VarSet::from_iter(on.iter().map(|&v| v - 1)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_common::rat::rat;
+    use cqap_common::vars;
+
+    #[test]
+    fn term_construction_and_eval() {
+        let h = SetFunction::cardinality(4);
+        let t = term(&[2], &[1, 3]);
+        assert_eq!(t.of, vars![2]);
+        assert_eq!(t.on, vars![1, 3]);
+        assert_eq!(t.eval(&h), Rat::ONE);
+        assert_eq!(term(&[1, 3], &[]).eval(&h), Rat::int(2));
+        assert_eq!(format!("{}", term(&[1, 3], &[])), "h(13)");
+        assert_eq!(format!("{}", term(&[2], &[1])), "h(2|1)");
+    }
+
+    #[test]
+    fn lincomb_merging_and_eval() {
+        let h = SetFunction::cardinality(3);
+        let mut c = LinComb::new();
+        c.add(Rat::ONE, term(&[1], &[]));
+        c.add(Rat::ONE, term(&[1], &[]));
+        c.add(rat(1, 2), term(&[2, 3], &[]));
+        assert_eq!(c.terms().len(), 2);
+        // 2·h(1) + 1/2·h(23) = 2 + 1 = 3.
+        assert_eq!(c.eval(&h), Rat::int(3));
+        assert_eq!(c.coeff_sum(), rat(5, 2));
+        // Cancelling a term removes it.
+        c.add(-Rat::int(2), term(&[1], &[]));
+        assert_eq!(c.terms().len(), 1);
+    }
+
+    #[test]
+    fn joint_lincomb_eval_uses_correct_phase() {
+        let pre = SetFunction::cardinality(3);
+        let online = SetFunction::truncated_cardinality(3, 1);
+        let c = JointLinComb::new()
+            .with_pre(Rat::ONE, term(&[1, 2], &[]))
+            .with_online(Rat::ONE, term(&[1, 2], &[]));
+        // 2 (cardinality) + 1 (truncated) = 3.
+        assert_eq!(c.eval(&pre, &online), Rat::int(3));
+    }
+
+    #[test]
+    fn display() {
+        let c = LinComb::new()
+            .with(Rat::ONE, term(&[1], &[]))
+            .with(Rat::int(2), term(&[2], &[1]));
+        assert_eq!(format!("{c}"), "h(1) + 2·h(2|1)");
+        let j = JointLinComb::new()
+            .with_pre(Rat::ONE, term(&[1], &[]))
+            .with_online(Rat::int(2), term(&[1, 3], &[]));
+        assert_eq!(format!("{j}"), "S:h(1) + 2·T:h(13)");
+        assert_eq!(format!("{}", LinComb::new()), "0");
+    }
+}

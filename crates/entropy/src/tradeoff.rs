@@ -1,0 +1,644 @@
+//! Space-time tradeoff computation for 2-phase disjunctive rules.
+//!
+//! This module is the computational heart of the reproduction. Given the
+//! *shape* of a 2-phase disjunctive rule (its S-target and T-target
+//! schemas) and the degree-constraint statistics of the input, it answers
+//! the two questions the paper answers analytically:
+//!
+//! 1. **`OBJ(S)` sweeps** ([`time_exponent_at`], [`TradeoffCurve`]): for a
+//!    concrete space-budget exponent `σ = log_{|D|} S`, the best achievable
+//!    online-time exponent `τ = log_{|D|} T` — equation (12) of the paper,
+//!    solved exactly as one LP over the product polymatroid cone. Sweeping
+//!    `σ` regenerates the curves of Figure 4a/4b.
+//! 2. **Symbolic tradeoff verification** ([`verify_tradeoff`]): whether a
+//!    claimed tradeoff `S^w · T^v ≾ |D|^c · |Q_A|^d` holds for *all*
+//!    database and access-request sizes — the statements of Table 1,
+//!    Section 6 and Appendix E. The check treats `log|Q_A|` as an LP
+//!    variable, so a single LP covers every access-request size.
+//!
+//! The LP encodes: elemental polymatroid inequalities for `h_S` and `h_T`,
+//! the degree constraints `DC` (both phases), the access constraints `AC`
+//! (online phase only), and the split constraints `SC` that couple the two
+//! phases (Definition C.2).
+
+use crate::lp::{Lp, LpOutcome, Relation};
+use crate::polycone::PolyVars;
+use cqap_common::{Rat, VarSet};
+use cqap_query::Cqap;
+use std::fmt;
+
+/// The shape of a 2-phase disjunctive rule: the schemas of its S-targets
+/// (preprocessing) and T-targets (online). See Definition 4.1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleShape {
+    /// Number of query variables `n`.
+    pub num_vars: usize,
+    /// S-target schemas `B_S`.
+    pub s_targets: Vec<VarSet>,
+    /// T-target schemas `B_T`.
+    pub t_targets: Vec<VarSet>,
+}
+
+impl RuleShape {
+    /// Creates a rule shape, deduplicating targets.
+    pub fn new(num_vars: usize, s_targets: Vec<VarSet>, t_targets: Vec<VarSet>) -> Self {
+        let mut s = s_targets;
+        let mut t = t_targets;
+        s.sort_unstable();
+        s.dedup();
+        t.sort_unstable();
+        t.dedup();
+        RuleShape {
+            num_vars,
+            s_targets: s,
+            t_targets: t,
+        }
+    }
+
+    /// Paper-style label such as `T134 ∨ T124 ∨ S14`.
+    pub fn label(&self) -> String {
+        let fmt_set = |s: &VarSet, tag: char| {
+            let digits: String = s.iter().map(|v| (v + 1).to_string()).collect();
+            format!("{tag}{digits}")
+        };
+        let mut parts: Vec<String> = self.t_targets.iter().map(|s| fmt_set(s, 'T')).collect();
+        parts.extend(self.s_targets.iter().map(|s| fmt_set(s, 'S')));
+        parts.join(" ∨ ")
+    }
+}
+
+/// A symbolic log-size `d · log|D| + q · log|Q_A|`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogSize {
+    /// Coefficient of `log|D|`.
+    pub d: Rat,
+    /// Coefficient of `log|Q_A|`.
+    pub q: Rat,
+}
+
+impl LogSize {
+    /// `log|D|` (the size of one input relation).
+    pub fn db() -> Self {
+        LogSize {
+            d: Rat::ONE,
+            q: Rat::ZERO,
+        }
+    }
+
+    /// `log|Q_A|` (the size of the access request).
+    pub fn access() -> Self {
+        LogSize {
+            d: Rat::ZERO,
+            q: Rat::ONE,
+        }
+    }
+
+    /// Evaluates at `log|D| = 1` and the given `log|Q_A|`.
+    pub fn eval(&self, log_q: Rat) -> Rat {
+        self.d + self.q * log_q
+    }
+}
+
+/// A single symbolic degree/cardinality constraint used by the LP layer.
+#[derive(Clone, Copy, Debug)]
+pub struct StatConstraint {
+    /// Conditioning variables `X` (empty for a cardinality constraint).
+    pub on: VarSet,
+    /// Constrained variables `Y`.
+    pub of: VarSet,
+    /// The symbolic bound `N_{Y|X}`.
+    pub size: LogSize,
+}
+
+/// Symbolic input statistics: the degree constraints `DC` guarded by the
+/// database and `AC` guarded by the access request, with bounds expressed
+/// in units of `log|D|` and `log|Q_A|`.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Number of query variables.
+    pub num_vars: usize,
+    /// Constraints guarded by input relations.
+    pub dc: Vec<StatConstraint>,
+    /// Constraints guarded by the access request.
+    pub ac: Vec<StatConstraint>,
+}
+
+impl Stats {
+    /// The "uniform" statistics used throughout the paper's examples: every
+    /// atom's variable set gets the cardinality bound `|D|`, and the access
+    /// pattern gets the cardinality bound `|Q_A|`.
+    pub fn uniform_for_cqap(cqap: &Cqap) -> Stats {
+        let mut dc: Vec<StatConstraint> = Vec::new();
+        for edge in cqap.hypergraph().edges() {
+            if dc.iter().any(|c| c.of == *edge && c.on.is_empty()) {
+                continue;
+            }
+            dc.push(StatConstraint {
+                on: VarSet::EMPTY,
+                of: *edge,
+                size: LogSize::db(),
+            });
+        }
+        let ac = if cqap.access().is_empty() {
+            Vec::new()
+        } else {
+            vec![StatConstraint {
+                on: VarSet::EMPTY,
+                of: cqap.access(),
+                size: LogSize::access(),
+            }]
+        };
+        Stats {
+            num_vars: cqap.num_vars(),
+            dc,
+            ac,
+        }
+    }
+
+    /// Adds an extra degree constraint guarded by the database.
+    pub fn add_dc(&mut self, on: VarSet, of: VarSet, size: LogSize) {
+        self.dc.push(StatConstraint { on, of, size });
+    }
+
+    /// Adds an extra degree constraint guarded by the access request.
+    pub fn add_ac(&mut self, on: VarSet, of: VarSet, size: LogSize) {
+        self.ac.push(StatConstraint { on, of, size });
+    }
+
+    /// The split constraints `SC` spanned by the cardinality constraints of
+    /// `DC` (Definition C.2): one `(X, Y | X, N_Z)` triple for every
+    /// cardinality constraint `(∅, Z, N_Z)` and every `∅ ≠ X ⊂ Y ⊆ Z`.
+    pub fn split_constraints(&self) -> Vec<(VarSet, VarSet, LogSize)> {
+        let mut out = Vec::new();
+        for c in &self.dc {
+            if !c.on.is_empty() {
+                continue;
+            }
+            for y in c.of.subsets() {
+                if y.len() < 2 {
+                    continue;
+                }
+                for x in y.proper_nonempty_subsets() {
+                    out.push((x, y, c.size));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A claimed symbolic tradeoff `S^{s_exp} · T^{t_exp} ≾ |D|^{d_exp} ·
+/// |Q_A|^{q_exp}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SymbolicTradeoff {
+    /// Exponent of the space budget `S`.
+    pub s_exp: Rat,
+    /// Exponent of the answering time `T`.
+    pub t_exp: Rat,
+    /// Exponent of the database size `|D|`.
+    pub d_exp: Rat,
+    /// Exponent of the access-request size `|Q_A|`.
+    pub q_exp: Rat,
+}
+
+impl SymbolicTradeoff {
+    /// Convenience constructor from integer exponents.
+    pub fn new(s_exp: i64, t_exp: i64, d_exp: i64, q_exp: i64) -> Self {
+        SymbolicTradeoff {
+            s_exp: Rat::int(s_exp as i128),
+            t_exp: Rat::int(t_exp as i128),
+            d_exp: Rat::int(d_exp as i128),
+            q_exp: Rat::int(q_exp as i128),
+        }
+    }
+}
+
+impl fmt::Display for SymbolicTradeoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let exp = |e: Rat| {
+            if e == Rat::ONE {
+                String::new()
+            } else {
+                format!("^{e}")
+            }
+        };
+        let mut lhs = Vec::new();
+        if !self.s_exp.is_zero() {
+            lhs.push(format!("S{}", exp(self.s_exp)));
+        }
+        if !self.t_exp.is_zero() {
+            lhs.push(format!("T{}", exp(self.t_exp)));
+        }
+        let mut rhs = Vec::new();
+        if !self.d_exp.is_zero() {
+            rhs.push(format!("|D|{}", exp(self.d_exp)));
+        }
+        if !self.q_exp.is_zero() {
+            rhs.push(format!("|Q|{}", exp(self.q_exp)));
+        }
+        if rhs.is_empty() {
+            rhs.push("1".to_string());
+        }
+        write!(f, "{} ≾ {}", lhs.join("·"), rhs.join("·"))
+    }
+}
+
+/// One point of a space-time tradeoff curve, in `log_{|D|}` units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TradeoffPoint {
+    /// `log_{|D|} S`.
+    pub space: Rat,
+    /// `log_{|D|} T`.
+    pub time: Rat,
+}
+
+/// A piecewise-linear space-time tradeoff curve sampled at a set of space
+/// budgets (Figure 4a/4b).
+#[derive(Clone, Debug, Default)]
+pub struct TradeoffCurve {
+    /// The sampled points, in increasing space order.
+    pub points: Vec<TradeoffPoint>,
+}
+
+impl TradeoffCurve {
+    /// The time exponent at the given space exponent, if sampled.
+    pub fn time_at(&self, space: Rat) -> Option<Rat> {
+        self.points
+            .iter()
+            .find(|p| p.space == space)
+            .map(|p| p.time)
+    }
+
+    /// Whether the curve is non-increasing in space (more space never
+    /// hurts).
+    pub fn is_monotone(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[0].space <= w[1].space && w[0].time >= w[1].time)
+    }
+}
+
+/// Builds the common part of the tradeoff LP: two polymatroid blocks, the
+/// DC constraints (both phases), the AC constraints (online phase), and the
+/// SC coupling constraints. Returns the LP and the two variable blocks.
+///
+/// When `q_var` is `Some(idx)`, `log|Q_A|` is the LP variable `idx` and the
+/// symbolic bounds become `h(...) − q_coeff · q ≤ d_coeff`; otherwise the
+/// bounds are evaluated at the fixed `log_q`.
+fn base_lp(
+    stats: &Stats,
+    extra_vars: usize,
+    q_var: Option<usize>,
+    log_q: Rat,
+) -> (Lp, PolyVars, PolyVars) {
+    let n = stats.num_vars;
+    let block = PolyVars::block_len(n);
+    let pre = PolyVars { n, base: 0 };
+    let online = PolyVars { n, base: block };
+    let mut lp = Lp::new(2 * block + extra_vars);
+    pre.add_polymatroid_constraints(&mut lp);
+    online.add_polymatroid_constraints(&mut lp);
+
+    let mut add_bound = |row: Vec<(usize, Rat)>, size: LogSize| {
+        let mut row = row;
+        let rhs = match q_var {
+            Some(q) => {
+                if !size.q.is_zero() {
+                    row.push((q, -size.q));
+                }
+                size.d
+            }
+            None => size.eval(log_q),
+        };
+        lp.add_constraint(row, Relation::Le, rhs);
+    };
+
+    // DC: both phases. AC: online phase only.
+    for c in &stats.dc {
+        for pv in [&pre, &online] {
+            let mut row = Vec::new();
+            pv.push_conditional(&mut row, Rat::ONE, c.of, c.on);
+            add_bound(row, c.size);
+        }
+    }
+    for c in &stats.ac {
+        let mut row = Vec::new();
+        online.push_conditional(&mut row, Rat::ONE, c.of, c.on);
+        add_bound(row, c.size);
+    }
+    // SC: h_S(X) + h_T(Y|X) ≤ N_Z and h_S(Y|X) + h_T(X) ≤ N_Z.
+    for (x, y, size) in stats.split_constraints() {
+        let mut row = Vec::new();
+        pre.push(&mut row, Rat::ONE, x);
+        online.push_conditional(&mut row, Rat::ONE, y, x);
+        add_bound(row, size);
+
+        let mut row = Vec::new();
+        pre.push_conditional(&mut row, Rat::ONE, y, x);
+        online.push(&mut row, Rat::ONE, x);
+        add_bound(row, size);
+    }
+    (lp, pre, online)
+}
+
+/// The best achievable online-time exponent `τ = log_{|D|} T` for a rule at
+/// space budget `S = |D|^σ` and access-request size `|Q_A| = |D|^{log_q}`
+/// — equation (12) of the paper, solved exactly.
+///
+/// Returns `Some(0)` when the budget suffices to materialize every
+/// S-target for every input (the LP of (12) is infeasible), and `None` when
+/// the online time is unbounded under the given statistics (which indicates
+/// missing constraints rather than a meaningful tradeoff).
+pub fn time_exponent_at(
+    rule: &RuleShape,
+    stats: &Stats,
+    sigma: Rat,
+    log_q: Rat,
+) -> Option<Rat> {
+    assert_eq!(rule.num_vars, stats.num_vars, "rule/stats variable mismatch");
+    if rule.t_targets.is_empty() {
+        return Some(Rat::ZERO);
+    }
+    let n = stats.num_vars;
+    let block = PolyVars::block_len(n);
+    let tmin = 2 * block; // index of the auxiliary min-variable
+    let (mut lp, pre, online) = base_lp(stats, 1, None, log_q);
+    lp.set_objective(tmin, Rat::ONE);
+    for b in &rule.t_targets {
+        // tmin − h_T(B) ≤ 0.
+        let mut row = vec![(tmin, Rat::ONE)];
+        online.push(&mut row, -Rat::ONE, *b);
+        lp.add_constraint(row, Relation::Le, Rat::ZERO);
+    }
+    for b in &rule.s_targets {
+        // h_S(B) ≥ σ.
+        let mut row = Vec::new();
+        pre.push(&mut row, Rat::ONE, *b);
+        lp.add_constraint(row, Relation::Ge, sigma);
+    }
+    match lp.solve() {
+        LpOutcome::Optimal { value, .. } => Some(value.max(Rat::ZERO)),
+        LpOutcome::Infeasible => Some(Rat::ZERO),
+        LpOutcome::Unbounded => None,
+    }
+}
+
+/// Verifies a claimed symbolic tradeoff `S^w · T^v ≾ |D|^c · |Q_A|^d` for a
+/// rule under the given statistics, for **all** database and access-request
+/// sizes.
+///
+/// The check maximizes `w · min_B h_S(B) + v · min_B h_T(B) − d · log|Q_A|`
+/// over the coupled polymatroid cone with `log|D| = 1` and `log|Q_A|` a free
+/// non-negative variable; the claim holds iff the optimum is at most `c`.
+pub fn verify_tradeoff(rule: &RuleShape, stats: &Stats, claim: &SymbolicTradeoff) -> bool {
+    assert_eq!(rule.num_vars, stats.num_vars, "rule/stats variable mismatch");
+    let n = stats.num_vars;
+    let block = PolyVars::block_len(n);
+    let tmin = 2 * block;
+    let smin = 2 * block + 1;
+    let qvar = 2 * block + 2;
+    let (mut lp, pre, online) = base_lp(stats, 3, Some(qvar), Rat::ZERO);
+
+    if !rule.t_targets.is_empty() {
+        lp.set_objective(tmin, claim.t_exp);
+        for b in &rule.t_targets {
+            let mut row = vec![(tmin, Rat::ONE)];
+            online.push(&mut row, -Rat::ONE, *b);
+            lp.add_constraint(row, Relation::Le, Rat::ZERO);
+        }
+    }
+    if !rule.s_targets.is_empty() {
+        lp.set_objective(smin, claim.s_exp);
+        for b in &rule.s_targets {
+            let mut row = vec![(smin, Rat::ONE)];
+            pre.push(&mut row, -Rat::ONE, *b);
+            lp.add_constraint(row, Relation::Le, Rat::ZERO);
+        }
+    }
+    lp.set_objective(qvar, -claim.q_exp);
+    match lp.solve() {
+        LpOutcome::Optimal { value, .. } => value <= claim.d_exp,
+        LpOutcome::Unbounded => false,
+        LpOutcome::Infeasible => unreachable!("the coupled cone contains 0"),
+    }
+}
+
+/// Whether a claimed tradeoff is *tight* in the `|D|` exponent: the claim
+/// holds, but lowering the `|D|` exponent by `epsilon` breaks it.
+pub fn is_tight(
+    rule: &RuleShape,
+    stats: &Stats,
+    claim: &SymbolicTradeoff,
+    epsilon: Rat,
+) -> bool {
+    if !verify_tradeoff(rule, stats, claim) {
+        return false;
+    }
+    let weaker = SymbolicTradeoff {
+        d_exp: claim.d_exp - epsilon,
+        ..*claim
+    };
+    !verify_tradeoff(rule, stats, &weaker)
+}
+
+/// Samples the combined tradeoff curve of a *set* of rules: at each space
+/// budget, the answering time is the maximum over the rules (every rule
+/// must be answered; Section 4.3).
+pub fn combined_curve(
+    rules: &[RuleShape],
+    stats: &Stats,
+    sigmas: &[Rat],
+    log_q: Rat,
+) -> TradeoffCurve {
+    let mut points = Vec::with_capacity(sigmas.len());
+    for &sigma in sigmas {
+        let mut worst = Rat::ZERO;
+        for rule in rules {
+            let tau = time_exponent_at(rule, stats, sigma, log_q)
+                .expect("online time should be bounded under the given statistics");
+            worst = worst.max(tau);
+        }
+        points.push(TradeoffPoint {
+            space: sigma,
+            time: worst,
+        });
+    }
+    points.sort_by(|a, b| a.space.cmp(&b.space));
+    TradeoffCurve { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_common::rat::rat;
+    use cqap_common::vars;
+    use cqap_query::families;
+
+    fn two_reach_rule_and_stats() -> (RuleShape, Stats) {
+        let q = families::k_path_distinct(2);
+        let stats = Stats::uniform_for_cqap(&q);
+        // T123 ∨ S13 — the only rule of the Section 5 running example.
+        let rule = RuleShape::new(3, vec![vars![1, 3]], vec![vars![1, 2, 3]]);
+        (rule, stats)
+    }
+
+    #[test]
+    fn stats_construction() {
+        let q = families::k_path_distinct(3);
+        let stats = Stats::uniform_for_cqap(&q);
+        assert_eq!(stats.dc.len(), 3);
+        assert_eq!(stats.ac.len(), 1);
+        assert_eq!(stats.ac[0].of, vars![1, 4]);
+        // Each binary cardinality constraint spawns two split pairs.
+        assert_eq!(stats.split_constraints().len(), 6);
+    }
+
+    #[test]
+    fn section5_tradeoff_s_t2_le_d2_q2() {
+        let (rule, stats) = two_reach_rule_and_stats();
+        assert_eq!(rule.label(), "T123 ∨ S13");
+        // S·T² ≾ |D|²·|Q|² (Section 5 / Example E.6).
+        let claim = SymbolicTradeoff::new(1, 2, 2, 2);
+        assert!(verify_tradeoff(&rule, &stats, &claim));
+        assert!(is_tight(&rule, &stats, &claim, rat(1, 10)));
+        // The stronger S·T² ≾ |D|^{3/2} is false.
+        let too_strong = SymbolicTradeoff {
+            d_exp: rat(3, 2),
+            ..claim
+        };
+        assert!(!verify_tradeoff(&rule, &stats, &too_strong));
+    }
+
+    #[test]
+    fn section5_obj_sweep() {
+        let (rule, stats) = two_reach_rule_and_stats();
+        // |Q| = 1: S·T² ≾ |D|² means τ(σ) = (2 − σ)/2 until it hits 0.
+        assert_eq!(
+            time_exponent_at(&rule, &stats, Rat::ZERO, Rat::ZERO),
+            Some(Rat::ONE)
+        );
+        assert_eq!(
+            time_exponent_at(&rule, &stats, Rat::ONE, Rat::ZERO),
+            Some(rat(1, 2))
+        );
+        assert_eq!(
+            time_exponent_at(&rule, &stats, rat(3, 2), Rat::ZERO),
+            Some(rat(1, 4))
+        );
+        assert_eq!(
+            time_exponent_at(&rule, &stats, Rat::int(2), Rat::ZERO),
+            Some(Rat::ZERO)
+        );
+    }
+
+    #[test]
+    fn square_query_tradeoff() {
+        // Example 5.2 / E.5: S·T² ≾ |D|²·|Q|² for both rules of the square
+        // CQAP.
+        let q = families::square(true);
+        let stats = Stats::uniform_for_cqap(&q);
+        let rule1 = RuleShape::new(4, vec![vars![1, 3]], vec![vars![1, 3, 4]]);
+        let rule2 = RuleShape::new(4, vec![vars![1, 3]], vec![vars![1, 2, 3]]);
+        let claim = SymbolicTradeoff::new(1, 2, 2, 2);
+        assert!(verify_tradeoff(&rule1, &stats, &claim));
+        assert!(verify_tradeoff(&rule2, &stats, &claim));
+        assert!(is_tight(&rule1, &stats, &claim, rat(1, 10)));
+    }
+
+    #[test]
+    fn k_set_intersection_tradeoffs() {
+        // Section 6.1 (non-Boolean k-set intersection, S-target over the
+        // full head [k+1]): S·T^{k−1} ≾ |D|^k · |Q|^{k−1}.
+        for k in 2..=3usize {
+            let q = families::k_set_intersection(k);
+            let stats = Stats::uniform_for_cqap(&q);
+            let full = VarSet::prefix(k + 1);
+            let rule = RuleShape::new(k + 1, vec![full], vec![full]);
+            let ki = k as i64;
+            assert!(verify_tradeoff(
+                &rule,
+                &stats,
+                &SymbolicTradeoff::new(1, ki - 1, ki, ki - 1)
+            ));
+            // But S·T^{k−1} ≾ |D|^{k−1}·|Q|^{k−1} is too strong.
+            assert!(!verify_tradeoff(
+                &rule,
+                &stats,
+                &SymbolicTradeoff::new(1, ki - 1, ki - 1, ki - 1)
+            ));
+        }
+    }
+
+    #[test]
+    fn k_set_disjointness_edge_cover_tradeoff() {
+        // Example 6.2 (Boolean k-set disjointness, S-target over the access
+        // pattern A = [k]): S·T^k ≾ |D|^k · |Q|^k from the all-ones edge
+        // cover with slack k (Theorem 6.1).
+        for k in 2..=3usize {
+            let q = families::k_set_disjointness(k);
+            let stats = Stats::uniform_for_cqap(&q);
+            let access = VarSet::prefix(k);
+            let full = VarSet::prefix(k + 1);
+            let rule = RuleShape::new(k + 1, vec![access], vec![full]);
+            let ki = k as i64;
+            assert!(verify_tradeoff(
+                &rule,
+                &stats,
+                &SymbolicTradeoff::new(1, ki, ki, ki)
+            ));
+        }
+    }
+
+    #[test]
+    fn example_63_tree_decomposition_tradeoff() {
+        // Example 6.3: 4-reachability via the decomposition
+        // {x1,x2,x4,x5} → {x2,x3,x4} gives S^{3/2}·T ≾ |Q|·|D|³.
+        let q = families::k_path_distinct(4);
+        let stats = Stats::uniform_for_cqap(&q);
+        let rule = RuleShape::new(
+            5,
+            vec![vars![1, 5], vars![2, 4]],
+            vec![vars![2, 3, 4]],
+        );
+        let claim = SymbolicTradeoff {
+            s_exp: rat(3, 2),
+            t_exp: Rat::ONE,
+            d_exp: Rat::int(3),
+            q_exp: Rat::ONE,
+        };
+        assert!(verify_tradeoff(&rule, &stats, &claim));
+    }
+
+    #[test]
+    fn monotone_combined_curve() {
+        let (rule, stats) = two_reach_rule_and_stats();
+        let sigmas: Vec<Rat> = (0..=8).map(|i| rat(i, 4)).collect();
+        let curve = combined_curve(std::slice::from_ref(&rule), &stats, &sigmas, Rat::ZERO);
+        assert_eq!(curve.points.len(), 9);
+        assert!(curve.is_monotone());
+        assert_eq!(curve.time_at(Rat::int(2)), Some(Rat::ZERO));
+    }
+
+    #[test]
+    fn rule_with_no_t_targets_answers_in_preprocessing() {
+        let (_, stats) = two_reach_rule_and_stats();
+        let rule = RuleShape::new(3, vec![vars![1, 3]], vec![]);
+        assert_eq!(
+            time_exponent_at(&rule, &stats, Rat::ZERO, Rat::ZERO),
+            Some(Rat::ZERO)
+        );
+    }
+
+    #[test]
+    fn symbolic_display() {
+        let t = SymbolicTradeoff::new(1, 2, 2, 2);
+        assert_eq!(format!("{t}"), "S·T^2 ≾ |D|^2·|Q|^2");
+        let t = SymbolicTradeoff {
+            s_exp: rat(3, 2),
+            t_exp: Rat::ONE,
+            d_exp: Rat::int(3),
+            q_exp: Rat::ZERO,
+        };
+        assert_eq!(format!("{t}"), "S^3/2·T ≾ |D|^3");
+    }
+}

@@ -1,0 +1,26 @@
+//! # cqap-panda
+//!
+//! The framework layer of the paper (Sections 4 and 5):
+//!
+//! * [`rules`] — generation of the 2-phase disjunctive rules induced by a
+//!   set of PMTDs (Section 4.2): one rule per choice of one view from every
+//!   PMTD, deduplicated, with the paper's "discard rules with strictly more
+//!   targets" pruning (Observation E.1).
+//! * [`driver`] — an executable instantiation of the general framework: a
+//!   [`driver::CqapIndex`] materializes the S-views of a PMTD set during a
+//!   preprocessing phase and answers access requests with Online Yannakakis
+//!   per PMTD, unioning the per-PMTD results (Section 4.3). It is the
+//!   reference "framework engine" the specialized index structures in
+//!   `cqap-indexes` are benchmarked against.
+//! * [`analysis`] — the analytic reproduction entry points: Table 1
+//!   (2-phase disjunctive rules for 3-reachability with their verified
+//!   tradeoffs), the combined tradeoff curves of Figures 4a and 4b, and the
+//!   prior-state-of-the-art baselines they are compared against.
+
+pub mod analysis;
+pub mod driver;
+pub mod rules;
+
+pub use analysis::{figure4a_curve, figure4b_curve, goldstein_baseline, table1_3reach, RuleReport};
+pub use driver::CqapIndex;
+pub use rules::{generate_rules, prune_rules, rule_of_choice, TwoPhaseRule};

@@ -1,0 +1,29 @@
+//! # cqap-query
+//!
+//! Conjunctive queries with access patterns (CQAPs) and everything needed to
+//! describe them:
+//!
+//! * [`Hypergraph`] — the query hypergraph `H = ([n], E)`.
+//! * [`Atom`] / [`ConjunctiveQuery`] — a CQ `φ(x_H) ← ⋀_F R_F(x_F)`.
+//! * [`Cqap`] — a CQ with an access pattern `φ(x_H | x_A)` (Definition 2.1)
+//!   and the *access CQ* obtained by conjoining an access request `Q_A`.
+//! * [`FractionalEdgeCover`] — fractional edge covers and their *slack*
+//!   `α(u, A)` (Section 6.2).
+//! * [`families`] — constructors for every query family used in the paper:
+//!   k-reachability / k-path, k-set disjointness and intersection, the
+//!   triangle and square queries, and the Boolean hierarchical query of
+//!   Appendix F.
+//! * [`workload`] — synthetic data generators (random graphs, skewed graphs,
+//!   set families, access-request streams) for the empirical reproduction.
+
+pub mod cover;
+pub mod cq;
+pub mod cqap;
+pub mod families;
+pub mod hypergraph;
+pub mod workload;
+
+pub use cover::FractionalEdgeCover;
+pub use cq::{Atom, ConjunctiveQuery};
+pub use cqap::{AccessRequest, Cqap};
+pub use hypergraph::Hypergraph;

@@ -1,0 +1,300 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates analytically; for the empirical reproduction we need
+//! inputs that exercise the same regimes:
+//!
+//! * random directed graphs (uniform edge endpoints) — the "typical" case;
+//! * skewed graphs with a controlled number of heavy vertices — the inputs
+//!   that make the heavy/light split strategies matter (without skew every
+//!   vertex is light and the baseline looks as good as the tradeoff
+//!   structure);
+//! * set families with Zipf-like set sizes for k-set disjointness;
+//! * streams of access requests drawn from the realized join keys, so online
+//!   probes actually hit non-empty results a controllable fraction of the
+//!   time.
+//!
+//! All generators are deterministic given their seed.
+
+use cqap_common::{Tuple, Val, Var, VarSet};
+use cqap_relation::{Database, Relation};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic directed graph stored as an edge list.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of vertices (ids are `0..num_vertices`).
+    pub num_vertices: usize,
+    /// Directed edges.
+    pub edges: Vec<(Val, Val)>,
+}
+
+impl Graph {
+    /// Uniform random directed graph with `num_edges` distinct edges over
+    /// `num_vertices` vertices.
+    pub fn random(num_vertices: usize, num_edges: usize, seed: u64) -> Self {
+        assert!(num_vertices >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = cqap_common::FxHashSet::default();
+        let mut edges = Vec::with_capacity(num_edges);
+        let max_possible = num_vertices * (num_vertices - 1);
+        let target = num_edges.min(max_possible);
+        while edges.len() < target {
+            let u = rng.random_range(0..num_vertices) as Val;
+            let v = rng.random_range(0..num_vertices) as Val;
+            if u != v && seen.insert((u, v)) {
+                edges.push((u, v));
+            }
+        }
+        Graph {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Skewed graph: `num_heavy` designated hub vertices receive
+    /// `heavy_degree` outgoing edges each; the remaining edges are uniform.
+    /// This produces the degree profile under which the paper's heavy/light
+    /// materialization strategies differ measurably from the baselines.
+    pub fn skewed(
+        num_vertices: usize,
+        num_edges: usize,
+        num_heavy: usize,
+        heavy_degree: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_vertices >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = cqap_common::FxHashSet::default();
+        let mut edges = Vec::with_capacity(num_edges);
+        'outer: for h in 0..num_heavy {
+            let hub = h as Val;
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < heavy_degree {
+                if edges.len() >= num_edges {
+                    break 'outer;
+                }
+                attempts += 1;
+                if attempts > 10 * heavy_degree + 100 {
+                    break;
+                }
+                let v = rng.random_range(0..num_vertices) as Val;
+                if v != hub && seen.insert((hub, v)) {
+                    edges.push((hub, v));
+                    added += 1;
+                }
+            }
+        }
+        while edges.len() < num_edges {
+            let u = rng.random_range(0..num_vertices) as Val;
+            let v = rng.random_range(0..num_vertices) as Val;
+            if u != v && seen.insert((u, v)) {
+                edges.push((u, v));
+            }
+        }
+        Graph {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Loads the graph as a binary relation over variables `(a, b)`.
+    pub fn as_relation(&self, name: &str, a: Var, b: Var) -> Relation {
+        Relation::binary(name, a, b, self.edges.iter().copied())
+    }
+
+    /// Builds the database for the k-path query with distinct relation names
+    /// `R1..Rk`, all loaded with this graph's edges over consecutive
+    /// variables.
+    pub fn as_path_database(&self, k: usize) -> Database {
+        let mut db = Database::new();
+        for i in 0..k {
+            db.add_relation(self.as_relation(&format!("R{}", i + 1), i, i + 1))
+                .expect("unique names");
+        }
+        db
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// A synthetic family of sets over a universe, for k-set disjointness.
+#[derive(Clone, Debug)]
+pub struct SetFamily {
+    /// Number of sets (ids `0..num_sets`).
+    pub num_sets: usize,
+    /// Universe size (element ids `0..universe`).
+    pub universe: usize,
+    /// Membership pairs `(element, set)`.
+    pub memberships: Vec<(Val, Val)>,
+}
+
+impl SetFamily {
+    /// Generates a family in which set `s` has size roughly
+    /// `max_size / (s+1)^skew` (Zipf-like): a few large sets and many small
+    /// ones. `skew = 0` gives equal sizes.
+    pub fn zipf(num_sets: usize, universe: usize, max_size: usize, skew: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut memberships = Vec::new();
+        let mut seen = cqap_common::FxHashSet::default();
+        for s in 0..num_sets {
+            let size = ((max_size as f64 / ((s + 1) as f64).powf(skew)).ceil() as usize)
+                .clamp(1, universe);
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < size && attempts < 10 * size + 100 {
+                attempts += 1;
+                let e = rng.random_range(0..universe) as Val;
+                if seen.insert((e, s as Val)) {
+                    memberships.push((e, s as Val));
+                    added += 1;
+                }
+            }
+        }
+        SetFamily {
+            num_sets,
+            universe,
+            memberships,
+        }
+    }
+
+    /// Loads the family as the binary relation `R(y, x)` ("element y belongs
+    /// to set x") over variables `(y, x)`.
+    pub fn as_relation(&self, name: &str, y: Var, x: Var) -> Relation {
+        Relation::binary(name, y, x, self.memberships.iter().copied())
+    }
+
+    /// Total number of membership pairs `N`.
+    pub fn len(&self) -> usize {
+        self.memberships.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.memberships.is_empty()
+    }
+}
+
+/// Generates `n` access-request keys for a query whose access variables are
+/// endpoints of the data graph: half the keys are sampled from the realized
+/// edge endpoints (likely to have answers), half are uniform (likely empty).
+pub fn graph_pair_requests(graph: &Graph, n: usize, seed: u64) -> Vec<(Val, Val)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if i % 2 == 0 && !graph.edges.is_empty() {
+            let &(u, _) = graph.edges.choose(&mut rng).expect("non-empty");
+            let &(_, v) = graph.edges.choose(&mut rng).expect("non-empty");
+            out.push((u, v));
+        } else {
+            out.push((
+                rng.random_range(0..graph.num_vertices) as Val,
+                rng.random_range(0..graph.num_vertices) as Val,
+            ));
+        }
+    }
+    out
+}
+
+/// Generates `n` k-tuples of set ids as access requests for k-set
+/// disjointness.
+pub fn set_tuple_requests(family: &SetFamily, k: usize, n: usize, seed: u64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let vals: Vec<Val> = (0..k)
+                .map(|_| rng.random_range(0..family.num_sets) as Val)
+                .collect();
+            Tuple::from_slice(&vals)
+        })
+        .collect()
+}
+
+/// Convenience: the access [`VarSet`] consisting of the first and last
+/// variable of a k-path query.
+pub fn path_endpoints(k: usize) -> VarSet {
+    VarSet::from_iter([0, k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_deterministic_and_distinct() {
+        let g1 = Graph::random(100, 500, 7);
+        let g2 = Graph::random(100, 500, 7);
+        assert_eq!(g1.edges, g2.edges);
+        assert_eq!(g1.len(), 500);
+        let set: cqap_common::FxHashSet<_> = g1.edges.iter().collect();
+        assert_eq!(set.len(), 500);
+        assert!(g1.edges.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn random_graph_caps_at_max_edges() {
+        let g = Graph::random(3, 100, 1);
+        assert_eq!(g.len(), 6); // 3 * 2 possible directed edges
+    }
+
+    #[test]
+    fn skewed_graph_has_hubs() {
+        let g = Graph::skewed(1000, 2000, 5, 200, 11);
+        assert_eq!(g.len(), 2000);
+        let r = g.as_relation("R", 0, 1);
+        let deg = r
+            .max_degree(VarSet::singleton(0), VarSet::from_iter([0, 1]))
+            .unwrap();
+        assert!(deg >= 150, "expected a hub with high degree, got {deg}");
+    }
+
+    #[test]
+    fn path_database() {
+        let g = Graph::random(50, 200, 3);
+        let db = g.as_path_database(3);
+        assert_eq!(db.num_relations(), 3);
+        assert_eq!(db.size(), 200);
+        assert!(db.relation("R2").is_some());
+        assert_eq!(db.relation("R2").unwrap().schema().vars(), &[1, 2]);
+    }
+
+    #[test]
+    fn zipf_family_skew() {
+        let f = SetFamily::zipf(50, 10_000, 1000, 1.0, 5);
+        let r = f.as_relation("R", 4, 0);
+        // Set 0 should be much larger than set 49.
+        let idx = cqap_relation::HashIndex::build(&r, VarSet::singleton(0)).unwrap();
+        let d0 = idx.degree(&Tuple::unary(0));
+        let d49 = idx.degree(&Tuple::unary(49));
+        assert!(d0 > 5 * d49.max(1), "d0={d0}, d49={d49}");
+    }
+
+    #[test]
+    fn requests() {
+        let g = Graph::random(100, 300, 9);
+        let reqs = graph_pair_requests(&g, 64, 1);
+        assert_eq!(reqs.len(), 64);
+        let f = SetFamily::zipf(10, 100, 20, 0.5, 2);
+        let ts = set_tuple_requests(&f, 3, 16, 4);
+        assert_eq!(ts.len(), 16);
+        assert!(ts.iter().all(|t| t.arity() == 3));
+        assert!(ts
+            .iter()
+            .all(|t| t.as_slice().iter().all(|&v| (v as usize) < f.num_sets)));
+    }
+
+    #[test]
+    fn endpoints_helper() {
+        assert_eq!(path_endpoints(3), VarSet::from_iter([0, 3]));
+    }
+}

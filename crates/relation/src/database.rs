@@ -1,0 +1,166 @@
+//! Databases: named collections of relations plus the degree constraints
+//! they guard.
+
+use crate::constraints::ConstraintSet;
+use crate::relation::Relation;
+use cqap_common::{CqapError, Result};
+use std::fmt;
+
+/// A database instance `D`: the input relations of a CQAP, together with the
+/// degree constraints `DC` they guard (Section 2.2).
+///
+/// The paper defines `|D|` as the *maximum* relation size; [`Database::size`]
+/// follows that convention, while [`Database::total_tuples`] reports the sum
+/// (useful for space accounting in benches).
+#[derive(Clone, Default)]
+pub struct Database {
+    relations: Vec<Relation>,
+    constraints: ConstraintSet,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds a relation. Relation names must be unique.
+    ///
+    /// # Errors
+    /// Returns an error if a relation with the same name already exists.
+    pub fn add_relation(&mut self, rel: Relation) -> Result<()> {
+        if self.relation(rel.name()).is_some() {
+            return Err(CqapError::InvalidQuery(format!(
+                "duplicate relation name {}",
+                rel.name()
+            )));
+        }
+        // Maintain the paper's assumption that DC always contains the
+        // cardinality constraint (∅, F, |R_F|) for every relation.
+        self.constraints
+            .add_cardinality(rel.varset(), rel.len() as u64);
+        self.relations.push(rel);
+        Ok(())
+    }
+
+    /// Adds a relation and infers *all* of its degree constraints (not just
+    /// the cardinality constraint). Inference is quadratic in the number of
+    /// subsets of the relation's variables, so this is intended for the
+    /// small-arity relations of the paper's workloads.
+    pub fn add_relation_with_stats(&mut self, rel: Relation) -> Result<()> {
+        let inferred = ConstraintSet::infer_from(&rel)?;
+        self.constraints.merge(&inferred);
+        self.add_relation(rel)
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.iter().find(|r| r.name() == name)
+    }
+
+    /// Looks up a relation by name, returning an error when absent.
+    pub fn relation_or_err(&self, name: &str) -> Result<&Relation> {
+        self.relation(name)
+            .ok_or_else(|| CqapError::Other(format!("relation {name} not found")))
+    }
+
+    /// All relations.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The degree constraints guarded by this database.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Adds an externally known degree constraint (the caller asserts it is
+    /// guarded by one of the relations).
+    pub fn add_constraint(&mut self, c: crate::constraints::DegreeConstraint) {
+        self.constraints.add(c);
+    }
+
+    /// `|D|`: the maximum relation size (the paper's database-size measure).
+    pub fn size(&self) -> usize {
+        self.relations.iter().map(Relation::len).max().unwrap_or(0)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Total number of stored values across all relations (arity-weighted).
+    pub fn stored_values(&self) -> usize {
+        self.relations.iter().map(Relation::stored_values).sum()
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Database (|D| = {}):", self.size())?;
+        for r in &self.relations {
+            writeln!(f, "  {r:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_common::vars;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut db = Database::new();
+        db.add_relation(Relation::binary("R", 0, 1, [(1, 2), (2, 3)]))
+            .unwrap();
+        db.add_relation(Relation::binary("S", 1, 2, [(2, 3)]))
+            .unwrap();
+        assert_eq!(db.num_relations(), 2);
+        assert!(db.relation("R").is_some());
+        assert!(db.relation("T").is_none());
+        assert!(db.relation_or_err("T").is_err());
+        assert_eq!(db.size(), 2);
+        assert_eq!(db.total_tuples(), 3);
+        assert_eq!(db.stored_values(), 6);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut db = Database::new();
+        db.add_relation(Relation::binary("R", 0, 1, [(1, 2)]))
+            .unwrap();
+        assert!(db
+            .add_relation(Relation::binary("R", 1, 2, [(1, 2)]))
+            .is_err());
+    }
+
+    #[test]
+    fn cardinality_constraints_always_present() {
+        let mut db = Database::new();
+        db.add_relation(Relation::binary("R", 0, 1, [(1, 2), (2, 3), (3, 4)]))
+            .unwrap();
+        assert_eq!(db.constraints().cardinality_of(vars![1, 2]), Some(3));
+    }
+
+    #[test]
+    fn stats_inference() {
+        let mut db = Database::new();
+        db.add_relation_with_stats(Relation::binary(
+            "R",
+            0,
+            1,
+            [(1, 10), (1, 11), (1, 12), (2, 10)],
+        ))
+        .unwrap();
+        assert_eq!(db.constraints().bound(vars![1], vars![1, 2]), Some(3));
+        assert_eq!(db.constraints().bound(vars![2], vars![1, 2]), Some(2));
+    }
+}

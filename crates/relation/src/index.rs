@@ -1,0 +1,174 @@
+//! Hash indexes over relations.
+//!
+//! A [`HashIndex`] groups the tuples of a relation by their projection onto
+//! a *key* set of variables. Probing with a key tuple is O(1) and returns
+//! the matching tuples; the index also exposes per-key degree information,
+//! which the heavy/light split steps and the specialized application indexes
+//! rely on.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use cqap_common::{FxHashMap, Result, Tuple, VarSet};
+
+/// A hash index of a relation on a key subset of its variables.
+#[derive(Clone, Debug)]
+pub struct HashIndex {
+    key_vars: VarSet,
+    schema: Schema,
+    /// Maps a key-projection tuple to the full tuples sharing that key.
+    buckets: FxHashMap<Tuple, Vec<Tuple>>,
+    entries: usize,
+}
+
+impl HashIndex {
+    /// Builds an index of `rel` on `key_vars` (which must be a subset of the
+    /// relation's variables).
+    ///
+    /// Key tuples use ascending variable order, matching
+    /// [`Schema::positions_of_set`].
+    pub fn build(rel: &Relation, key_vars: VarSet) -> Result<Self> {
+        let key_positions = rel.schema().positions_of_set(key_vars)?;
+        let mut buckets: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+        for t in rel.iter() {
+            buckets
+                .entry(t.project(&key_positions))
+                .or_default()
+                .push(t.clone());
+        }
+        Ok(HashIndex {
+            key_vars,
+            schema: rel.schema().clone(),
+            entries: rel.len(),
+            buckets,
+        })
+    }
+
+    /// The key variables.
+    #[inline]
+    pub fn key_vars(&self) -> VarSet {
+        self.key_vars
+    }
+
+    /// The schema of the indexed tuples.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of distinct keys.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total number of indexed tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// The tuples matching a key, or an empty slice.
+    #[inline]
+    pub fn probe(&self, key: &Tuple) -> &[Tuple] {
+        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether any tuple matches the key (a semijoin probe).
+    #[inline]
+    pub fn contains_key(&self, key: &Tuple) -> bool {
+        self.buckets.contains_key(key)
+    }
+
+    /// The degree of a key (number of matching tuples).
+    #[inline]
+    pub fn degree(&self, key: &Tuple) -> usize {
+        self.buckets.get(key).map(Vec::len).unwrap_or(0)
+    }
+
+    /// The maximum degree over all keys.
+    pub fn max_degree(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(key, tuples)` groups.
+    pub fn groups(&self) -> impl Iterator<Item = (&Tuple, &[Tuple])> {
+        self.buckets.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Machine-independent space measure: number of stored values across all
+    /// buckets (keys are not double counted since the tuples embed them).
+    pub fn stored_values(&self) -> usize {
+        self.entries * self.schema.arity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_common::vars;
+
+    fn sample() -> Relation {
+        Relation::binary("R", 0, 1, [(1, 10), (1, 11), (2, 10), (3, 30), (3, 31)])
+    }
+
+    #[test]
+    fn build_and_probe() {
+        let r = sample();
+        let idx = HashIndex::build(&r, vars![1]).unwrap();
+        assert_eq!(idx.num_keys(), 3);
+        assert_eq!(idx.len(), 5);
+        let hits = idx.probe(&Tuple::unary(1));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&Tuple::pair(1, 10)));
+        assert!(hits.contains(&Tuple::pair(1, 11)));
+        assert!(idx.probe(&Tuple::unary(9)).is_empty());
+        assert!(idx.contains_key(&Tuple::unary(2)));
+        assert!(!idx.contains_key(&Tuple::unary(9)));
+    }
+
+    #[test]
+    fn degrees() {
+        let r = sample();
+        let idx = HashIndex::build(&r, vars![1]).unwrap();
+        assert_eq!(idx.degree(&Tuple::unary(1)), 2);
+        assert_eq!(idx.degree(&Tuple::unary(2)), 1);
+        assert_eq!(idx.degree(&Tuple::unary(99)), 0);
+        assert_eq!(idx.max_degree(), 2);
+    }
+
+    #[test]
+    fn index_on_second_column() {
+        let r = sample();
+        let idx = HashIndex::build(&r, vars![2]).unwrap();
+        assert_eq!(idx.num_keys(), 4);
+        assert_eq!(idx.degree(&Tuple::unary(10)), 2);
+    }
+
+    #[test]
+    fn index_on_full_key() {
+        let r = sample();
+        let idx = HashIndex::build(&r, vars![1, 2]).unwrap();
+        assert_eq!(idx.num_keys(), 5);
+        assert_eq!(idx.max_degree(), 1);
+        assert!(idx.contains_key(&Tuple::pair(3, 31)));
+    }
+
+    #[test]
+    fn unknown_key_var_is_error() {
+        let r = sample();
+        assert!(HashIndex::build(&r, vars![7]).is_err());
+    }
+
+    #[test]
+    fn stored_values() {
+        let r = sample();
+        let idx = HashIndex::build(&r, vars![1]).unwrap();
+        assert_eq!(idx.stored_values(), 10);
+    }
+}

@@ -1,0 +1,35 @@
+//! # cqap-relation
+//!
+//! The storage and relational-operator substrate used by every algorithm in
+//! the workspace:
+//!
+//! * [`Schema`] — an ordered list of query variables naming the columns of a
+//!   relation.
+//! * [`Relation`] — an in-memory set of [`Tuple`](cqap_common::Tuple)s with a
+//!   schema, plus the relational operators the paper's algorithms need
+//!   (projection, selection, natural join, semijoin, union, distinct).
+//! * [`HashIndex`] — a hash index over a key subset of a relation's
+//!   variables; the building block for the S-view probing of Online
+//!   Yannakakis (probes are O(1) and never enumerate the indexed relation).
+//! * [`Database`] — a named collection of relations guarded by a set of
+//!   degree constraints.
+//! * [`DegreeConstraint`] / [`ConstraintSet`] — the statistics `N_{Y|X}`
+//!   from Section 2 of the paper, including the *best constraint
+//!   assumption*.
+//! * [`split`] — heavy/light partitioning of a relation on a `(Y|X)` pair,
+//!   the "split step" of the 2PP algorithm (Appendix C.2).
+
+pub mod constraints;
+pub mod database;
+pub mod index;
+pub mod ops;
+pub mod relation;
+pub mod schema;
+pub mod split;
+
+pub use constraints::{ConstraintSet, DegreeConstraint};
+pub use database::Database;
+pub use index::HashIndex;
+pub use relation::Relation;
+pub use schema::Schema;
+pub use split::{split_heavy_light, HeavyLightSplit};

@@ -1,0 +1,311 @@
+//! Relational operators: projection, selection, natural join, semijoin,
+//! antijoin, union, intersection.
+//!
+//! These are the operators that proof-sequence steps compile into (Section 5
+//! of the paper): a composition step is a join, a decomposition step is a
+//! projection, and the Online Yannakakis passes are built from semijoins and
+//! joins. All binary operators are hash-based and run in time linear in
+//! their input plus output (up to hashing).
+
+use crate::index::HashIndex;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use cqap_common::{FxHashSet, Result, Tuple, Val, Var, VarSet};
+
+impl Relation {
+    /// π_vars(R): projection onto `vars` (deduplicating).
+    pub fn project_onto(&self, vars: VarSet) -> Result<Relation> {
+        let keep = vars.intersect(self.varset());
+        let positions = self.schema().positions_of_set(keep)?;
+        let schema = Schema::of(keep.iter());
+        let mut out = Relation::new(format!("π{}({})", schema, self.name()), schema);
+        for t in self.iter() {
+            out.insert(t.project(&positions))?;
+        }
+        Ok(out)
+    }
+
+    /// σ_{v = val}(R): selection of tuples whose value for `v` equals `val`.
+    pub fn select_eq(&self, v: Var, val: Val) -> Result<Relation> {
+        let pos = self
+            .schema()
+            .position(v)
+            .ok_or_else(|| cqap_common::CqapError::UnknownVariable(format!("x{}", v + 1)))?;
+        let mut out = Relation::new(
+            format!("σ_x{}={}({})", v + 1, val, self.name()),
+            self.schema().clone(),
+        );
+        for t in self.iter() {
+            if t.get(pos) == val {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Natural join `R ⋈ S` on the common variables.
+    ///
+    /// The output schema is `R`'s columns followed by `S`'s non-shared
+    /// columns. Implemented as a hash join with the smaller input on the
+    /// build side.
+    pub fn join(&self, other: &Relation) -> Result<Relation> {
+        // Build on the smaller relation.
+        if other.len() < self.len() {
+            let swapped = other.join_impl(self)?;
+            // Reorder columns to keep the documented column order
+            // (self's columns first).
+            let target = self.schema().join(other.schema());
+            return swapped.reorder(&target);
+        }
+        self.join_impl(other)
+    }
+
+    fn join_impl(&self, other: &Relation) -> Result<Relation> {
+        let shared = self.varset().intersect(other.varset());
+        let out_schema = self.schema().join(other.schema());
+        let mut out = Relation::new(
+            format!("({} ⋈ {})", self.name(), other.name()),
+            out_schema.clone(),
+        );
+
+        // Positions of the shared variables in each input (ascending order).
+        let left_key = self.schema().positions_of_set(shared)?;
+        let index = HashIndex::build(other, shared)?;
+        // Positions (in `other`) of the columns appended to the output.
+        let appended: Vec<usize> = out_schema.vars()[self.schema().arity()..]
+            .iter()
+            .map(|&v| other.schema().position(v).expect("appended var"))
+            .collect();
+
+        for lt in self.iter() {
+            let key = lt.project(&left_key);
+            for rt in index.probe(&key) {
+                let extra = rt.project(&appended);
+                out.insert(lt.concat(&extra))?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reorders columns to match `target` (which must contain exactly the
+    /// same variable set).
+    pub fn reorder(&self, target: &Schema) -> Result<Relation> {
+        if target.varset() != self.varset() {
+            return Err(cqap_common::CqapError::SchemaMismatch {
+                expected: format!("{target}"),
+                found: format!("{}", self.schema()),
+            });
+        }
+        let positions = self.schema().positions_of(target.vars())?;
+        let mut out = Relation::new(self.name().to_string(), target.clone());
+        for t in self.iter() {
+            out.insert(t.project(&positions))?;
+        }
+        Ok(out)
+    }
+
+    /// Semijoin `R ⋉ S`: tuples of `R` that join with at least one tuple of
+    /// `S` on the shared variables. Runs in `O(|R| + |S|)`.
+    pub fn semijoin(&self, other: &Relation) -> Result<Relation> {
+        let shared = self.varset().intersect(other.varset());
+        let other_keys: FxHashSet<Tuple> = {
+            let positions = other.schema().positions_of_set(shared)?;
+            other.iter().map(|t| t.project(&positions)).collect()
+        };
+        let left_key = self.schema().positions_of_set(shared)?;
+        let mut out = Relation::new(
+            format!("({} ⋉ {})", self.name(), other.name()),
+            self.schema().clone(),
+        );
+        for t in self.iter() {
+            if other_keys.contains(&t.project(&left_key)) {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Antijoin `R ▷ S`: tuples of `R` that join with *no* tuple of `S`.
+    pub fn antijoin(&self, other: &Relation) -> Result<Relation> {
+        let shared = self.varset().intersect(other.varset());
+        let other_keys: FxHashSet<Tuple> = {
+            let positions = other.schema().positions_of_set(shared)?;
+            other.iter().map(|t| t.project(&positions)).collect()
+        };
+        let left_key = self.schema().positions_of_set(shared)?;
+        let mut out = Relation::new(
+            format!("({} ▷ {})", self.name(), other.name()),
+            self.schema().clone(),
+        );
+        for t in self.iter() {
+            if !other_keys.contains(&t.project(&left_key)) {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Union of two relations over the same variable set (columns are
+    /// reordered if necessary).
+    pub fn union(&self, other: &Relation) -> Result<Relation> {
+        let mut out = self.clone();
+        let other = if other.schema() == self.schema() {
+            other.clone()
+        } else {
+            other.reorder(self.schema())?
+        };
+        for t in other.iter() {
+            out.insert(t.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Intersection of two relations over the same variable set.
+    pub fn intersect_rel(&self, other: &Relation) -> Result<Relation> {
+        let other = if other.schema() == self.schema() {
+            other.clone()
+        } else {
+            other.reorder(self.schema())?
+        };
+        let mut out = Relation::new(
+            format!("({} ∩ {})", self.name(), other.name()),
+            self.schema().clone(),
+        );
+        for t in self.iter() {
+            if other.contains(t) {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Cartesian product (join with no shared variables); provided for
+    /// completeness and used by a handful of tests.
+    pub fn cross(&self, other: &Relation) -> Result<Relation> {
+        debug_assert!(self.varset().is_disjoint(other.varset()));
+        self.join(other)
+    }
+}
+
+/// Joins an ordered sequence of relations left to right.
+pub fn join_all(relations: &[Relation]) -> Result<Relation> {
+    assert!(!relations.is_empty(), "join_all of empty sequence");
+    let mut acc = relations[0].clone();
+    for r in &relations[1..] {
+        acc = acc.join(r)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_common::vars;
+
+    fn rel(name: &str, a: Var, b: Var, pairs: &[(u64, u64)]) -> Relation {
+        Relation::binary(name, a, b, pairs.iter().copied())
+    }
+
+    #[test]
+    fn projection() {
+        let r = rel("R", 0, 1, &[(1, 10), (1, 11), (2, 10)]);
+        let p = r.project_onto(vars![1]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&Tuple::unary(1)));
+        assert!(p.contains(&Tuple::unary(2)));
+        // Projecting on a variable not in the schema keeps only the overlap.
+        let q = r.project_onto(vars![2, 5]).unwrap();
+        assert_eq!(q.schema().vars(), &[1]);
+    }
+
+    #[test]
+    fn selection() {
+        let r = rel("R", 0, 1, &[(1, 10), (2, 20)]);
+        let s = r.select_eq(0, 1).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Tuple::pair(1, 10)));
+        assert!(r.select_eq(5, 1).is_err());
+    }
+
+    #[test]
+    fn hash_join_path() {
+        // R(x1,x2) ⋈ S(x2,x3): the classic 2-path.
+        let r = rel("R", 0, 1, &[(1, 10), (2, 10), (3, 30)]);
+        let s = rel("S", 1, 2, &[(10, 100), (10, 101), (30, 300)]);
+        let j = r.join(&s).unwrap();
+        assert_eq!(j.schema().vars(), &[0, 1, 2]);
+        assert_eq!(j.len(), 5);
+        assert!(j.contains(&Tuple::triple(1, 10, 100)));
+        assert!(j.contains(&Tuple::triple(2, 10, 101)));
+        assert!(j.contains(&Tuple::triple(3, 30, 300)));
+        assert!(!j.contains(&Tuple::triple(3, 30, 100)));
+    }
+
+    #[test]
+    fn join_is_symmetric_in_content() {
+        let r = rel("R", 0, 1, &[(1, 10), (2, 10), (3, 30), (4, 40)]);
+        let s = rel("S", 1, 2, &[(10, 100), (30, 300)]);
+        let j1 = r.join(&s).unwrap();
+        let j2 = s.join(&r).unwrap().reorder(j1.schema()).unwrap();
+        assert_eq!(j1, j2);
+    }
+
+    #[test]
+    fn join_no_shared_vars_is_cross_product() {
+        let r = rel("R", 0, 1, &[(1, 2), (3, 4)]);
+        let s = rel("S", 2, 3, &[(5, 6)]);
+        let j = r.join(&s).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.schema().arity(), 4);
+    }
+
+    #[test]
+    fn semijoin_and_antijoin_partition() {
+        let r = rel("R", 0, 1, &[(1, 10), (2, 20), (3, 30)]);
+        let s = rel("S", 1, 2, &[(10, 100), (30, 300)]);
+        let semi = r.semijoin(&s).unwrap();
+        let anti = r.antijoin(&s).unwrap();
+        assert_eq!(semi.len(), 2);
+        assert_eq!(anti.len(), 1);
+        assert!(anti.contains(&Tuple::pair(2, 20)));
+        // semijoin ∪ antijoin = R
+        assert_eq!(semi.union(&anti).unwrap(), r);
+    }
+
+    #[test]
+    fn union_reorders_columns() {
+        let r = rel("R", 0, 1, &[(1, 10)]);
+        let mut s = Relation::new("S", Schema::of([1, 0]));
+        s.insert(Tuple::pair(20, 2)).unwrap();
+        let u = r.union(&s).unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(&Tuple::pair(2, 20)));
+    }
+
+    #[test]
+    fn intersection() {
+        let r = rel("R", 0, 1, &[(1, 10), (2, 20)]);
+        let s = rel("S", 0, 1, &[(2, 20), (3, 30)]);
+        let i = r.intersect_rel(&s).unwrap();
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&Tuple::pair(2, 20)));
+    }
+
+    #[test]
+    fn join_all_three_path() {
+        let r1 = rel("R1", 0, 1, &[(1, 2), (5, 6)]);
+        let r2 = rel("R2", 1, 2, &[(2, 3)]);
+        let r3 = rel("R3", 2, 3, &[(3, 4)]);
+        let j = join_all(&[r1, r2, r3]).unwrap();
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&Tuple::from_slice(&[1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn reorder_validates_varset() {
+        let r = rel("R", 0, 1, &[(1, 2)]);
+        assert!(r.reorder(&Schema::of([1, 2])).is_err());
+        let ok = r.reorder(&Schema::of([1, 0])).unwrap();
+        assert!(ok.contains(&Tuple::pair(2, 1)));
+    }
+}

@@ -1,0 +1,280 @@
+//! In-memory relations (sets of tuples with a schema).
+
+use crate::schema::Schema;
+use cqap_common::{CqapError, FxHashSet, Result, Tuple, Val, Var, VarSet};
+use std::fmt;
+
+/// An in-memory relation: a set of tuples over a [`Schema`].
+///
+/// Relations are *set-semantics*: [`Relation::insert`] deduplicates. The
+/// paper's size measures (`|R|`, degree constraints) are all defined over
+/// set semantics.
+#[derive(Clone)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    seen: FxHashSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Relation {
+            name: name.into(),
+            schema,
+            tuples: Vec::new(),
+            seen: FxHashSet::default(),
+        }
+    }
+
+    /// Creates a relation and bulk-loads tuples (deduplicating).
+    pub fn from_tuples(
+        name: impl Into<String>,
+        schema: Schema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self> {
+        let mut r = Relation::new(name, schema);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// Convenience constructor for a binary relation over variables `(a, b)`
+    /// loaded from `(Val, Val)` pairs — the common case for the paper's
+    /// graph workloads.
+    pub fn binary(
+        name: impl Into<String>,
+        a: Var,
+        b: Var,
+        pairs: impl IntoIterator<Item = (Val, Val)>,
+    ) -> Self {
+        let mut r = Relation::new(name, Schema::of([a, b]));
+        for (x, y) in pairs {
+            r.insert(Tuple::pair(x, y)).expect("binary tuple");
+        }
+        r
+    }
+
+    /// The relation's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the relation.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The variables of the relation as a set.
+    #[inline]
+    pub fn varset(&self) -> VarSet {
+        self.schema.varset()
+    }
+
+    /// Number of (distinct) tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples as a slice.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Inserts a tuple, ignoring duplicates.
+    ///
+    /// # Errors
+    /// Returns an error if the tuple arity does not match the schema.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
+        if t.arity() != self.schema.arity() {
+            return Err(CqapError::SchemaMismatch {
+                expected: format!("{} (arity {})", self.schema, self.schema.arity()),
+                found: format!("tuple of arity {}", t.arity()),
+            });
+        }
+        if self.seen.insert(t.clone()) {
+            self.tuples.push(t);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Whether the relation contains the tuple.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// Returns the tuple values for variable `v` (one per tuple, with
+    /// repetitions).
+    pub fn column(&self, v: Var) -> Result<Vec<Val>> {
+        let pos = self
+            .schema
+            .position(v)
+            .ok_or_else(|| CqapError::UnknownVariable(format!("x{}", v + 1)))?;
+        Ok(self.tuples.iter().map(|t| t.get(pos)).collect())
+    }
+
+    /// Number of distinct values of the projection onto `vars` (a `VarSet`).
+    pub fn distinct_count(&self, vars: VarSet) -> Result<usize> {
+        let positions = self.schema.positions_of_set(vars.intersect(self.varset()))?;
+        let mut set: FxHashSet<Tuple> = FxHashSet::default();
+        for t in &self.tuples {
+            set.insert(t.project(&positions));
+        }
+        Ok(set.len())
+    }
+
+    /// The maximum degree `max_{t_X} deg(Y | t_X)` over the relation, i.e.
+    /// the largest number of distinct `Y`-projections that share one
+    /// `X`-projection value. This is the quantity guarded by a degree
+    /// constraint `(X, Y, N_{Y|X})` in Section 2 of the paper.
+    pub fn max_degree(&self, x: VarSet, y: VarSet) -> Result<usize> {
+        if x.is_empty() {
+            return self.distinct_count(y);
+        }
+        let xpos = self.schema.positions_of_set(x)?;
+        let ypos = self.schema.positions_of_set(y.intersect(self.varset()))?;
+        let mut groups: cqap_common::FxHashMap<Tuple, FxHashSet<Tuple>> =
+            cqap_common::FxHashMap::default();
+        for t in &self.tuples {
+            groups
+                .entry(t.project(&xpos))
+                .or_default()
+                .insert(t.project(&ypos));
+        }
+        Ok(groups.values().map(|s| s.len()).max().unwrap_or(0))
+    }
+
+    /// An estimate of the memory footprint in *stored values* (arity ×
+    /// cardinality). Benches report this as the machine-independent space
+    /// measure.
+    #[inline]
+    pub fn stored_values(&self) -> usize {
+        self.len() * self.schema.arity()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{} [{} tuples]",
+            self.name,
+            self.schema,
+            self.tuples.len()
+        )
+    }
+}
+
+impl PartialEq for Relation {
+    /// Two relations are equal if they have the same schema and the same set
+    /// of tuples (order-insensitive). Names are ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.len() == other.len() && self.seen == other.seen
+    }
+}
+
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(name: &str, pairs: &[(u64, u64)]) -> Relation {
+        Relation::binary(name, 0, 1, pairs.iter().copied())
+    }
+
+    #[test]
+    fn insert_dedup_and_contains() {
+        let mut r = Relation::new("R", Schema::of([0, 1]));
+        assert!(r.insert(Tuple::pair(1, 2)).unwrap());
+        assert!(!r.insert(Tuple::pair(1, 2)).unwrap());
+        assert!(r.insert(Tuple::pair(2, 3)).unwrap());
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&Tuple::pair(1, 2)));
+        assert!(!r.contains(&Tuple::pair(3, 2)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = Relation::new("R", Schema::of([0, 1]));
+        assert!(r.insert(Tuple::triple(1, 2, 3)).is_err());
+    }
+
+    #[test]
+    fn distinct_count_and_degree() {
+        let r = edges("R", &[(1, 10), (1, 11), (1, 12), (2, 10), (3, 10)]);
+        assert_eq!(r.distinct_count(VarSet::singleton(0)).unwrap(), 3);
+        assert_eq!(r.distinct_count(VarSet::singleton(1)).unwrap(), 3);
+        assert_eq!(
+            r.distinct_count(VarSet::from_iter([0, 1])).unwrap(),
+            5
+        );
+        // max out-degree of variable x1 is 3 (vertex 1).
+        assert_eq!(
+            r.max_degree(VarSet::singleton(0), VarSet::from_iter([0, 1]))
+                .unwrap(),
+            3
+        );
+        // max in-degree is 3 (vertex 10).
+        assert_eq!(
+            r.max_degree(VarSet::singleton(1), VarSet::from_iter([0, 1]))
+                .unwrap(),
+            3
+        );
+        // cardinality constraint: X = ∅.
+        assert_eq!(
+            r.max_degree(VarSet::EMPTY, VarSet::from_iter([0, 1])).unwrap(),
+            5
+        );
+    }
+
+    #[test]
+    fn column_extraction() {
+        let r = edges("R", &[(1, 10), (2, 20)]);
+        let mut c = r.column(1).unwrap();
+        c.sort_unstable();
+        assert_eq!(c, vec![10, 20]);
+        assert!(r.column(5).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_name_and_order() {
+        let a = edges("R", &[(1, 2), (3, 4)]);
+        let b = edges("S", &[(3, 4), (1, 2)]);
+        assert_eq!(a, b);
+        let c = edges("R", &[(1, 2)]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stored_values() {
+        let r = edges("R", &[(1, 2), (3, 4), (5, 6)]);
+        assert_eq!(r.stored_values(), 6);
+    }
+}

@@ -1,0 +1,19 @@
+//! # cqap-yannakakis
+//!
+//! Query evaluation over (partially materialized) tree decompositions:
+//!
+//! * [`naive`] — a reference evaluator that joins all atoms of a CQAP with
+//!   the access request and projects onto the head. It is the ground truth
+//!   every other algorithm in the workspace is tested against, and it doubles
+//!   as the "answer from scratch" baseline of the experiments.
+//! * [`online`] — **Online Yannakakis** (Section 3.1 / Appendix A of the
+//!   paper): the two-pass algorithm that answers an access request from a
+//!   PMTD's S-views (materialized, probe-only) and T-views (computed
+//!   online), in time that depends on the T-views and the output but *not*
+//!   on the size of the S-views (Theorem 3.7).
+
+pub mod naive;
+pub mod online;
+
+pub use naive::naive_answer;
+pub use online::{OnlineYannakakis, PreprocessedViews};

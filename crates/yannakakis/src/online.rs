@@ -1,0 +1,515 @@
+//! Online Yannakakis for PMTDs (Section 3.1 / Appendix A).
+//!
+//! The algorithm answers an access request from a PMTD's views in two
+//! passes:
+//!
+//! 1. a **bottom-up semijoin-reduce pass** that removes dangling tuples from
+//!    the T-views and the access request — S-views are only ever *probed*
+//!    (via indexes built once during preprocessing), never scanned, which is
+//!    what makes the online time independent of the S-view sizes
+//!    (Theorem 3.7);
+//! 2. a **top-down join pass** over the reduced tree that assembles the
+//!    output without producing dangling intermediate tuples.
+
+use cqap_common::{CqapError, FxHashMap, Result, Tuple, VarSet};
+use cqap_decomp::{Pmtd, ViewKind};
+use cqap_query::AccessRequest;
+use cqap_relation::{HashIndex, Relation, Schema};
+
+/// The preprocessed (materialized) S-views of a PMTD: each S-view is stored
+/// together with a hash index keyed on its *link* variables — the variables
+/// it shares with its parent (for the root: with the access pattern).
+#[derive(Clone, Debug)]
+pub struct PreprocessedViews {
+    views: Vec<Option<SView>>,
+}
+
+#[derive(Clone, Debug)]
+struct SView {
+    rel: Relation,
+    index: HashIndex,
+    link: VarSet,
+}
+
+impl PreprocessedViews {
+    /// Total number of stored values across all S-views — the
+    /// machine-independent space measure reported by the benchmarks (the
+    /// paper's intrinsic space cost `S`).
+    pub fn stored_values(&self) -> usize {
+        self.views
+            .iter()
+            .flatten()
+            .map(|v| v.rel.stored_values())
+            .sum()
+    }
+
+    /// Number of materialized views.
+    pub fn num_views(&self) -> usize {
+        self.views.iter().flatten().count()
+    }
+
+    /// The materialized relation for a node, if any.
+    pub fn view(&self, node: usize) -> Option<&Relation> {
+        self.views.get(node).and_then(|v| v.as_ref()).map(|v| &v.rel)
+    }
+}
+
+/// Online Yannakakis over one PMTD.
+#[derive(Clone, Debug)]
+pub struct OnlineYannakakis {
+    pmtd: Pmtd,
+}
+
+impl OnlineYannakakis {
+    /// Creates the evaluator for a non-redundant PMTD.
+    pub fn new(pmtd: Pmtd) -> Self {
+        OnlineYannakakis { pmtd }
+    }
+
+    /// The PMTD this evaluator answers from.
+    pub fn pmtd(&self) -> &Pmtd {
+        &self.pmtd
+    }
+
+    /// The link variables of a node: the view variables shared with the
+    /// parent's view (for the root, with the access pattern).
+    fn link(&self, node: usize) -> VarSet {
+        let mine = self.pmtd.view_schema(node);
+        match self.pmtd.td().parent(node) {
+            Some(p) => mine.intersect(self.pmtd.td().bag(p)),
+            None => mine.intersect(self.pmtd.access()),
+        }
+    }
+
+    /// Preprocessing phase: takes the content of every S-view (one relation
+    /// per materialized node, over exactly the view schema `ν(t)`), runs the
+    /// bottom-up semijoin-reduce over SS-edges, and builds one hash index
+    /// per S-view keyed on its link variables.
+    pub fn preprocess(&self, s_views: &[(usize, Relation)]) -> Result<PreprocessedViews> {
+        let td = self.pmtd.td();
+        let mut rels: Vec<Option<Relation>> = vec![None; td.num_nodes()];
+        for (node, rel) in s_views {
+            if !self.pmtd.is_materialized(*node) {
+                return Err(CqapError::InvalidPmtd(format!(
+                    "node {node} is not in the materialization set"
+                )));
+            }
+            let expected = self.pmtd.view_schema(*node);
+            if rel.varset() != expected {
+                return Err(CqapError::SchemaMismatch {
+                    expected: format!("ν({node}) = {expected}"),
+                    found: format!("{}", rel.schema()),
+                });
+            }
+            rels[*node] = Some(rel.clone());
+        }
+        for node in self.pmtd.materialization_set() {
+            if rels[node].is_none() {
+                return Err(CqapError::InvalidPmtd(format!(
+                    "missing S-view for materialized node {node}"
+                )));
+            }
+        }
+        // Bottom-up semijoin-reduce over SS-edges.
+        for t in td.bottom_up_order() {
+            let Some(p) = td.parent(t) else { continue };
+            if self.pmtd.is_materialized(t) && self.pmtd.is_materialized(p) {
+                let child = rels[t].clone().expect("S-view present");
+                let parent = rels[p].take().expect("S-view present");
+                rels[p] = Some(parent.semijoin(&child)?);
+            }
+        }
+        // Index every S-view on its link variables.
+        let mut views = vec![None; td.num_nodes()];
+        for t in 0..td.num_nodes() {
+            if let Some(rel) = rels[t].take() {
+                let link = self.link(t);
+                let index = HashIndex::build(&rel, link)?;
+                views[t] = Some(SView { rel, index, link });
+            }
+        }
+        Ok(PreprocessedViews { views })
+    }
+
+    /// Online phase (Theorem 3.7): answers the access request given the
+    /// T-view contents (one relation per non-materialized node, over exactly
+    /// the view schema `ν(t) = χ(t)`). Returns the result over the head
+    /// variables.
+    pub fn answer(
+        &self,
+        pre: &PreprocessedViews,
+        t_views: &[(usize, Relation)],
+        request: &AccessRequest,
+    ) -> Result<Relation> {
+        let td = self.pmtd.td();
+        let head = self.pmtd.head();
+        if request.access() != self.pmtd.access() {
+            return Err(CqapError::AccessPatternMismatch {
+                expected_arity: self.pmtd.access().len(),
+                found_arity: request.access().len(),
+            });
+        }
+
+        // Load and validate the T-views.
+        let mut t_rel: Vec<Option<Relation>> = vec![None; td.num_nodes()];
+        for (node, rel) in t_views {
+            if self.pmtd.is_materialized(*node) {
+                return Err(CqapError::InvalidPmtd(format!(
+                    "node {node} is materialized; its content belongs to preprocessing"
+                )));
+            }
+            let expected = self.pmtd.view_schema(*node);
+            if rel.varset() != expected {
+                return Err(CqapError::SchemaMismatch {
+                    expected: format!("ν({node}) = {expected}"),
+                    found: format!("{}", rel.schema()),
+                });
+            }
+            t_rel[*node] = Some(rel.clone());
+        }
+        for t in 0..td.num_nodes() {
+            if !self.pmtd.is_materialized(t) && t_rel[t].is_none() {
+                return Err(CqapError::InvalidPmtd(format!(
+                    "missing T-view for node {t}"
+                )));
+            }
+        }
+
+        // Bottom-up semijoin-reduce pass. `kept[t]` records whether the node
+        // still participates in the top-down join pass.
+        let mut kept = vec![true; td.num_nodes()];
+        for t in td.bottom_up_order() {
+            let Some(p) = td.parent(t) else { continue };
+            match (self.pmtd.view(t).kind, self.pmtd.view(p).kind) {
+                // SS-edge: already reduced during preprocessing.
+                (ViewKind::S, ViewKind::S) => {
+                    kept[t] = false;
+                }
+                // ST-edge: probe the S-view's index; the parent T-view keeps
+                // only tuples with a partner. The S-view itself stays for
+                // the top-down pass only if it contributes head variables
+                // not already present in the parent.
+                (ViewKind::S, ViewKind::T) => {
+                    let sview = pre.views[t].as_ref().ok_or_else(|| {
+                        CqapError::InvalidPmtd(format!("S-view {t} was not preprocessed"))
+                    })?;
+                    let parent = t_rel[p].take().expect("T-view present");
+                    t_rel[p] = Some(semijoin_probe(&parent, &sview.index, sview.link)?);
+                    let child_head = self.pmtd.view_schema(t).intersect(head);
+                    if child_head.is_subset(self.pmtd.view_schema(p)) {
+                        kept[t] = false;
+                    }
+                }
+                // TT-edge: ordinary hash semijoin; project the child to its
+                // head variables if it must stay in the tree.
+                (ViewKind::T, ViewKind::T) => {
+                    let child = t_rel[t].take().expect("T-view present");
+                    let parent = t_rel[p].take().expect("T-view present");
+                    t_rel[p] = Some(parent.semijoin(&child)?);
+                    let child_head = self.pmtd.view_schema(t).intersect(head);
+                    if child_head.is_subset(self.pmtd.view_schema(p)) {
+                        kept[t] = false;
+                        t_rel[t] = Some(child);
+                    } else {
+                        t_rel[t] = Some(child.project_onto(child_head)?);
+                    }
+                }
+                // A T-child under an S-parent cannot occur: M is closed
+                // under subtrees.
+                (ViewKind::T, ViewKind::S) => {
+                    unreachable!("materialization sets are subtree-closed")
+                }
+            }
+        }
+
+        // Reduce the access request at the root, then run the top-down join
+        // pass over the kept nodes.
+        let root = td.root();
+        let mut acc = request_relation(request);
+        match self.pmtd.view(root).kind {
+            ViewKind::S => {
+                let sview = pre.views[root].as_ref().ok_or_else(|| {
+                    CqapError::InvalidPmtd("root S-view was not preprocessed".into())
+                })?;
+                acc = semijoin_probe(&acc, &sview.index, sview.link)?;
+                acc = join_probe(&acc, &sview.rel, &sview.index, sview.link)?;
+                kept[root] = false;
+            }
+            ViewKind::T => {
+                let reduced = t_rel[root]
+                    .take()
+                    .expect("root T-view present")
+                    .project_onto(self.pmtd.view_schema(root).intersect(head))?;
+                acc = acc.semijoin(&reduced)?;
+                acc = acc.join(&reduced)?;
+                kept[root] = false;
+            }
+        }
+
+        for t in td.top_down_order() {
+            if !kept[t] {
+                continue;
+            }
+            match self.pmtd.view(t).kind {
+                ViewKind::S => {
+                    let sview = pre.views[t].as_ref().expect("kept S-view present");
+                    acc = join_probe(&acc, &sview.rel, &sview.index, sview.link)?;
+                }
+                ViewKind::T => {
+                    let rel = t_rel[t].as_ref().expect("kept T-view present");
+                    acc = acc.join(rel)?;
+                }
+            }
+        }
+        acc.project_onto(head)
+    }
+}
+
+/// The access request as a relation; an empty access pattern becomes the
+/// nullary relation holding the empty tuple (true) or nothing (false).
+fn request_relation(request: &AccessRequest) -> Relation {
+    if request.access().is_empty() {
+        let mut rel = Relation::new("Q_A", Schema::empty());
+        if !request.is_empty() {
+            rel.insert(Tuple::empty()).expect("empty tuple");
+        }
+        rel
+    } else {
+        request.as_relation()
+    }
+}
+
+/// Semijoin `left ⋉ index` by probing the prebuilt index on the link
+/// variables — O(|left|) regardless of the indexed relation's size.
+fn semijoin_probe(left: &Relation, index: &HashIndex, link: VarSet) -> Result<Relation> {
+    let key_positions = left.schema().positions_of_set(link.intersect(left.varset()))?;
+    debug_assert_eq!(
+        link.intersect(left.varset()),
+        link,
+        "probe side must contain the link variables"
+    );
+    let mut out = Relation::new(format!("{}⋉", left.name()), left.schema().clone());
+    for t in left.iter() {
+        if index.contains_key(&t.project(&key_positions)) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Join `left ⋈ rel` by probing the prebuilt index of `rel` on the link
+/// variables; matches are additionally checked on any other shared
+/// variables. O(|left| + |output|) probes.
+fn join_probe(
+    left: &Relation,
+    rel: &Relation,
+    index: &HashIndex,
+    link: VarSet,
+) -> Result<Relation> {
+    let out_schema = left.schema().join(rel.schema());
+    let key_positions = left.schema().positions_of_set(link)?;
+    let shared = left.varset().intersect(rel.varset());
+    let extra_shared = shared.difference(link);
+    let left_extra = left.schema().positions_of_set(extra_shared)?;
+    let rel_extra = rel.schema().positions_of_set(extra_shared)?;
+    let appended: Vec<usize> = out_schema.vars()[left.schema().arity()..]
+        .iter()
+        .map(|&v| rel.schema().position(v).expect("appended var"))
+        .collect();
+    let mut out = Relation::new(
+        format!("({} ⋈ {})", left.name(), rel.name()),
+        out_schema,
+    );
+    let mut probes: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
+    for lt in left.iter() {
+        let key = lt.project(&key_positions);
+        let matches = probes
+            .entry(key.clone())
+            .or_insert_with(|| index.probe(&key).iter().collect());
+        for rt in matches.iter() {
+            if lt.project(&left_extra) == rt.project(&rel_extra) {
+                out.insert(lt.concat(&rt.project(&appended)))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_common::vars;
+    use cqap_decomp::families as pmtd_families;
+    use cqap_query::families as query_families;
+    use cqap_query::workload::Graph;
+    use cqap_relation::Database;
+
+    /// Computes the content of every view of a PMTD directly from the full
+    /// join (the "ideal" materialization the framework's preprocessing
+    /// phase produces after its semijoin-reduce step).
+    fn views_from_full_join(
+        pmtd: &Pmtd,
+        cqap: &cqap_query::Cqap,
+        db: &Database,
+    ) -> (Vec<(usize, Relation)>, Vec<(usize, Relation)>) {
+        let full = crate::naive::full_join(cqap, db).unwrap();
+        let mut s_views = Vec::new();
+        let mut t_views = Vec::new();
+        for t in 0..pmtd.td().num_nodes() {
+            let rel = full.project_onto(pmtd.view_schema(t)).unwrap();
+            if pmtd.is_materialized(t) {
+                s_views.push((t, rel));
+            } else {
+                t_views.push((t, rel));
+            }
+        }
+        (s_views, t_views)
+    }
+
+    fn check_pmtd_against_naive(pmtd: &Pmtd, cqap: &cqap_query::Cqap, db: &Database, seed: u64) {
+        let oy = OnlineYannakakis::new(pmtd.clone());
+        let (s_views, t_views) = views_from_full_join(pmtd, cqap, db);
+        let pre = oy.preprocess(&s_views).unwrap();
+        let g = Graph::random(40, 10, seed);
+        let mut keys = cqap_query::workload::graph_pair_requests(&g, 20, seed);
+        keys.push((0, 1));
+        for (a, b) in keys {
+            let req = AccessRequest::single(cqap.access(), &[a, b]).unwrap();
+            let expected = crate::naive::naive_answer(cqap, db, &req).unwrap();
+            let got = oy.answer(&pre, &t_views, &req).unwrap();
+            assert_eq!(
+                got,
+                expected,
+                "PMTD {} disagrees with the naive evaluator on ({a},{b})",
+                pmtd.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_pmtds_agree_with_naive_on_3_reachability() {
+        let (cqap, pmtds) = pmtd_families::pmtds_3reach_fig1().unwrap();
+        let g = Graph::random(40, 160, 7);
+        let db = g.as_path_database(3);
+        for pmtd in &pmtds {
+            check_pmtd_against_naive(pmtd, &cqap, &db, 11);
+        }
+    }
+
+    #[test]
+    fn figure3_extra_pmtds_agree_with_naive() {
+        let (cqap, pmtds) = pmtd_families::pmtds_3reach_all().unwrap();
+        let g = Graph::skewed(60, 220, 3, 40, 13);
+        let db = g.as_path_database(3);
+        for pmtd in &pmtds {
+            check_pmtd_against_naive(pmtd, &cqap, &db, 17);
+        }
+    }
+
+    #[test]
+    fn four_reach_pmtds_agree_with_naive() {
+        let (cqap, pmtds) = pmtd_families::pmtds_4reach().unwrap();
+        let g = Graph::random(30, 120, 23);
+        let db = g.as_path_database(4);
+        // The eleven PMTDs of Example E.8; checking a representative subset
+        // keeps the test fast while covering both chain orientations and
+        // the single-bag PMTD.
+        for pmtd in pmtds.iter().step_by(3) {
+            check_pmtd_against_naive(pmtd, &cqap, &db, 29);
+        }
+    }
+
+    #[test]
+    fn square_pmtds_agree_with_naive() {
+        let (cqap, pmtds) = pmtd_families::pmtds_square().unwrap();
+        let g = Graph::random(25, 120, 31);
+        let mut db = Database::new();
+        for i in 1..=4 {
+            db.add_relation(Relation::binary(
+                format!("R{i}"),
+                0,
+                1,
+                g.edges.iter().copied(),
+            ))
+            .unwrap();
+        }
+        // Rename columns per atom is handled by atom_relation; the stored
+        // relations only need matching arity.
+        for pmtd in &pmtds {
+            check_pmtd_against_naive(pmtd, &cqap, &db, 37);
+        }
+    }
+
+    #[test]
+    fn online_time_does_not_scan_s_views() {
+        // Probe-only behaviour: answering from the fully-materialized PMTD
+        // (S14) touches only the request, regardless of |S-view|.
+        let (cqap, pmtds) = pmtd_families::pmtds_3reach_fig1().unwrap();
+        let single = &pmtds[2];
+        let g = Graph::random(60, 300, 41);
+        let db = g.as_path_database(3);
+        let oy = OnlineYannakakis::new(single.clone());
+        let (s_views, t_views) = views_from_full_join(single, &cqap, &db);
+        assert!(t_views.is_empty());
+        let pre = oy.preprocess(&s_views).unwrap();
+        assert!(pre.stored_values() > 0);
+        assert_eq!(pre.num_views(), 1);
+        let req = AccessRequest::single(cqap.access(), &[0, 1]).unwrap();
+        let expected = crate::naive::naive_answer(&cqap, &db, &req).unwrap();
+        assert_eq!(oy.answer(&pre, &[], &req).unwrap(), expected);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (cqap, pmtds) = pmtd_families::pmtds_3reach_fig1().unwrap();
+        let middle = &pmtds[1]; // (T134, S13)
+        let g = Graph::random(20, 60, 43);
+        let db = g.as_path_database(3);
+        let oy = OnlineYannakakis::new(middle.clone());
+        let (s_views, t_views) = views_from_full_join(middle, &cqap, &db);
+
+        // Wrong schema for the S-view.
+        let bad = vec![(1usize, Relation::binary("bad", 0, 1, [(1, 2)]))];
+        assert!(oy.preprocess(&bad).is_err());
+        // Missing S-view.
+        assert!(oy.preprocess(&[]).is_err());
+
+        let pre = oy.preprocess(&s_views).unwrap();
+        // Missing T-view.
+        let req = AccessRequest::single(cqap.access(), &[0, 1]).unwrap();
+        assert!(oy.answer(&pre, &[], &req).is_err());
+        // Wrong access pattern.
+        let bad_req = AccessRequest::single(vars![1, 2], &[0, 1]).unwrap();
+        assert!(oy.answer(&pre, &t_views, &bad_req).is_err());
+
+        // Supplying a T-view for a materialized node is rejected.
+        let wrong_phase = vec![(
+            1usize,
+            Relation::from_tuples("x", Schema::of([0, 2]), std::iter::empty()).unwrap(),
+        )];
+        assert!(oy.answer(&pre, &wrong_phase, &req).is_err());
+    }
+
+    #[test]
+    fn triangle_empty_access_pattern() {
+        let q = query_families::triangle_edge();
+        let single = cqap_decomp::TreeDecomposition::single(vars![1, 2, 3]);
+        let pmtd = Pmtd::for_cqap(single, [0], &q).unwrap();
+        let mut db = Database::new();
+        db.add_relation(Relation::binary(
+            "R",
+            0,
+            1,
+            [(1, 2), (2, 3), (3, 1), (3, 4)],
+        ))
+        .unwrap();
+        let oy = OnlineYannakakis::new(pmtd.clone());
+        let (s_views, t_views) = views_from_full_join(&pmtd, &q, &db);
+        assert!(t_views.is_empty());
+        let pre = oy.preprocess(&s_views).unwrap();
+        let req = AccessRequest::new(VarSet::EMPTY, vec![Tuple::empty()]).unwrap();
+        let ans = oy.answer(&pre, &[], &req).unwrap();
+        assert_eq!(ans.len(), 3);
+        assert!(ans.contains(&Tuple::pair(1, 3)));
+    }
+}

@@ -1,0 +1,82 @@
+//! Explore the analytic space-time tradeoff curves of Figures 4a and 4b.
+//!
+//! ```sh
+//! cargo run --release --example tradeoff_explorer -- [3|4]
+//! ```
+//!
+//! For the chosen path length k, the example regenerates the combined
+//! tradeoff curve the framework derives for k-reachability (the dotted
+//! curve of Figure 4a/4b), prints it next to the prior state-of-the-art
+//! baseline `S·T^{2/(k−1)} = |D|²`, and renders a small ASCII plot in
+//! `(log_{|D|} T, log_{|D|} S)` space.
+
+use cqap_suite::common::Rat;
+use cqap_suite::panda::{figure4a_curve, figure4b_curve, goldstein_baseline};
+
+fn main() {
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    assert!(k == 3 || k == 4, "supported path lengths: 3 or 4");
+
+    let sigmas: Vec<Rat> = (0..=16).map(|i| Rat::new(i, 8)).collect();
+    let curve = if k == 3 {
+        figure4a_curve(&sigmas).expect("LP sweep succeeds")
+    } else {
+        figure4b_curve(&sigmas).expect("LP sweep succeeds")
+    };
+
+    println!("{k}-reachability: combined tradeoff vs. prior state of the art\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12}",
+        "log S", "log T (ours)", "log T (SOTA)", "improved?"
+    );
+    for p in &curve.points {
+        let baseline = goldstein_baseline(k, p.space);
+        println!(
+            "{:>10} {:>14} {:>14} {:>12}",
+            p.space.to_string(),
+            p.time.to_string(),
+            baseline.to_string(),
+            if p.time < baseline { "yes" } else { "" }
+        );
+    }
+
+    // ASCII plot: x-axis log T in [0, k-1], y-axis log S in [0, 2].
+    println!("\n  log S");
+    let width = 48usize;
+    let height = 16usize;
+    let max_t = (k - 1) as f64;
+    for row in (0..=height).rev() {
+        let sigma = 2.0 * row as f64 / height as f64;
+        let mut line: Vec<char> = vec![' '; width + 1];
+        let mark = |line: &mut Vec<char>, t: f64, c: char| {
+            if t >= 0.0 && t <= max_t {
+                let col = ((t / max_t) * width as f64).round() as usize;
+                if line[col] == ' ' || c == '*' {
+                    line[col] = c;
+                }
+            }
+        };
+        // Baseline: τ = (2 − σ)(k−1)/2.
+        mark(&mut line, (2.0 - sigma) * (k as f64 - 1.0) / 2.0, 'o');
+        // Ours: nearest sampled point.
+        if let Some(p) = curve
+            .points
+            .iter()
+            .min_by(|a, b| {
+                (a.space.to_f64() - sigma)
+                    .abs()
+                    .partial_cmp(&(b.space.to_f64() - sigma).abs())
+                    .unwrap()
+            })
+        {
+            mark(&mut line, p.time.to_f64(), '*');
+        }
+        println!("{sigma:>5.2} |{}", line.into_iter().collect::<String>());
+    }
+    println!("      +{}", "-".repeat(width + 1));
+    println!("       0{:>width$}  log T", max_t, width = width - 1);
+    println!("\n  * = this framework (dotted curve in the paper), o = prior state of the art");
+}

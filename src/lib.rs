@@ -1,0 +1,67 @@
+//! # cqap-suite
+//!
+//! Umbrella crate for the reproduction of *"Space-Time Tradeoffs for
+//! Conjunctive Queries with Access Patterns"* (Zhao, Deep, Koutris — PODS
+//! 2023). It re-exports the whole workspace under one roof so the examples,
+//! the integration tests and downstream users can depend on a single crate:
+//!
+//! * [`common`] — values, tuples, variable sets, exact rationals, hashing.
+//! * [`relation`] — relations, schemas, degree constraints, operators,
+//!   heavy/light splits.
+//! * [`query`] — hypergraphs, CQAPs, fractional edge covers, query families,
+//!   workload generators.
+//! * [`decomp`] — tree decompositions and PMTDs.
+//! * [`entropy`] — polymatroids, (joint) Shannon-flow inequalities, the
+//!   exact-rational LP, and tradeoff computation/verification.
+//! * [`yannakakis`] — the naive evaluator and Online Yannakakis.
+//! * [`panda`] — 2-phase disjunctive rules, the framework driver, and the
+//!   Table 1 / Figure 4 analysis entry points.
+//! * [`indexes`] — the concrete budget-parameterized index structures and
+//!   baselines used by the empirical experiments.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cqap_suite::prelude::*;
+//!
+//! // The 3-reachability CQAP and the PMTDs of Figure 1.
+//! let (cqap, pmtds) = cqap_suite::decomp::families::pmtds_3reach_fig1().unwrap();
+//!
+//! // A small synthetic graph, loaded as the three path relations.
+//! let graph = Graph::random(50, 200, 42);
+//! let db = graph.as_path_database(3);
+//!
+//! // Preprocessing: materialize the S-views of every PMTD.
+//! let index = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+//!
+//! // Online: ask whether vertex 0 reaches vertex 1 by a path of length 3.
+//! let request = AccessRequest::single(cqap.access(), &[0, 1]).unwrap();
+//! let answer = index.answer(&request).unwrap();
+//! assert_eq!(answer, index.answer_from_scratch(&request).unwrap());
+//! ```
+
+pub use cqap_common as common;
+pub use cqap_decomp as decomp;
+pub use cqap_entropy as entropy;
+pub use cqap_indexes as indexes;
+pub use cqap_panda as panda;
+pub use cqap_query as query;
+pub use cqap_relation as relation;
+pub use cqap_yannakakis as yannakakis;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use cqap_common::{Rat, Tuple, Val, Var, VarSet};
+    pub use cqap_decomp::{Pmtd, TreeDecomposition, ViewKind};
+    pub use cqap_entropy::tradeoff::{Stats, SymbolicTradeoff};
+    pub use cqap_entropy::RuleShape;
+    pub use cqap_indexes::{
+        BfsBaseline, FullReachMaterialization, HierarchicalIndex, KReachGoldstein,
+        SetDisjointnessIndex, SquareIndex, TriangleIndex, TwoReachIndex,
+    };
+    pub use cqap_panda::{CqapIndex, TwoPhaseRule};
+    pub use cqap_query::workload::{Graph, SetFamily};
+    pub use cqap_query::{AccessRequest, ConjunctiveQuery, Cqap, Hypergraph};
+    pub use cqap_relation::{Database, Relation, Schema};
+    pub use cqap_yannakakis::{naive_answer, OnlineYannakakis};
+}
