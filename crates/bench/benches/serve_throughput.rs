@@ -1,0 +1,147 @@
+//! Throughput of the serving runtime vs. the one-at-a-time loop.
+//!
+//! ```sh
+//! cargo bench -p cqap-bench --bench serve_throughput
+//! ```
+//!
+//! Three serving strategies over the same shared immutable index and the
+//! same zipf-skewed request stream:
+//!
+//! * `one_at_a_time` — the sequential baseline: a plain loop over
+//!   `answer_one`;
+//! * `parallel_batch` — scoped work-claiming threads, no cache
+//!   (`cqap_serve::answer_batch_parallel`);
+//! * `serve_runtime` — the full runtime: work-stealing pool plus the LRU
+//!   answer cache, batch after batch on the same runtime so the cache is
+//!   warm for the zipf head.
+//!
+//! On a multi-core runner `parallel_batch` beats `one_at_a_time` on raw
+//! concurrency and `serve_runtime` adds the cache win on top. Run with
+//! `--release`; the measured speedups are printed by the criterion shim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use cqap_decomp::families::pmtds_3reach_fig1;
+use cqap_indexes::TwoReachIndex;
+use cqap_panda::CqapIndex;
+use cqap_query::workload::{zipf_pair_requests, Graph};
+use cqap_query::AccessRequest;
+use cqap_serve::{answer_batch_parallel, BatchAnswer, ServeConfig, ServeRuntime};
+
+/// The framework driver (Online Yannakakis per PMTD) under the three
+/// strategies.
+fn bench_driver_serving(c: &mut Criterion) {
+    let (cqap, pmtds) = pmtds_3reach_fig1().expect("paper PMTDs");
+    let graph = Graph::skewed(1_500, 9_000, 10, 300, 7);
+    let db = graph.as_path_database(3);
+    let index = Arc::new(CqapIndex::build(&cqap, &db, &pmtds).expect("preprocessing"));
+    let requests: Vec<AccessRequest> = zipf_pair_requests(&graph, 1_000, 1.05, 11)
+        .into_iter()
+        .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).expect("valid"))
+        .collect();
+    let threads = cqap_serve::default_threads();
+
+    let mut group = c.benchmark_group("driver_serving_1k");
+    group.sample_size(10);
+    group.bench_function("one_at_a_time", |b| {
+        b.iter(|| {
+            for request in &requests {
+                black_box(index.answer(request).expect("answer"));
+            }
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("parallel_batch", format!("{threads}t")),
+        &threads,
+        |b, &threads| {
+            b.iter(|| {
+                black_box(
+                    answer_batch_parallel(index.as_ref(), &requests, threads).expect("batch"),
+                )
+            })
+        },
+    );
+    let runtime = ServeRuntime::with_config(
+        Arc::clone(&index),
+        ServeConfig {
+            threads,
+            cache_capacity: 2_048,
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("serve_runtime", format!("{threads}t+lru")),
+        &runtime,
+        |b, runtime| b.iter(|| black_box(runtime.serve_batch(&requests).expect("serve"))),
+    );
+    group.finish();
+}
+
+/// The specialized 2-reachability structure: requests are so cheap that
+/// this is the adversarial case for parallelization overhead.
+fn bench_two_reach_serving(c: &mut Criterion) {
+    let graph = Graph::skewed(4_000, 20_000, 15, 400, 13);
+    let index = TwoReachIndex::build(&graph, graph.len());
+    let requests = zipf_pair_requests(&graph, 10_000, 1.0, 17);
+    let threads = cqap_serve::default_threads();
+
+    let mut group = c.benchmark_group("two_reach_serving_10k");
+    group.bench_function("one_at_a_time", |b| {
+        b.iter(|| {
+            for pair in &requests {
+                black_box(index.answer_one(pair).expect("answer"));
+            }
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("parallel_batch", format!("{threads}t")),
+        &threads,
+        |b, &threads| {
+            b.iter(|| black_box(answer_batch_parallel(&index, &requests, threads).expect("batch")))
+        },
+    );
+    group.finish();
+}
+
+/// Prints the headline numbers (total wall-clock per strategy, speedup) in
+/// addition to the per-iteration samples, so `cargo bench` output directly
+/// answers "does batched parallel serving beat the loop?".
+fn bench_headline_speedup(_c: &mut Criterion) {
+    let (cqap, pmtds) = pmtds_3reach_fig1().expect("paper PMTDs");
+    let graph = Graph::skewed(1_500, 9_000, 10, 300, 7);
+    let db = graph.as_path_database(3);
+    let index = Arc::new(CqapIndex::build(&cqap, &db, &pmtds).expect("preprocessing"));
+    let requests: Vec<AccessRequest> = zipf_pair_requests(&graph, 1_000, 1.05, 19)
+        .into_iter()
+        .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).expect("valid"))
+        .collect();
+    let threads = cqap_serve::default_threads();
+
+    let start = std::time::Instant::now();
+    let sequential: Vec<_> = requests
+        .iter()
+        .map(|r| index.answer(r).expect("answer"))
+        .collect();
+    let sequential_time = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let parallel = answer_batch_parallel(index.as_ref(), &requests, threads).expect("batch");
+    let parallel_time = start.elapsed();
+    assert_eq!(parallel, sequential, "parallel serving must be identical");
+
+    println!(
+        "headline: 1k driver requests sequential {:.1} ms, parallel({threads}t) {:.1} ms → {:.2}x",
+        sequential_time.as_secs_f64() * 1e3,
+        parallel_time.as_secs_f64() * 1e3,
+        sequential_time.as_secs_f64() / parallel_time.as_secs_f64()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_driver_serving,
+    bench_two_reach_serving,
+    bench_headline_speedup
+);
+criterion_main!(benches);

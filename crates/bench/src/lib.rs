@@ -22,13 +22,12 @@ use cqap_indexes::{
     SetDisjointnessIndex, SquareIndex, TriangleIndex, TwoReachIndex,
 };
 use cqap_query::workload::{graph_pair_requests, set_tuple_requests, Graph, SetFamily};
-use serde::Serialize;
 use std::time::Instant;
 
 pub mod analytic;
 
 /// One measured row of an empirical sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SweepRow {
     /// Human-readable configuration label (structure + budget).
     pub config: String,
@@ -65,9 +64,8 @@ pub fn print_rows(title: &str, rows: &[SweepRow]) {
 }
 
 /// Serializes rows as JSON lines (for downstream plotting). The format is
-/// written by hand to keep the dependency footprint to the pre-approved
-/// crates; the `Serialize` derive remains available for users who bring
-/// their own serde serializer.
+/// written by hand: the build environment has no registry access, so the
+/// workspace carries no serde dependency at all.
 pub fn rows_to_json(rows: &[SweepRow]) -> String {
     rows.iter()
         .map(|r| {
@@ -209,17 +207,16 @@ pub fn sweep_kreach(k: usize, scale: Scale) -> Vec<SweepRow> {
     ));
     // Parallel build of the budgeted structures (the builds dominate).
     let grid = budget_grid(n);
-    let indexes: Vec<(f64, usize, KReachGoldstein)> = crossbeam::thread::scope(|s| {
+    let indexes: Vec<(f64, usize, KReachGoldstein)> = std::thread::scope(|s| {
         let handles: Vec<_> = grid
             .iter()
             .map(|&(exp, budget)| {
                 let graph = &graph;
-                s.spawn(move |_| (exp, budget, KReachGoldstein::build(graph, k, budget)))
+                s.spawn(move || (exp, budget, KReachGoldstein::build(graph, k, budget)))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("sweep threads do not panic");
+    });
     for (exp, budget, idx) in &indexes {
         rows.push(measure(
             format!("{k}-reach goldstein S=|E|^{exp:.2}"),

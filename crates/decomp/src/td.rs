@@ -252,7 +252,7 @@ impl TreeDecomposition {
     }
 
     /// Whether this decomposition is free-connex w.r.t. its root and the
-    /// head `H` (Definition 3.1 / [34]): for every `x ∈ H` and
+    /// head `H` (Definition 3.1 / reference \[34\]): for every `x ∈ H` and
     /// `y ∈ vars \ H`, `TOP_r(y)` is not a (proper) ancestor of `TOP_r(x)`.
     pub fn is_free_connex(&self, head: VarSet) -> bool {
         let all = self.all_vars();

@@ -16,6 +16,8 @@
 //! | [`triangle`] | Ex. E.4 | edge-participates-in-a-triangle index (linear space, constant time) |
 //! | [`hierarchical`] | App. F | two-level Boolean hierarchical CQAP index (adapted Kara et al. strategy) |
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 pub mod hierarchical;
 pub mod kreach;
 pub mod setdisjoint;
@@ -32,10 +34,24 @@ pub use triangle::TriangleIndex;
 /// probes and the number of tuples scanned while answering queries since
 /// the last [`ProbeCounter::reset`]. These are the machine-independent
 /// "time" measure the benchmark harness reports next to wall-clock time.
-#[derive(Debug, Default, Clone)]
+///
+/// The counters are relaxed atomics rather than `Cell`s so that every index
+/// structure is `Sync` and can be probed concurrently from many serving
+/// threads (see the `cqap-serve` crate); counting stays accurate under
+/// concurrency because each increment is a single atomic add.
+#[derive(Debug, Default)]
 pub struct ProbeCounter {
-    probes: std::cell::Cell<u64>,
-    scans: std::cell::Cell<u64>,
+    probes: AtomicU64,
+    scans: AtomicU64,
+}
+
+impl Clone for ProbeCounter {
+    fn clone(&self) -> Self {
+        ProbeCounter {
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+            scans: AtomicU64::new(self.scans.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl ProbeCounter {
@@ -47,33 +63,33 @@ impl ProbeCounter {
     /// Records `n` hash probes.
     #[inline]
     pub fn add_probes(&self, n: u64) {
-        self.probes.set(self.probes.get() + n);
+        self.probes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records `n` scanned tuples.
     #[inline]
     pub fn add_scans(&self, n: u64) {
-        self.scans.set(self.scans.get() + n);
+        self.scans.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Hash probes performed since the last reset.
     pub fn probes(&self) -> u64 {
-        self.probes.get()
+        self.probes.load(Ordering::Relaxed)
     }
 
     /// Tuples scanned since the last reset.
     pub fn scans(&self) -> u64 {
-        self.scans.get()
+        self.scans.load(Ordering::Relaxed)
     }
 
     /// Total online work (probes + scans).
     pub fn total(&self) -> u64 {
-        self.probes.get() + self.scans.get()
+        self.probes.load(Ordering::Relaxed) + self.scans.load(Ordering::Relaxed)
     }
 
     /// Resets both counters to zero.
     pub fn reset(&self) {
-        self.probes.set(0);
-        self.scans.set(0);
+        self.probes.store(0, Ordering::Relaxed);
+        self.scans.store(0, Ordering::Relaxed);
     }
 }

@@ -16,6 +16,50 @@
 //!   (2-phase disjunctive rules for 3-reachability with their verified
 //!   tradeoffs), the combined tradeoff curves of Figures 4a and 4b, and the
 //!   prior-state-of-the-art baselines they are compared against.
+//!
+//! ## Quick start: the full pipeline
+//!
+//! The quickstart flow (`examples/quickstart.rs` at the workspace root),
+//! compressed to its essentials — define the CQAP and PMTDs of Figure 1,
+//! preprocess, answer online, and cross-check against the from-scratch
+//! evaluator:
+//!
+//! ```
+//! use cqap_decomp::families::pmtds_3reach_fig1;
+//! use cqap_panda::CqapIndex;
+//! use cqap_query::workload::{graph_pair_requests, Graph};
+//! use cqap_query::AccessRequest;
+//!
+//! // The CQAP φ3(x1,x4 | x1,x4) ← R1(x1,x2) ∧ R2(x2,x3) ∧ R3(x3,x4)
+//! // and the three PMTDs of Figure 1.
+//! let (cqap, pmtds) = pmtds_3reach_fig1().unwrap();
+//!
+//! // A small synthetic graph loaded as the three path relations.
+//! let graph = Graph::random(50, 200, 42);
+//! let db = graph.as_path_database(3);
+//!
+//! // Preprocessing phase: materialize the S-views of every PMTD.
+//! let index = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+//! assert_eq!(index.num_pmtds(), 3);
+//!
+//! // Online phase: answer access requests, checked against the naive
+//! // from-scratch evaluation.
+//! for (u, v) in graph_pair_requests(&graph, 5, 1) {
+//!     let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+//!     let answer = index.answer(&request).unwrap();
+//!     assert_eq!(answer, index.answer_from_scratch(&request).unwrap());
+//! }
+//! ```
+//!
+//! The analytic half — generating the Table 1 rules and verifying the
+//! claimed space-time tradeoffs with the exact-rational LP:
+//!
+//! ```
+//! use cqap_panda::table1_3reach;
+//!
+//! let (_rules, reports) = table1_3reach().unwrap();
+//! assert!(reports.iter().all(|report| report.all_verified()));
+//! ```
 
 pub mod analysis;
 pub mod driver;

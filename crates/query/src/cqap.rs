@@ -125,7 +125,10 @@ impl fmt::Display for Cqap {
 /// An access request `Q_A`: a set of bindings for the access-pattern
 /// variables. The most common case (`|Q_A| = 1`) is a single lookup key; a
 /// larger request batches several lookups (Section 2.1).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Hash` is derived so requests can key answer caches (the serving
+/// runtime's LRU cache is keyed by the `(access, tuples)` pair).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct AccessRequest {
     access: VarSet,
     tuples: Vec<Tuple>,

@@ -220,6 +220,69 @@ pub fn set_tuple_requests(family: &SetFamily, k: usize, n: usize, seed: u64) -> 
         .collect()
 }
 
+/// Generates `n` access-request keys with **zipfian key skew**: endpoint
+/// pairs are drawn from the vertex ids with probability proportional to
+/// `1 / rank^skew`, so a few hot keys dominate the stream. This is the
+/// "heavy traffic" regime the serving runtime's answer cache targets —
+/// `skew = 0` degenerates to uniform, `skew ≈ 1` is classic web-like skew,
+/// larger values concentrate the stream further.
+pub fn zipf_pair_requests(graph: &Graph, n: usize, skew: f64, seed: u64) -> Vec<(Val, Val)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = ZipfSampler::new(graph.num_vertices, skew);
+    (0..n)
+        .map(|_| {
+            (
+                sampler.sample(&mut rng) as Val,
+                sampler.sample(&mut rng) as Val,
+            )
+        })
+        .collect()
+}
+
+/// Splits a request stream into batches of `batch_size` (the last batch may
+/// be shorter), the unit the serving runtime consumes.
+pub fn into_batches<T>(requests: Vec<T>, batch_size: usize) -> Vec<Vec<T>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut batches = Vec::with_capacity(requests.len().div_ceil(batch_size));
+    let mut current = Vec::with_capacity(batch_size);
+    for request in requests {
+        current.push(request);
+        if current.len() == batch_size {
+            batches.push(std::mem::replace(&mut current, Vec::with_capacity(batch_size)));
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
+/// Inverse-CDF sampler for the zipf distribution over `0..n` (rank `i` has
+/// weight `1 / (i+1)^skew`). Build cost is O(n), sampling is O(log n).
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, skew: f64) -> Self {
+        assert!(n > 0, "cannot sample from an empty domain");
+        assert!(skew >= 0.0, "negative skew is not meaningful");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(skew);
+            cdf.push(total);
+        }
+        ZipfSampler { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cdf.last().expect("non-empty domain");
+        let target = (rng.random_range(0..u64::MAX) as f64 / u64::MAX as f64) * total;
+        self.cdf.partition_point(|&c| c < target).min(self.cdf.len() - 1)
+    }
+}
+
 /// Convenience: the access [`VarSet`] consisting of the first and last
 /// variable of a k-path query.
 pub fn path_endpoints(k: usize) -> VarSet {
@@ -296,5 +359,34 @@ mod tests {
     #[test]
     fn endpoints_helper() {
         assert_eq!(path_endpoints(3), VarSet::from_iter([0, 3]));
+    }
+
+    #[test]
+    fn zipf_requests_are_skewed_and_deterministic() {
+        let g = Graph::random(200, 800, 3);
+        let a = zipf_pair_requests(&g, 2_000, 1.1, 7);
+        let b = zipf_pair_requests(&g, 2_000, 1.1, 7);
+        assert_eq!(a, b, "deterministic given seed");
+        assert!(a.iter().all(|&(u, v)| (u as usize) < 200 && (v as usize) < 200));
+        // Rank-0 keys dominate a skewed stream.
+        let zero_sources = a.iter().filter(|&&(u, _)| u == 0).count();
+        let tail_sources = a.iter().filter(|&&(u, _)| u == 199).count();
+        assert!(
+            zero_sources > 10 * tail_sources.max(1),
+            "skew missing: {zero_sources} vs {tail_sources}"
+        );
+        // Zero skew degenerates to roughly uniform.
+        let uniform = zipf_pair_requests(&g, 2_000, 0.0, 7);
+        let zero_uniform = uniform.iter().filter(|&&(u, _)| u == 0).count();
+        assert!(zero_uniform < 60, "uniform stream has no hot key");
+    }
+
+    #[test]
+    fn batching_splits_and_preserves_order() {
+        let batches = into_batches((0..10).collect::<Vec<_>>(), 4);
+        assert_eq!(batches, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+        let whole = into_batches(vec![1, 2], 10);
+        assert_eq!(whole, vec![vec![1, 2]]);
+        assert!(into_batches(Vec::<u8>::new(), 3).is_empty());
     }
 }

@@ -1,0 +1,222 @@
+//! A small, dependency-free LRU answer cache.
+//!
+//! The serving runtime keys this cache by the request value — for the
+//! framework driver that is the `(access, tuples)` pair of the
+//! [`AccessRequest`](cqap_query::AccessRequest) — so repeated probes of hot
+//! keys (zipfian workloads) skip the online phase entirely.
+//!
+//! The implementation is a classic O(1) LRU: a hash map from key to slot
+//! plus an intrusive doubly-linked recency list over a slab of slots. It is
+//! deliberately not thread-safe on its own; the runtime wraps it in a
+//! `Mutex`, which is sufficient because the critical section is a handful
+//! of pointer swaps.
+
+use cqap_common::FxHashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used cache.
+///
+/// `get` refreshes recency; `insert` evicts the least recently used entry
+/// once `capacity` is exceeded. A capacity of zero disables the cache (every
+/// `insert` is a no-op and every `get` misses).
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: FxHashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    /// Most recently used slot, `NIL` when empty.
+    head: usize,
+    /// Least recently used slot, `NIL` when empty.
+    tail: usize,
+    /// Slab slots freed by eviction, reusable by the next insert.
+    free: Vec<usize>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        let mut map = FxHashMap::default();
+        map.reserve(capacity.min(1 << 20));
+        LruCache {
+            capacity,
+            map,
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let &slot = self.map.get(key)?;
+        self.detach(slot);
+        self.attach_front(slot);
+        Some(self.slots[slot].value.clone())
+    }
+
+    /// Inserts or refreshes `key → value`, evicting the least recently used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.attach_front(slot);
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.get(&"a"), Some(1)); // refreshes "a"
+        cache.insert("c", 3); // evicts "b", the LRU
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"a"), Some(1));
+        assert_eq!(cache.get(&"c"), Some(3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut cache = LruCache::new(2);
+        cache.insert(1, "one");
+        cache.insert(2, "two");
+        cache.insert(1, "uno"); // refresh: now 2 is the LRU
+        cache.insert(3, "three");
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some("uno"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert(1, 1);
+        assert_eq!(cache.get(&1), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn slab_reuse_under_churn() {
+        let mut cache = LruCache::new(3);
+        for i in 0..100 {
+            cache.insert(i, i * 10);
+        }
+        assert_eq!(cache.len(), 3);
+        // Only the last three survive, most recent first.
+        assert_eq!(cache.get(&99), Some(990));
+        assert_eq!(cache.get(&97), Some(970));
+        assert_eq!(cache.get(&0), None);
+        // The slab did not grow past capacity + pending free slots.
+        assert!(cache.slots.len() <= 4);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cache = LruCache::new(4);
+        cache.insert(1, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.insert(2, 2);
+        assert_eq!(cache.get(&2), Some(2));
+    }
+}

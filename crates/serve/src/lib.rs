@@ -1,0 +1,157 @@
+//! # cqap-serve
+//!
+//! A batched, concurrent access-request serving runtime over the
+//! workspace's CQAP indexes.
+//!
+//! The paper's contract is asymmetric: preprocessing happens **once**
+//! within a space budget `S`, then the structure absorbs a **heavy stream**
+//! of access requests, each answered within the online budget `T`. The
+//! other crates build the "once" half; this crate is the "heavy stream"
+//! half:
+//!
+//! * [`BatchAnswer`] — the one serving API every index family implements:
+//!   the framework driver [`CqapIndex`](cqap_panda::CqapIndex) (whose
+//!   online phase is Online Yannakakis per PMTD) and all specialized
+//!   structures of `cqap-indexes`.
+//! * [`WorkStealingPool`] — a std-only work-stealing thread pool (the
+//!   environment has no registry access, so no rayon); round-robin
+//!   distribution plus steal-half-from-a-victim rebalances skewed batches.
+//! * [`LruCache`] — an O(1) LRU answer cache keyed by the request (for the
+//!   driver that is the `(access, tuples)` pair), so zipfian request
+//!   streams hit hot answers without re-running the online phase.
+//! * [`ServeRuntime`] — ties the three together: `Arc`-shared immutable
+//!   index, per-request result channels ([`Ticket`]), order-preserving
+//!   batch serving with intra-batch deduplication, and [`ServeStats`]
+//!   counters.
+//!
+//! ## Worked example: serving a 1 000-request batch
+//!
+//! Build the 3-reachability index of Figure 1 once, then serve a batch of
+//! 1 000 access requests concurrently. The batched answers are bit-for-bit
+//! identical to answering sequentially with
+//! [`CqapIndex::answer`](cqap_panda::CqapIndex::answer):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cqap_decomp::families::pmtds_3reach_fig1;
+//! use cqap_panda::CqapIndex;
+//! use cqap_query::workload::{zipf_pair_requests, Graph};
+//! use cqap_query::AccessRequest;
+//! use cqap_serve::{ServeConfig, ServeRuntime};
+//!
+//! // Preprocessing phase: build once.
+//! let (cqap, pmtds) = pmtds_3reach_fig1().unwrap();
+//! let graph = Graph::random(60, 260, 42);
+//! let db = graph.as_path_database(3);
+//! let index = Arc::new(CqapIndex::build(&cqap, &db, &pmtds).unwrap());
+//!
+//! // Online phase: a zipf-skewed stream of 1 000 requests.
+//! let requests: Vec<AccessRequest> = zipf_pair_requests(&graph, 1_000, 1.1, 7)
+//!     .into_iter()
+//!     .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+//!     .collect();
+//!
+//! let runtime = ServeRuntime::with_config(
+//!     Arc::clone(&index),
+//!     ServeConfig { threads: 4, cache_capacity: 512 },
+//! );
+//! let answers = runtime.serve_batch(&requests).unwrap();
+//!
+//! // Concurrent answers match the sequential reference, in order.
+//! assert_eq!(answers.len(), 1_000);
+//! for (request, answer) in requests.iter().zip(&answers) {
+//!     assert_eq!(answer, &index.answer(request).unwrap());
+//! }
+//!
+//! // The zipf skew means many requests repeat: in this first (cold-cache)
+//! // batch the repeats are answered by intra-batch deduplication, so the
+//! // index is probed far less than 1 000 times. A second batch would hit
+//! // the now-warm LRU cache (`stats.cache_hits`).
+//! let stats = runtime.stats();
+//! assert_eq!(stats.served, 1_000);
+//! assert!(stats.dedup_hits > 0);
+//! assert!(stats.cache_misses < 1_000);
+//! ```
+//!
+//! For one-at-a-time submission use [`ServeRuntime::submit`], which returns
+//! a [`Ticket`] per request; for a pool-free scoped helper (no `'static`
+//! bound, no runtime construction) use [`answer_batch_parallel`].
+
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod pool;
+pub mod runtime;
+
+pub use batch::BatchAnswer;
+pub use cache::LruCache;
+pub use pool::{default_threads, WorkStealingPool};
+pub use runtime::{ServeConfig, ServeRuntime, ServeStats, Ticket};
+
+use cqap_common::Result;
+
+/// Answers `requests` in parallel on `threads` scoped threads, without
+/// building a [`ServeRuntime`] (no pool, no cache, no `'static` bounds).
+///
+/// Threads claim requests from a shared atomic cursor, so finishing early
+/// on cheap requests automatically rebalances toward the expensive ones.
+/// Answers are returned in input order. This is the helper the throughput
+/// benches use to isolate raw parallel speedup from caching effects.
+///
+/// # Errors
+/// Fails if any request fails (the earliest failing position wins).
+pub fn answer_batch_parallel<I: BatchAnswer>(
+    index: &I,
+    requests: &[I::Request],
+    threads: usize,
+) -> Result<Vec<I::Answer>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let threads = threads.max(1).min(requests.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<I::Answer>>>> =
+        requests.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let position = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(request) = requests.get(position) else {
+                    return;
+                };
+                *slots[position].lock().expect("slot lock") = Some(index.answer_one(request));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock").expect("slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_indexes::TwoReachIndex;
+    use cqap_query::workload::{graph_pair_requests, Graph};
+
+    #[test]
+    fn scoped_parallel_matches_sequential() {
+        let g = Graph::random(60, 300, 3);
+        let index = TwoReachIndex::build(&g, 20_000);
+        let requests = graph_pair_requests(&g, 500, 5);
+        let sequential: Vec<bool> = requests.iter().map(|&(u, v)| index.query(u, v)).collect();
+        for threads in [1, 2, 8, 64] {
+            let parallel = answer_batch_parallel(&index, &requests, threads).unwrap();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let g = Graph::random(10, 20, 1);
+        let index = TwoReachIndex::build(&g, 100);
+        assert!(answer_batch_parallel(&index, &[], 4).unwrap().is_empty());
+    }
+}

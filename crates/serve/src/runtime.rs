@@ -1,0 +1,444 @@
+//! The serving runtime: a shared immutable index behind a work-stealing
+//! pool, per-request result channels, and an LRU answer cache.
+//!
+//! [`ServeRuntime`] owns the three pieces and exposes two front doors:
+//!
+//! * [`ServeRuntime::serve_batch`] — answer a slice of requests
+//!   concurrently, preserving order, deduplicating identical requests
+//!   within the batch and consulting the cache before touching the index;
+//! * [`ServeRuntime::submit`] — enqueue one request and get a [`Ticket`]
+//!   (a one-shot result channel) back, for callers that interleave
+//!   submission with other work.
+//!
+//! The index is `Arc`-shared and never mutated after construction, which is
+//! exactly the paper's regime: the preprocessing phase fixes the
+//! materialized views within the space budget, and the online phase is
+//! read-only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use cqap_common::{CqapError, Result};
+
+use crate::batch::BatchAnswer;
+use crate::cache::LruCache;
+use crate::pool::{default_threads, WorkStealingPool};
+
+/// Configuration for a [`ServeRuntime`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads in the pool. Defaults to the machine's available
+    /// parallelism.
+    pub threads: usize,
+    /// Capacity of the LRU answer cache, in entries. Zero disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: default_threads(),
+            cache_capacity: 4_096,
+        }
+    }
+}
+
+/// Counters describing what a runtime has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered (including cache hits).
+    pub served: u64,
+    /// Requests answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Requests answered by sharing another identical request's computation
+    /// within the same batch (intra-batch deduplication). Kept separate
+    /// from [`ServeStats::cache_hits`] so cache-policy effectiveness and
+    /// dedup savings stay independently measurable.
+    pub dedup_hits: u64,
+    /// Requests that had to probe the index.
+    pub cache_misses: u64,
+    /// Requests whose answering returned an error.
+    pub errors: u64,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    served: AtomicU64,
+    cache_hits: AtomicU64,
+    dedup_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            served: self.served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A one-shot handle to the answer of a single submitted request.
+pub struct Ticket<A> {
+    rx: mpsc::Receiver<Result<A>>,
+}
+
+impl<A> Ticket<A> {
+    /// Blocks until the answer is ready.
+    ///
+    /// # Errors
+    /// Returns the answering error, or an internal error if the runtime was
+    /// torn down before the request ran.
+    pub fn wait(self) -> Result<A> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(CqapError::Other("serve runtime dropped".into())))
+    }
+
+    /// Non-blocking poll; `None` while the answer is still being computed.
+    /// A torn-down runtime (or a request that panicked mid-answer) yields
+    /// `Some(Err(..))`, never a stuck `None`.
+    pub fn try_wait(&self) -> Option<Result<A>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Some(Err(CqapError::Other("serve runtime dropped".into())))
+            }
+        }
+    }
+}
+
+/// Answers one request, converting a panic in the index into a regular
+/// [`CqapError`] so workers stay alive, the error counter stays truthful,
+/// and callers see "request panicked" rather than a torn-down-runtime
+/// message.
+fn answer_guarded<I: BatchAnswer>(index: &I, request: &I::Request) -> Result<I::Answer> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| index.answer_one(request)))
+        .unwrap_or_else(|panic| {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(CqapError::Other(format!("request panicked: {message}")))
+        })
+}
+
+/// A concurrent, caching request-serving runtime over a shared immutable
+/// index.
+pub struct ServeRuntime<I: BatchAnswer + 'static> {
+    index: Arc<I>,
+    pool: WorkStealingPool,
+    cache: Arc<Mutex<LruCache<I::Request, I::Answer>>>,
+    stats: Arc<StatsCells>,
+}
+
+impl<I: BatchAnswer + 'static> ServeRuntime<I> {
+    /// Creates a runtime with the default configuration.
+    pub fn new(index: Arc<I>) -> Self {
+        ServeRuntime::with_config(index, ServeConfig::default())
+    }
+
+    /// Creates a runtime with an explicit thread count and cache capacity.
+    pub fn with_config(index: Arc<I>, config: ServeConfig) -> Self {
+        ServeRuntime {
+            index,
+            pool: WorkStealingPool::new(config.threads),
+            cache: Arc::new(Mutex::new(LruCache::new(config.cache_capacity))),
+            stats: Arc::new(StatsCells::default()),
+        }
+    }
+
+    /// The shared index being served.
+    pub fn index(&self) -> &Arc<I> {
+        &self.index
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> ServeStats {
+        self.stats.snapshot()
+    }
+
+    /// Submits one request; the returned [`Ticket`] resolves to its answer.
+    /// Cache hits resolve immediately without entering the pool.
+    pub fn submit(&self, request: I::Request) -> Ticket<I::Answer> {
+        let (tx, rx) = mpsc::channel();
+        self.stats.served.fetch_add(1, Ordering::Relaxed);
+        if let Some(answer) = self.cache.lock().expect("cache lock").get(&request) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Ok(answer));
+            return Ticket { rx };
+        }
+        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let index = Arc::clone(&self.index);
+        let cache = Arc::clone(&self.cache);
+        let stats = Arc::clone(&self.stats);
+        self.pool.execute(move || {
+            let result = answer_guarded(index.as_ref(), &request);
+            match &result {
+                Ok(answer) => cache.lock().expect("cache lock").insert(request, answer.clone()),
+                Err(_) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let _ = tx.send(result);
+        });
+        Ticket { rx }
+    }
+
+    /// Answers a batch of requests concurrently, preserving input order.
+    ///
+    /// Identical requests inside the batch are answered once and fanned out;
+    /// previously served requests are answered from the LRU cache.
+    ///
+    /// # Errors
+    /// Fails if any request fails (the first error in input order wins).
+    pub fn serve_batch(&self, requests: &[I::Request]) -> Result<Vec<I::Answer>> {
+        let mut answers: Vec<Option<I::Answer>> = vec![None; requests.len()];
+        self.stats
+            .served
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+
+        // Deduplicate: positions sharing a request share one computation.
+        let mut groups: cqap_common::FxHashMap<&I::Request, Vec<usize>> =
+            cqap_common::FxHashMap::default();
+        groups.reserve(requests.len());
+        for (position, request) in requests.iter().enumerate() {
+            groups.entry(request).or_default().push(position);
+        }
+
+        // One pass under the cache lock to split hits from misses — the
+        // lock covers only the O(1) lookups (one clone per *distinct* hit);
+        // per-position fan-out cloning and dispatch happen after release,
+        // because workers insert their answers into the same cache and
+        // must not queue behind the dispatcher.
+        let mut hits: Vec<(I::Answer, Vec<usize>)> = Vec::new();
+        let mut misses: Vec<(I::Request, Vec<usize>)> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (request, positions) in groups {
+                let duplicates = positions.len() as u64 - 1;
+                self.stats.dedup_hits.fetch_add(duplicates, Ordering::Relaxed);
+                if let Some(answer) = cache.get(request) {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    hits.push((answer, positions));
+                    continue;
+                }
+                self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                misses.push((request.clone(), positions));
+            }
+        }
+        for (answer, positions) in hits {
+            for position in positions {
+                answers[position] = Some(answer.clone());
+            }
+        }
+
+        let (tx, rx) = mpsc::channel::<(Vec<usize>, Result<I::Answer>)>();
+        let dispatched = misses.len();
+        for (request, positions) in misses {
+            let tx = tx.clone();
+            let index = Arc::clone(&self.index);
+            let cache = Arc::clone(&self.cache);
+            let stats = Arc::clone(&self.stats);
+            self.pool.execute(move || {
+                let result = answer_guarded(index.as_ref(), &request);
+                match &result {
+                    Ok(answer) => cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(request, answer.clone()),
+                    Err(_) => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let _ = tx.send((positions, result));
+            });
+        }
+        drop(tx);
+
+        let mut first_error: Option<(usize, CqapError)> = None;
+        for _ in 0..dispatched {
+            let (positions, result) = rx
+                .recv()
+                .map_err(|_| CqapError::Other("serve worker disappeared".into()))?;
+            match result {
+                Ok(answer) => {
+                    for position in positions {
+                        answers[position] = Some(answer.clone());
+                    }
+                }
+                Err(error) => {
+                    let position = positions[0];
+                    if first_error.as_ref().is_none_or(|(p, _)| position < *p) {
+                        first_error = Some((position, error));
+                    }
+                }
+            }
+        }
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+        Ok(answers
+            .into_iter()
+            .map(|a| a.expect("every position answered or errored"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_decomp::families as pf;
+    use cqap_panda::CqapIndex;
+    use cqap_query::workload::{graph_pair_requests, Graph};
+    use cqap_query::AccessRequest;
+
+    fn small_index() -> (Arc<CqapIndex>, Vec<AccessRequest>) {
+        let (cqap, pmtds) = pf::pmtds_3reach_fig1().unwrap();
+        let g = Graph::random(30, 130, 17);
+        let db = g.as_path_database(3);
+        let index = Arc::new(CqapIndex::build(&cqap, &db, &pmtds).unwrap());
+        let requests: Vec<AccessRequest> = graph_pair_requests(&g, 60, 19)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        (index, requests)
+    }
+
+    #[test]
+    fn batch_matches_sequential_in_order() {
+        let (index, requests) = small_index();
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 4,
+                cache_capacity: 16,
+            },
+        );
+        let parallel = runtime.serve_batch(&requests).unwrap();
+        for (request, answer) in requests.iter().zip(&parallel) {
+            assert_eq!(answer, &index.answer(request).unwrap());
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeats() {
+        let (index, requests) = small_index();
+        let runtime = ServeRuntime::new(index);
+        let first = runtime.serve_batch(&requests[..10]).unwrap();
+        let second = runtime.serve_batch(&requests[..10]).unwrap();
+        assert_eq!(first, second);
+        let stats = runtime.stats();
+        assert_eq!(stats.served, 20);
+        assert!(
+            stats.cache_hits + stats.dedup_hits >= 10,
+            "second pass should be answered without index probes: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn duplicates_within_a_batch_are_computed_once() {
+        let (index, requests) = small_index();
+        let runtime = ServeRuntime::with_config(
+            index,
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 64,
+            },
+        );
+        let repeated: Vec<AccessRequest> = std::iter::repeat(requests[0].clone()).take(50).collect();
+        let answers = runtime.serve_batch(&repeated).unwrap();
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
+        let stats = runtime.stats();
+        assert_eq!(stats.cache_misses, 1, "one probe for 50 duplicates");
+        assert_eq!(stats.dedup_hits, 49, "duplicates are dedup, not LRU, hits");
+        assert_eq!(stats.cache_hits, 0, "nothing was in the LRU yet");
+    }
+
+    #[test]
+    fn submit_tickets_resolve() {
+        let (index, requests) = small_index();
+        let runtime = ServeRuntime::new(Arc::clone(&index));
+        let tickets: Vec<_> = requests
+            .iter()
+            .take(20)
+            .map(|r| runtime.submit(r.clone()))
+            .collect();
+        for (request, ticket) in requests.iter().zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), index.answer(request).unwrap());
+        }
+    }
+
+    #[test]
+    fn submit_cache_hit_resolves_without_pool() {
+        let (index, requests) = small_index();
+        let runtime = ServeRuntime::new(index);
+        runtime.submit(requests[0].clone()).wait().unwrap();
+        let ticket = runtime.submit(requests[0].clone());
+        // A cache hit is sent synchronously, so the answer is already there.
+        assert!(ticket.try_wait().is_some());
+        assert_eq!(runtime.stats().cache_hits, 1);
+    }
+
+    /// A deliberately faulty index: one poison key panics mid-answer.
+    struct PanicIndex;
+
+    impl crate::BatchAnswer for PanicIndex {
+        type Request = u64;
+        type Answer = u64;
+
+        fn answer_one(&self, request: &u64) -> cqap_common::Result<u64> {
+            assert!(*request != 13, "poison key");
+            Ok(request * 2)
+        }
+    }
+
+    #[test]
+    fn panicking_request_becomes_an_error_not_a_dead_runtime() {
+        let runtime = ServeRuntime::with_config(
+            Arc::new(PanicIndex),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 8,
+            },
+        );
+        let error = runtime.submit(13).wait().expect_err("poison key fails");
+        assert!(
+            error.to_string().contains("request panicked"),
+            "got: {error}"
+        );
+        assert_eq!(runtime.stats().errors, 1);
+        // The runtime is still alive and serving.
+        assert_eq!(runtime.submit(7).wait().unwrap(), 14);
+        // In a batch, the panic fails the batch without hanging it.
+        assert!(runtime.serve_batch(&[1, 13, 2]).is_err());
+        assert_eq!(runtime.serve_batch(&[1, 2, 3]).unwrap(), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn invalid_request_surfaces_as_error() {
+        let (index, requests) = small_index();
+        let runtime = ServeRuntime::new(index);
+        // Wrong arity for the access pattern: the driver rejects it.
+        let bad = AccessRequest::new(requests[0].access(), vec![cqap_common::Tuple::unary(1)]);
+        assert!(bad.is_err(), "arity is validated at construction");
+        // Errors from the index surface through serve_batch: a request over
+        // the wrong access variables reaches the driver and fails there.
+        let wrong_vars =
+            AccessRequest::single(cqap_common::VarSet::from_iter([0, 1]), &[0, 1]).unwrap();
+        let mut batch = requests[..3].to_vec();
+        batch.push(wrong_vars);
+        assert!(runtime.serve_batch(&batch).is_err());
+    }
+}

@@ -11,6 +11,63 @@
 //!   PMTD's S-views (materialized, probe-only) and T-views (computed
 //!   online), in time that depends on the T-views and the output but *not*
 //!   on the size of the S-views (Theorem 3.7).
+//!
+//! ## Quick start
+//!
+//! The ground-truth evaluator answers any CQAP from scratch:
+//!
+//! ```
+//! use cqap_decomp::families::pmtds_3reach_fig1;
+//! use cqap_query::AccessRequest;
+//! use cqap_query::workload::Graph;
+//! use cqap_yannakakis::naive_answer;
+//!
+//! let (cqap, _pmtds) = pmtds_3reach_fig1().unwrap();
+//! let graph = Graph::random(40, 160, 7);
+//! let db = graph.as_path_database(3);
+//! let request = AccessRequest::single(cqap.access(), &[0, 1]).unwrap();
+//! let answer = naive_answer(&cqap, &db, &request).unwrap();
+//! assert!(answer.len() <= 1, "Boolean-given-access CQAP");
+//! ```
+//!
+//! Online Yannakakis answers the same request from a PMTD's preprocessed
+//! S-views. The fully materialized PMTD of Figure 1 (the `(S14)` plan)
+//! has no T-views at all, so the online phase is a pure index probe:
+//!
+//! ```
+//! use cqap_decomp::families::pmtds_3reach_fig1;
+//! use cqap_query::AccessRequest;
+//! use cqap_query::workload::Graph;
+//! use cqap_yannakakis::naive::full_join;
+//! use cqap_yannakakis::{naive_answer, OnlineYannakakis};
+//!
+//! let (cqap, pmtds) = pmtds_3reach_fig1().unwrap();
+//! let graph = Graph::random(40, 160, 7);
+//! let db = graph.as_path_database(3);
+//!
+//! // The third Figure 1 PMTD materializes its single bag as an S-view.
+//! let pmtd = pmtds[2].clone();
+//! let evaluator = OnlineYannakakis::new(pmtd.clone());
+//!
+//! // Preprocessing: S-views are semijoin-reduced projections of the full
+//! // join (what the paper's preprocessing phase guarantees).
+//! let full = full_join(&cqap, &db).unwrap();
+//! let s_views: Vec<_> = pmtd
+//!     .materialization_set()
+//!     .into_iter()
+//!     .map(|node| (node, full.project_onto(pmtd.view_schema(node)).unwrap()))
+//!     .collect();
+//! let preprocessed = evaluator.preprocess(&s_views).unwrap();
+//!
+//! // Online: no T-views to compute; every answer matches the naive one.
+//! for (u, v) in [(0, 1), (3, 7), (12, 4)] {
+//!     let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+//!     assert_eq!(
+//!         evaluator.answer(&preprocessed, &[], &request).unwrap(),
+//!         naive_answer(&cqap, &db, &request).unwrap(),
+//!     );
+//! }
+//! ```
 
 pub mod naive;
 pub mod online;

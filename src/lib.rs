@@ -18,6 +18,10 @@
 //!   Table 1 / Figure 4 analysis entry points.
 //! * [`indexes`] — the concrete budget-parameterized index structures and
 //!   baselines used by the empirical experiments.
+//! * [`serve`] — the batched, concurrent request-serving runtime: the
+//!   [`BatchAnswer`](serve::BatchAnswer) trait every index family
+//!   implements, a work-stealing thread pool, an LRU answer cache and
+//!   [`ServeRuntime`](serve::ServeRuntime).
 //!
 //! ## Quick start
 //!
@@ -47,6 +51,7 @@ pub use cqap_indexes as indexes;
 pub use cqap_panda as panda;
 pub use cqap_query as query;
 pub use cqap_relation as relation;
+pub use cqap_serve as serve;
 pub use cqap_yannakakis as yannakakis;
 
 /// The most commonly used items, for glob import in examples and tests.
@@ -63,5 +68,6 @@ pub mod prelude {
     pub use cqap_query::workload::{Graph, SetFamily};
     pub use cqap_query::{AccessRequest, ConjunctiveQuery, Cqap, Hypergraph};
     pub use cqap_relation::{Database, Relation, Schema};
+    pub use cqap_serve::{BatchAnswer, ServeConfig, ServeRuntime};
     pub use cqap_yannakakis::{naive_answer, OnlineYannakakis};
 }
