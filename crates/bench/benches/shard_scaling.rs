@@ -1,0 +1,126 @@
+//! Shard-count scaling of the hash-sharded serving stack.
+//!
+//! ```sh
+//! cargo bench -p cqap-bench --bench shard_scaling
+//! ```
+//!
+//! For `k ∈ {1, 2, 4}` shards, three benchmarks:
+//!
+//! * `build/k` — partition the database and build the `k` `CqapIndex`
+//!   shards concurrently (the build-parallelism claim: on a multi-core
+//!   runner build time drops as `k` grows, on one core it is flat);
+//! * `serve_singles/k` — scatter a zipf-skewed single-binding stream
+//!   across the per-shard runtimes via `answer_batch_parallel` over the
+//!   [`ShardRouter`] (no front cache, so this isolates routing + shard
+//!   probing; per-shard caches warm after the first sample);
+//! * `serve_multi/k` — multi-binding requests that split across shards,
+//!   exercising the scatter-gather union path.
+//!
+//! This bench always emits an outlier-robust JSON baseline: it defaults
+//! `BENCH_BASELINE` to `local`, so the criterion shim writes
+//! `BENCH_shard_scaling_<name>.json` (median/MAD per benchmark) for
+//! cross-PR diffing. Set `BENCH_BASELINE=pr42` to name the dump.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqap_common::Tuple;
+use cqap_decomp::families::pmtds_3reach_fig1;
+use cqap_panda::CqapIndex;
+use cqap_query::workload::{zipf_multi_requests, zipf_pair_requests, Graph};
+use cqap_query::AccessRequest;
+use cqap_serve::{answer_batch_parallel, default_threads};
+use cqap_shard::{ShardRouter, ShardedIndex};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Defaults `BENCH_BASELINE` so this bench always dumps its JSON baseline
+/// (the shim only writes when the variable is set).
+fn ensure_baseline_named() {
+    if std::env::var("BENCH_BASELINE").map_or(true, |v| v.is_empty()) {
+        std::env::set_var("BENCH_BASELINE", "local");
+    }
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    ensure_baseline_named();
+    let (cqap, pmtds) = pmtds_3reach_fig1().expect("paper PMTDs");
+    let graph = Graph::skewed(700, 4_000, 8, 220, 7);
+    let db = graph.as_path_database(3);
+    let singles: Vec<AccessRequest> = zipf_pair_requests(&graph, 400, 1.05, 11)
+        .into_iter()
+        .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).expect("valid"))
+        .collect();
+    let multis: Vec<AccessRequest> = zipf_multi_requests(&graph, 80, 5, 1.05, 13)
+        .into_iter()
+        .map(|tuples| {
+            let tuples: Vec<Tuple> = tuples.into_iter().map(|(u, v)| Tuple::pair(u, v)).collect();
+            AccessRequest::new(cqap.access(), tuples).expect("valid")
+        })
+        .collect();
+    let threads = default_threads();
+
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(5);
+    for k in SHARD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("build", k), &k, |b, &k| {
+            b.iter(|| black_box(ShardedIndex::build(&cqap, &db, &pmtds, k).expect("build")))
+        });
+
+        let router =
+            ShardRouter::new(ShardedIndex::build(&cqap, &db, &pmtds, k).expect("build"));
+        group.bench_with_input(
+            BenchmarkId::new("serve_singles", k),
+            &router,
+            |b, router| {
+                b.iter(|| black_box(answer_batch_parallel(router, &singles, threads).expect("serve")))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("serve_multi", k), &router, |b, router| {
+            b.iter(|| black_box(answer_batch_parallel(router, &multis, threads).expect("serve")))
+        });
+    }
+    group.finish();
+}
+
+/// Prints the correctness + balance headline: sharded answers are checked
+/// identical to the unsharded reference, and the per-shard request load is
+/// reported so hash skew is visible in the bench output.
+fn bench_headline_balance(_c: &mut Criterion) {
+    ensure_baseline_named();
+    let (cqap, pmtds) = pmtds_3reach_fig1().expect("paper PMTDs");
+    let graph = Graph::skewed(700, 4_000, 8, 220, 7);
+    let db = graph.as_path_database(3);
+    let reference = CqapIndex::build(&cqap, &db, &pmtds).expect("reference build");
+    let requests: Vec<AccessRequest> = zipf_pair_requests(&graph, 400, 1.05, 17)
+        .into_iter()
+        .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).expect("valid"))
+        .collect();
+
+    let sharded = ShardedIndex::build(&cqap, &db, &pmtds, 4).expect("sharded build");
+    let router = ShardRouter::new(sharded);
+    for request in &requests {
+        use cqap_serve::BatchAnswer;
+        assert_eq!(
+            *router.answer_one(request).expect("routed answer"),
+            reference.answer(request).expect("reference answer"),
+            "sharded serving must be exact"
+        );
+    }
+    let loads: Vec<u64> = router.shard_stats().iter().map(|s| s.served).collect();
+    // The workload-side partition helper and the router agree on placement
+    // (both route by the hash of the first access value — the routing
+    // variable's binding).
+    let expected: Vec<u64> =
+        cqap_query::workload::partition_by_shard(requests.clone(), 4, |r| r.tuples()[0].get(0))
+            .iter()
+            .map(|part| part.len() as u64)
+            .collect();
+    assert_eq!(loads, expected, "helper and router disagree on placement");
+    println!(
+        "headline: 400 zipf requests over 4 shards, all answers exact; per-shard load {loads:?}"
+    );
+}
+
+criterion_group!(benches, bench_shard_scaling, bench_headline_balance);
+criterion_main!(benches);

@@ -257,6 +257,79 @@ pub fn into_batches<T>(requests: Vec<T>, batch_size: usize) -> Vec<Vec<T>> {
     batches
 }
 
+/// Generates `n` **multi-tuple** access requests: each request carries
+/// `tuples_per_request` zipf-skewed endpoint pairs (deduplicated within the
+/// request). This is the workload shape a scatter-gather shard router has
+/// to split: one request's tuples usually hash to several shards.
+pub fn zipf_multi_requests(
+    graph: &Graph,
+    n: usize,
+    tuples_per_request: usize,
+    skew: f64,
+    seed: u64,
+) -> Vec<Vec<(Val, Val)>> {
+    assert!(tuples_per_request > 0, "requests cannot be empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = ZipfSampler::new(graph.num_vertices, skew);
+    (0..n)
+        .map(|_| {
+            let mut tuples = Vec::with_capacity(tuples_per_request);
+            let mut seen = cqap_common::FxHashSet::default();
+            // Bounded attempts, as in the other generators: under heavy
+            // skew (or tuples_per_request near the n² pair domain) fresh
+            // pairs become vanishingly rare, and the request is allowed to
+            // stay shorter rather than coupon-collecting forever.
+            let mut attempts = 0usize;
+            while tuples.len() < tuples_per_request
+                && attempts < 10 * tuples_per_request + 100
+            {
+                attempts += 1;
+                let pair = (
+                    sampler.sample(&mut rng) as Val,
+                    sampler.sample(&mut rng) as Val,
+                );
+                if seen.insert(pair) {
+                    tuples.push(pair);
+                }
+            }
+            tuples
+        })
+        .collect()
+}
+
+/// The shard a routing-key value belongs to under hash partitioning. This
+/// single function is the partition invariant shared by the `cqap-shard`
+/// data partitioner and these workload helpers — a request stream split
+/// with [`partition_by_shard`] lands each request on the shard that owns
+/// its key.
+///
+/// The hash is mapped to `0..shards` by multiply-shift over the *high*
+/// bits (Lemire's range reduction) rather than `% shards`: the Fx hash is
+/// multiplicative, so its low bits echo the key's low bits — with
+/// `% 2` shard placement would literally be key parity, and any stride in
+/// the key space (ids allocated in steps of 2 or 4) would starve shards.
+pub fn shard_of_key(key: Val, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    ((u128::from(cqap_common::hash::hash_u64(key)) * shards as u128) >> 64) as usize
+}
+
+/// Splits a request stream into `shards` per-shard streams by a routing-key
+/// function, preserving relative order within each shard (the order a
+/// per-shard runtime would observe).
+pub fn partition_by_shard<T>(
+    items: Vec<T>,
+    shards: usize,
+    key: impl Fn(&T) -> Val,
+) -> Vec<Vec<T>> {
+    assert!(shards > 0, "need at least one shard");
+    let mut out: Vec<Vec<T>> = (0..shards).map(|_| Vec::new()).collect();
+    for item in items {
+        let shard = shard_of_key(key(&item), shards);
+        out[shard].push(item);
+    }
+    out
+}
+
 /// Inverse-CDF sampler for the zipf distribution over `0..n` (rank `i` has
 /// weight `1 / (i+1)^skew`). Build cost is O(n), sampling is O(log n).
 struct ZipfSampler {
@@ -379,6 +452,68 @@ mod tests {
         let uniform = zipf_pair_requests(&g, 2_000, 0.0, 7);
         let zero_uniform = uniform.iter().filter(|&&(u, _)| u == 0).count();
         assert!(zero_uniform < 60, "uniform stream has no hot key");
+    }
+
+    #[test]
+    fn multi_tuple_requests_have_distinct_tuples() {
+        let g = Graph::random(150, 600, 5);
+        let requests = zipf_multi_requests(&g, 200, 6, 1.0, 9);
+        assert_eq!(requests.len(), 200);
+        for request in &requests {
+            assert_eq!(request.len(), 6);
+            let distinct: cqap_common::FxHashSet<_> = request.iter().collect();
+            assert_eq!(distinct.len(), 6, "tuples deduplicated within a request");
+        }
+        assert_eq!(
+            requests,
+            zipf_multi_requests(&g, 200, 6, 1.0, 9),
+            "deterministic given seed"
+        );
+    }
+
+    #[test]
+    fn shard_partition_is_total_and_order_preserving() {
+        let g = Graph::random(100, 400, 3);
+        let requests = graph_pair_requests(&g, 500, 7);
+        for shards in [1, 2, 3, 7] {
+            let parts = partition_by_shard(requests.clone(), shards, |&(u, _)| u);
+            assert_eq!(parts.len(), shards);
+            assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), requests.len());
+            for (shard, part) in parts.iter().enumerate() {
+                // Every item landed on the shard that owns its key...
+                assert!(part.iter().all(|&(u, _)| shard_of_key(u, shards) == shard));
+                // ...and relative order within the shard is preserved.
+                let expected: Vec<_> = requests
+                    .iter()
+                    .filter(|&&(u, _)| shard_of_key(u, shards) == shard)
+                    .copied()
+                    .collect();
+                assert_eq!(part, &expected);
+            }
+        }
+        // k = 1 is the identity partition.
+        let whole = partition_by_shard(requests.clone(), 1, |&(u, _)| u);
+        assert_eq!(whole[0], requests);
+    }
+
+    #[test]
+    fn strided_keys_still_spread_across_shards() {
+        // All-even keys: with `hash % k` placement over the multiplicative
+        // Fx hash, k = 2 would reduce to key parity and starve shard 1.
+        // The high-bits range reduction must keep both shards loaded.
+        let keys: Vec<Val> = (0..1_000).map(|i| 2 * i).collect();
+        for shards in [2usize, 4] {
+            let mut counts = vec![0usize; shards];
+            for &key in &keys {
+                counts[shard_of_key(key, shards)] += 1;
+            }
+            for (shard, &count) in counts.iter().enumerate() {
+                assert!(
+                    count > keys.len() / shards / 4,
+                    "shard {shard} starved under stride-2 keys: {counts:?}"
+                );
+            }
+        }
     }
 
     #[test]

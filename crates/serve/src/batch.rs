@@ -38,8 +38,10 @@ pub trait BatchAnswer: Send + Sync {
     /// duplicate requests within a batch deduplicated.
     type Request: Clone + Eq + Hash + Send + Sync + 'static;
 
-    /// The per-request answer.
-    type Answer: Clone + Send + 'static;
+    /// The per-request answer. `Sync` so the runtime can share one answer
+    /// across threads behind an `Arc` (the cache and every waiter on an
+    /// in-flight probe hold the same allocation).
+    type Answer: Clone + Send + Sync + 'static;
 
     /// Answers a single request.
     ///

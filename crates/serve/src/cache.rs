@@ -9,7 +9,8 @@
 //! plus an intrusive doubly-linked recency list over a slab of slots. It is
 //! deliberately not thread-safe on its own; the runtime wraps it in a
 //! `Mutex`, which is sufficient because the critical section is a handful
-//! of pointer swaps.
+//! of pointer swaps. The runtime instantiates the value type as
+//! `Arc<Answer>`, so the per-hit value clone is a refcount bump.
 
 use cqap_common::FxHashMap;
 use std::hash::Hash;

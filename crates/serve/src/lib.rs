@@ -18,11 +18,14 @@
 //!   distribution plus steal-half-from-a-victim rebalances skewed batches.
 //! * [`LruCache`] — an O(1) LRU answer cache keyed by the request (for the
 //!   driver that is the `(access, tuples)` pair), so zipfian request
-//!   streams hit hot answers without re-running the online phase.
+//!   streams hit hot answers without re-running the online phase. The
+//!   runtime stores `Arc<Answer>` values, so hits and inserts inside the
+//!   cache mutex are refcount bumps, never deep `Relation` clones.
 //! * [`ServeRuntime`] — ties the three together: `Arc`-shared immutable
 //!   index, per-request result channels ([`Ticket`]), order-preserving
-//!   batch serving with intra-batch deduplication, and [`ServeStats`]
-//!   counters.
+//!   batch serving with intra-batch deduplication, in-flight probe sharing
+//!   across concurrent submitters (no thundering herd on a hot key), and
+//!   [`ServeStats`] counters.
 //!
 //! ## Worked example: serving a 1 000-request batch
 //!
@@ -57,10 +60,12 @@
 //! );
 //! let answers = runtime.serve_batch(&requests).unwrap();
 //!
-//! // Concurrent answers match the sequential reference, in order.
+//! // Concurrent answers match the sequential reference, in order. Answers
+//! // come back as `Arc<Relation>`: duplicates of a hot request share one
+//! // allocation instead of cloning the relation per position.
 //! assert_eq!(answers.len(), 1_000);
 //! for (request, answer) in requests.iter().zip(&answers) {
-//!     assert_eq!(answer, &index.answer(request).unwrap());
+//!     assert_eq!(answer.as_ref(), &index.answer(request).unwrap());
 //! }
 //!
 //! // The zipf skew means many requests repeat: in this first (cold-cache)

@@ -10,6 +10,17 @@
 //!   (a one-shot result channel) back, for callers that interleave
 //!   submission with other work.
 //!
+//! Answers are handed out as `Arc<Answer>`: the cache stores the same
+//! `Arc`, so a hit inside the global cache mutex is a refcount bump rather
+//! than a deep `Relation` clone, and fanning one answer out to many
+//! duplicate requests shares a single allocation.
+//!
+//! Concurrent [`ServeRuntime::submit`]s of the same key are collapsed by an
+//! in-flight pending map: the first caller probes the index, later callers
+//! register as waiters on the same probe (counted as
+//! [`ServeStats::inflight_hits`]), so a hot key never causes a thundering
+//! herd of identical index probes.
+//!
 //! The index is `Arc`-shared and never mutated after construction, which is
 //! exactly the paper's regime: the preprocessing phase fixes the
 //! materialized views within the space budget, and the online phase is
@@ -18,7 +29,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
-use cqap_common::{CqapError, Result};
+use cqap_common::{CqapError, FxHashMap, Result};
 
 use crate::batch::BatchAnswer;
 use crate::cache::LruCache;
@@ -55,10 +66,31 @@ pub struct ServeStats {
     /// from [`ServeStats::cache_hits`] so cache-policy effectiveness and
     /// dedup savings stay independently measurable.
     pub dedup_hits: u64,
+    /// Requests answered by joining an index probe that was already in
+    /// flight for the same key (cross-caller deduplication), instead of
+    /// re-probing the index.
+    pub inflight_hits: u64,
     /// Requests that had to probe the index.
     pub cache_misses: u64,
-    /// Requests whose answering returned an error.
+    /// Index probes that returned an error (counted once per probe; every
+    /// waiter joined to the probe receives a clone of the error).
     pub errors: u64,
+}
+
+impl ServeStats {
+    /// Field-wise sum of two stats snapshots — the aggregation a router
+    /// over several per-shard runtimes uses to report fleet-wide counters.
+    #[must_use]
+    pub fn merge(self, other: ServeStats) -> ServeStats {
+        ServeStats {
+            served: self.served + other.served,
+            cache_hits: self.cache_hits + other.cache_hits,
+            dedup_hits: self.dedup_hits + other.dedup_hits,
+            inflight_hits: self.inflight_hits + other.inflight_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            errors: self.errors + other.errors,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -66,6 +98,7 @@ struct StatsCells {
     served: AtomicU64,
     cache_hits: AtomicU64,
     dedup_hits: AtomicU64,
+    inflight_hits: AtomicU64,
     cache_misses: AtomicU64,
     errors: AtomicU64,
 }
@@ -76,6 +109,7 @@ impl StatsCells {
             served: self.served.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            inflight_hits: self.inflight_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
         }
@@ -129,12 +163,46 @@ fn answer_guarded<I: BatchAnswer>(index: &I, request: &I::Request) -> Result<I::
         })
 }
 
+/// Clones a probe result for fan-out to waiters: `Ok` is a refcount bump,
+/// `Err` clones the (small) error value.
+fn clone_result<A>(result: &Result<Arc<A>>) -> Result<Arc<A>> {
+    match result {
+        Ok(answer) => Ok(Arc::clone(answer)),
+        Err(error) => Err(error.clone()),
+    }
+}
+
+/// The mutable online state, behind one mutex: the LRU answer cache plus
+/// the in-flight pending map. Holding both under a single lock makes the
+/// "check cache, then join or register a probe" sequence atomic, so two
+/// concurrent submits of one key can never both miss the pending map.
+///
+/// The cache stores `Arc<Answer>`: hits and inserts inside the critical
+/// section are refcount bumps, never deep answer clones.
+struct OnlineState<I: BatchAnswer> {
+    cache: LruCache<I::Request, Arc<I::Answer>>,
+    /// Keys currently being probed by a pool worker, each with the result
+    /// channels of callers that arrived while the probe was in flight.
+    pending: FxHashMap<I::Request, Vec<mpsc::Sender<Result<Arc<I::Answer>>>>>,
+}
+
+/// What the state lookup decided for one distinct request key.
+enum Lookup<I: BatchAnswer> {
+    /// The answer was cached.
+    Hit(Arc<I::Answer>),
+    /// A probe for this key is already in flight; the caller's channel was
+    /// registered as a waiter.
+    Joined,
+    /// The caller must probe the index (a pending entry was registered).
+    Probe,
+}
+
 /// A concurrent, caching request-serving runtime over a shared immutable
 /// index.
 pub struct ServeRuntime<I: BatchAnswer + 'static> {
     index: Arc<I>,
     pool: WorkStealingPool,
-    cache: Arc<Mutex<LruCache<I::Request, I::Answer>>>,
+    state: Arc<Mutex<OnlineState<I>>>,
     stats: Arc<StatsCells>,
 }
 
@@ -149,7 +217,10 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         ServeRuntime {
             index,
             pool: WorkStealingPool::new(config.threads),
-            cache: Arc::new(Mutex::new(LruCache::new(config.cache_capacity))),
+            state: Arc::new(Mutex::new(OnlineState {
+                cache: LruCache::new(config.cache_capacity),
+                pending: FxHashMap::default(),
+            })),
             stats: Arc::new(StatsCells::default()),
         }
     }
@@ -169,113 +240,138 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         self.stats.snapshot()
     }
 
-    /// Submits one request; the returned [`Ticket`] resolves to its answer.
-    /// Cache hits resolve immediately without entering the pool.
-    pub fn submit(&self, request: I::Request) -> Ticket<I::Answer> {
-        let (tx, rx) = mpsc::channel();
-        self.stats.served.fetch_add(1, Ordering::Relaxed);
-        if let Some(answer) = self.cache.lock().expect("cache lock").get(&request) {
+    /// Atomically consults the cache and the pending map for `request`,
+    /// registering `tx` as a waiter (on an in-flight probe) or a new
+    /// pending entry (when the caller must probe) as appropriate.
+    fn lookup(
+        &self,
+        request: &I::Request,
+        tx: &mpsc::Sender<Result<Arc<I::Answer>>>,
+    ) -> Lookup<I> {
+        let mut state = self.state.lock().expect("state lock");
+        if let Some(answer) = state.cache.get(request) {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(Ok(answer));
-            return Ticket { rx };
+            return Lookup::Hit(answer);
+        }
+        if let Some(waiters) = state.pending.get_mut(request) {
+            self.stats.inflight_hits.fetch_add(1, Ordering::Relaxed);
+            waiters.push(tx.clone());
+            return Lookup::Joined;
         }
         self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        state.pending.insert(request.clone(), Vec::new());
+        Lookup::Probe
+    }
+
+    /// Runs one index probe on the pool: computes the answer, publishes it
+    /// to the cache, drains the waiters registered while the probe was in
+    /// flight, and finally resolves `tx`.
+    fn dispatch_probe(&self, request: I::Request, tx: mpsc::Sender<Result<Arc<I::Answer>>>) {
         let index = Arc::clone(&self.index);
-        let cache = Arc::clone(&self.cache);
+        let state = Arc::clone(&self.state);
         let stats = Arc::clone(&self.stats);
         self.pool.execute(move || {
-            let result = answer_guarded(index.as_ref(), &request);
-            match &result {
-                Ok(answer) => cache.lock().expect("cache lock").insert(request, answer.clone()),
-                Err(_) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
+            let result = answer_guarded(index.as_ref(), &request).map(Arc::new);
+            if result.is_err() {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let waiters = {
+                let mut state = state.lock().expect("state lock");
+                if let Ok(answer) = &result {
+                    state.cache.insert(request.clone(), Arc::clone(answer));
                 }
+                state.pending.remove(&request).unwrap_or_default()
+            };
+            for waiter in waiters {
+                let _ = waiter.send(clone_result(&result));
             }
             let _ = tx.send(result);
         });
+    }
+
+    /// Submits one request; the returned [`Ticket`] resolves to its answer.
+    /// Cache hits resolve immediately without entering the pool, and
+    /// concurrent submits of one key share a single index probe.
+    pub fn submit(&self, request: I::Request) -> Ticket<Arc<I::Answer>> {
+        let (tx, rx) = mpsc::channel();
+        self.stats.served.fetch_add(1, Ordering::Relaxed);
+        match self.lookup(&request, &tx) {
+            Lookup::Hit(answer) => {
+                let _ = tx.send(Ok(answer));
+            }
+            Lookup::Joined => {}
+            Lookup::Probe => self.dispatch_probe(request, tx),
+        }
         Ticket { rx }
     }
 
     /// Answers a batch of requests concurrently, preserving input order.
     ///
-    /// Identical requests inside the batch are answered once and fanned out;
-    /// previously served requests are answered from the LRU cache.
+    /// Identical requests inside the batch are answered once and fanned out
+    /// (sharing one `Arc`); previously served requests are answered from
+    /// the LRU cache; requests whose probe is already in flight (from a
+    /// concurrent `submit` or batch) join that probe instead of re-running
+    /// it.
     ///
     /// # Errors
     /// Fails if any request fails (the first error in input order wins).
-    pub fn serve_batch(&self, requests: &[I::Request]) -> Result<Vec<I::Answer>> {
-        let mut answers: Vec<Option<I::Answer>> = vec![None; requests.len()];
+    pub fn serve_batch(&self, requests: &[I::Request]) -> Result<Vec<Arc<I::Answer>>> {
+        let mut answers: Vec<Option<Arc<I::Answer>>> = vec![None; requests.len()];
         self.stats
             .served
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
 
         // Deduplicate: positions sharing a request share one computation.
-        let mut groups: cqap_common::FxHashMap<&I::Request, Vec<usize>> =
-            cqap_common::FxHashMap::default();
+        let mut groups: FxHashMap<&I::Request, Vec<usize>> = FxHashMap::default();
         groups.reserve(requests.len());
         for (position, request) in requests.iter().enumerate() {
             groups.entry(request).or_default().push(position);
         }
 
-        // One pass under the cache lock to split hits from misses — the
-        // lock covers only the O(1) lookups (one clone per *distinct* hit);
-        // per-position fan-out cloning and dispatch happen after release,
-        // because workers insert their answers into the same cache and
-        // must not queue behind the dispatcher.
-        let mut hits: Vec<(I::Answer, Vec<usize>)> = Vec::new();
-        let mut misses: Vec<(I::Request, Vec<usize>)> = Vec::new();
+        // One state-lock pass to split hits / in-flight joins / fresh
+        // probes — the lock covers only O(1) lookups and refcount bumps;
+        // fan-out and dispatch happen after release, because workers
+        // publish their answers into the same state and must not queue
+        // behind the dispatcher.
+        let mut hits: Vec<(Arc<I::Answer>, Vec<usize>)> = Vec::new();
+        let mut probes: Vec<(I::Request, Vec<usize>)> = Vec::new();
+        // Probes already in flight elsewhere that this batch joined:
+        // `(receiver, positions)`, resolved by the owning caller's worker.
+        let mut joined: Vec<(mpsc::Receiver<Result<Arc<I::Answer>>>, Vec<usize>)> = Vec::new();
         {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut state = self.state.lock().expect("state lock");
             for (request, positions) in groups {
                 let duplicates = positions.len() as u64 - 1;
                 self.stats.dedup_hits.fetch_add(duplicates, Ordering::Relaxed);
-                if let Some(answer) = cache.get(request) {
+                if let Some(answer) = state.cache.get(request) {
                     self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     hits.push((answer, positions));
-                    continue;
+                } else if let Some(waiters) = state.pending.get_mut(request) {
+                    self.stats.inflight_hits.fetch_add(1, Ordering::Relaxed);
+                    let (wtx, wrx) = mpsc::channel();
+                    waiters.push(wtx);
+                    joined.push((wrx, positions));
+                } else {
+                    self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    state.pending.insert(request.clone(), Vec::new());
+                    probes.push((request.clone(), positions));
                 }
-                self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-                misses.push((request.clone(), positions));
             }
         }
         for (answer, positions) in hits {
             for position in positions {
-                answers[position] = Some(answer.clone());
+                answers[position] = Some(Arc::clone(&answer));
             }
         }
 
-        let (tx, rx) = mpsc::channel::<(Vec<usize>, Result<I::Answer>)>();
-        let dispatched = misses.len();
-        for (request, positions) in misses {
-            let tx = tx.clone();
-            let index = Arc::clone(&self.index);
-            let cache = Arc::clone(&self.cache);
-            let stats = Arc::clone(&self.stats);
-            self.pool.execute(move || {
-                let result = answer_guarded(index.as_ref(), &request);
-                match &result {
-                    Ok(answer) => cache
-                        .lock()
-                        .expect("cache lock")
-                        .insert(request, answer.clone()),
-                    Err(_) => {
-                        stats.errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                let _ = tx.send((positions, result));
-            });
-        }
-        drop(tx);
-
         let mut first_error: Option<(usize, CqapError)> = None;
-        for _ in 0..dispatched {
-            let (positions, result) = rx
-                .recv()
-                .map_err(|_| CqapError::Other("serve worker disappeared".into()))?;
+        let mut record = |result: Result<Arc<I::Answer>>,
+                          positions: Vec<usize>,
+                          answers: &mut Vec<Option<Arc<I::Answer>>>| {
             match result {
                 Ok(answer) => {
                     for position in positions {
-                        answers[position] = Some(answer.clone());
+                        answers[position] = Some(Arc::clone(&answer));
                     }
                 }
                 Err(error) => {
@@ -285,6 +381,23 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
                     }
                 }
             }
+        };
+
+        // Dispatch this batch's own probes; results come back tagged with
+        // their position group via a side channel per probe.
+        let mut own: Vec<(mpsc::Receiver<Result<Arc<I::Answer>>>, Vec<usize>)> =
+            Vec::with_capacity(probes.len());
+        for (request, positions) in probes {
+            let (ptx, prx) = mpsc::channel();
+            self.dispatch_probe(request, ptx);
+            own.push((prx, positions));
+        }
+
+        for (prx, positions) in own.into_iter().chain(joined) {
+            let result = prx
+                .recv()
+                .map_err(|_| CqapError::Other("serve worker disappeared".into()))?;
+            record(result, positions, &mut answers);
         }
         if let Some((_, error)) = first_error {
             return Err(error);
@@ -328,7 +441,7 @@ mod tests {
         );
         let parallel = runtime.serve_batch(&requests).unwrap();
         for (request, answer) in requests.iter().zip(&parallel) {
-            assert_eq!(answer, &index.answer(request).unwrap());
+            assert_eq!(answer.as_ref(), &index.answer(request).unwrap());
         }
     }
 
@@ -376,7 +489,7 @@ mod tests {
             .map(|r| runtime.submit(r.clone()))
             .collect();
         for (request, ticket) in requests.iter().zip(tickets) {
-            assert_eq!(ticket.wait().unwrap(), index.answer(request).unwrap());
+            assert_eq!(*ticket.wait().unwrap(), index.answer(request).unwrap());
         }
     }
 
@@ -420,10 +533,153 @@ mod tests {
         );
         assert_eq!(runtime.stats().errors, 1);
         // The runtime is still alive and serving.
-        assert_eq!(runtime.submit(7).wait().unwrap(), 14);
+        assert_eq!(*runtime.submit(7).wait().unwrap(), 14);
         // In a batch, the panic fails the batch without hanging it.
         assert!(runtime.serve_batch(&[1, 13, 2]).is_err());
-        assert_eq!(runtime.serve_batch(&[1, 2, 3]).unwrap(), vec![2, 4, 6]);
+        let ok: Vec<u64> = runtime
+            .serve_batch(&[1, 2, 3])
+            .unwrap()
+            .into_iter()
+            .map(|a| *a)
+            .collect();
+        assert_eq!(ok, vec![2, 4, 6]);
+    }
+
+    /// An index whose probes block until the test releases them, with a
+    /// probe counter — the tool for deterministic thundering-herd tests.
+    struct GatedIndex {
+        gate: Mutex<mpsc::Receiver<()>>,
+        probes: AtomicU64,
+    }
+
+    impl GatedIndex {
+        fn new() -> (Arc<Self>, mpsc::Sender<()>) {
+            let (tx, rx) = mpsc::channel();
+            (
+                Arc::new(GatedIndex {
+                    gate: Mutex::new(rx),
+                    probes: AtomicU64::new(0),
+                }),
+                tx,
+            )
+        }
+    }
+
+    impl crate::BatchAnswer for GatedIndex {
+        type Request = u64;
+        type Answer = u64;
+
+        fn answer_one(&self, request: &u64) -> cqap_common::Result<u64> {
+            self.probes.fetch_add(1, Ordering::Relaxed);
+            self.gate
+                .lock()
+                .expect("gate lock")
+                .recv()
+                .expect("gate open");
+            if *request == 13 {
+                return Err(cqap_common::CqapError::Other("poison key".into()));
+            }
+            Ok(request * 10)
+        }
+    }
+
+    #[test]
+    fn concurrent_submits_of_one_key_share_a_single_probe() {
+        let (index, gate) = GatedIndex::new();
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 4,
+                cache_capacity: 8,
+            },
+        );
+        // Ten submits of the hot key while the first probe is blocked on
+        // the gate: nine must join the in-flight probe.
+        let tickets: Vec<_> = (0..10).map(|_| runtime.submit(5)).collect();
+        // Nothing has resolved yet (the probe is gated).
+        assert!(tickets[0].try_wait().is_none());
+        gate.send(()).expect("worker waiting");
+        for ticket in tickets {
+            assert_eq!(*ticket.wait().unwrap(), 50);
+        }
+        assert_eq!(index.probes.load(Ordering::Relaxed), 1, "one probe total");
+        let stats = runtime.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.inflight_hits, 9);
+        assert_eq!(stats.served, 10);
+        // The answer is now cached: an eleventh submit is a cache hit.
+        assert_eq!(*runtime.submit(5).wait().unwrap(), 50);
+        assert_eq!(runtime.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn serve_batch_joins_probes_already_in_flight() {
+        let (index, gate) = GatedIndex::new();
+        let runtime = Arc::new(ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 4,
+                cache_capacity: 8,
+            },
+        ));
+        // A submit starts a gated probe of key 7...
+        let ticket = runtime.submit(7);
+        // ...then a batch containing 7 (twice) and a fresh key 8 arrives on
+        // another thread. It must join the in-flight probe of 7, not rerun
+        // it.
+        let batch_runtime = Arc::clone(&runtime);
+        let batch = std::thread::spawn(move || batch_runtime.serve_batch(&[7, 8, 7]).unwrap());
+        // Wait until the batch has registered (it joins 7's probe in the
+        // same locked pass that dispatches 8's), then release both gated
+        // probes. 7's probe cannot complete before the batch registers,
+        // because no gate token has been sent yet.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while runtime.stats().inflight_hits == 0 {
+            assert!(std::time::Instant::now() < deadline, "batch never joined");
+            std::thread::yield_now();
+        }
+        gate.send(()).expect("worker waiting");
+        gate.send(()).expect("worker waiting");
+        let answers: Vec<u64> = batch.join().unwrap().into_iter().map(|a| *a).collect();
+        assert_eq!(answers, vec![70, 80, 70]);
+        assert_eq!(*ticket.wait().unwrap(), 70);
+        assert_eq!(
+            index.probes.load(Ordering::Relaxed),
+            2,
+            "keys 7 and 8 probed once each"
+        );
+        let stats = runtime.stats();
+        assert_eq!(stats.inflight_hits, 1, "the batch joined 7's probe");
+        assert_eq!(stats.dedup_hits, 1, "7 appeared twice in the batch");
+        assert_eq!(stats.cache_misses, 2);
+    }
+
+    #[test]
+    fn waiters_receive_errors_from_a_shared_probe() {
+        let (index, gate) = GatedIndex::new();
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 8,
+            },
+        );
+        // Both submits of the poison key are registered while the single
+        // probe is still gated, so the second joins it as a waiter.
+        let first = runtime.submit(13);
+        let second = runtime.submit(13);
+        gate.send(()).expect("worker waiting");
+        assert!(first.wait().is_err());
+        assert!(second.wait().is_err());
+        assert_eq!(index.probes.load(Ordering::Relaxed), 1, "one shared probe");
+        let stats = runtime.stats();
+        assert_eq!(stats.errors, 1, "errors count probes, not waiters");
+        assert_eq!(stats.inflight_hits, 1);
+        // Errors are not cached: the key stays probe-able.
+        let retry = runtime.submit(13);
+        gate.send(()).expect("worker waiting");
+        assert!(retry.wait().is_err());
+        assert_eq!(index.probes.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! [`ShardedIndex`]: `k` independently built [`CqapIndex`] shards over a
+//! hash-partitioned database.
+//!
+//! Preprocessing is embarrassingly parallel across shards — each shard
+//! runs the full framework pipeline (full join of *its* partition, S-view
+//! materialization, Online-Yannakakis preprocessing) on the existing
+//! work-stealing pool — and each shard's working set covers only its hash
+//! class of the routing variable, which is the "datasets larger than one
+//! index" half of the roadmap item.
+
+use std::sync::{mpsc, Arc};
+
+use cqap_common::{CqapError, Result};
+use cqap_decomp::Pmtd;
+use cqap_panda::CqapIndex;
+use cqap_query::{AccessRequest, Cqap};
+use cqap_relation::{Database, Relation};
+use cqap_serve::{default_threads, BatchAnswer, WorkStealingPool};
+
+use crate::partition::ShardSpec;
+
+/// A hash-sharded CQAP index: the partition contract plus one
+/// `Arc`-shared [`CqapIndex`] per shard.
+///
+/// Implements [`BatchAnswer`] (splitting each request across shards and
+/// unioning the per-shard answers), so a `ShardedIndex` drops into every
+/// generic serving surface — `ServeRuntime`, `answer_batch_parallel`, the
+/// benches — exactly like a single `CqapIndex`. For serving production
+/// traffic prefer [`ShardRouter`](crate::ShardRouter), which puts a full
+/// `ServeRuntime` (pool + cache) in front of every shard.
+pub struct ShardedIndex {
+    spec: ShardSpec,
+    shards: Vec<Arc<CqapIndex>>,
+}
+
+impl ShardedIndex {
+    /// Partitions `db` under the [`ShardSpec`] contract and builds the `k`
+    /// shard indexes concurrently on a fresh work-stealing pool sized
+    /// `min(k, available parallelism)`.
+    ///
+    /// # Errors
+    /// Fails if the spec is invalid (`shards == 0`) or any shard build
+    /// fails (lowest shard id wins).
+    pub fn build(cqap: &Cqap, db: &Database, pmtds: &[Pmtd], shards: usize) -> Result<Self> {
+        let pool = WorkStealingPool::new(shards.max(1).min(default_threads()));
+        ShardedIndex::build_with_pool(cqap, db, pmtds, shards, &pool)
+    }
+
+    /// [`ShardedIndex::build`] on a caller-provided pool (so several
+    /// sharded indexes can share one set of build workers).
+    ///
+    /// # Errors
+    /// Fails if the spec is invalid (`shards == 0`) or any shard build
+    /// fails (lowest shard id wins).
+    pub fn build_with_pool(
+        cqap: &Cqap,
+        db: &Database,
+        pmtds: &[Pmtd],
+        shards: usize,
+        pool: &WorkStealingPool,
+    ) -> Result<Self> {
+        let spec = ShardSpec::new(cqap, shards)?;
+        let partitions = spec.partition_database(db)?;
+        let (tx, rx) = mpsc::channel::<(usize, Result<CqapIndex>)>();
+        let expected = partitions.len();
+        for (shard, partition) in partitions.into_iter().enumerate() {
+            let tx = tx.clone();
+            let cqap = cqap.clone();
+            let pmtds = pmtds.to_vec();
+            pool.execute(move || {
+                let built = CqapIndex::build(&cqap, &partition, &pmtds);
+                let _ = tx.send((shard, built));
+            });
+        }
+        drop(tx);
+
+        let mut built: Vec<Option<Arc<CqapIndex>>> = (0..expected).map(|_| None).collect();
+        let mut first_error: Option<(usize, CqapError)> = None;
+        for _ in 0..expected {
+            let (shard, result) = rx
+                .recv()
+                .map_err(|_| CqapError::Other("shard build worker disappeared".into()))?;
+            match result {
+                Ok(index) => built[shard] = Some(Arc::new(index)),
+                Err(error) => {
+                    if first_error.as_ref().is_none_or(|(s, _)| shard < *s) {
+                        first_error = Some((shard, error));
+                    }
+                }
+            }
+        }
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+        Ok(ShardedIndex {
+            spec,
+            shards: built
+                .into_iter()
+                .map(|s| s.expect("every shard built or errored"))
+                .collect(),
+        })
+    }
+
+    /// The partition contract.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Number of shards `k`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard indexes, in shard order.
+    pub fn shards(&self) -> &[Arc<CqapIndex>] {
+        &self.shards
+    }
+
+    /// Total intrinsic space across shards (sum of per-shard S-view
+    /// sizes). Views that project away the routing variable overlap
+    /// between shards, so this can exceed the unsharded index's
+    /// [`CqapIndex::space_used`] — the price of partitioned builds.
+    pub fn space_used(&self) -> usize {
+        self.shards.iter().map(|s| s.space_used()).sum()
+    }
+
+    /// Answers an access request: routes each binding to the shard owning
+    /// its routing value, answers the per-shard sub-requests, and unions
+    /// the answers in sub-request order.
+    ///
+    /// By the [`ShardSpec`] invariants this is *exactly equal* to the
+    /// unsharded [`CqapIndex::answer`] on the whole database.
+    ///
+    /// # Errors
+    /// Propagates the first failing shard's error.
+    pub fn answer(&self, request: &AccessRequest) -> Result<Relation> {
+        let mut parts = self.spec.split_request(request)?.into_iter();
+        let (shard, sub) = parts.next().expect("split_request is never empty");
+        let mut answer = self.shards[shard].answer(&sub)?;
+        for (shard, sub) in parts {
+            answer = answer.union(&self.shards[shard].answer(&sub)?)?;
+        }
+        Ok(answer)
+    }
+}
+
+/// The sharded index serves through the same one-trait API as every other
+/// structure, which is what lets runtimes, benches and examples work over
+/// shards unchanged.
+impl BatchAnswer for ShardedIndex {
+    type Request = AccessRequest;
+    type Answer = Relation;
+
+    fn answer_one(&self, request: &Self::Request) -> Result<Self::Answer> {
+        self.answer(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_common::Tuple;
+    use cqap_decomp::families as pf;
+    use cqap_query::workload::{graph_pair_requests, zipf_multi_requests, Graph};
+
+    fn fixture() -> (Cqap, Vec<Pmtd>, Graph, Database, CqapIndex) {
+        let (cqap, pmtds) = pf::pmtds_3reach_fig1().unwrap();
+        let g = Graph::skewed(50, 220, 4, 30, 23);
+        let db = g.as_path_database(3);
+        let reference = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+        (cqap, pmtds, g, db, reference)
+    }
+
+    #[test]
+    fn sharded_answers_equal_unsharded_for_singles() {
+        let (cqap, pmtds, g, db, reference) = fixture();
+        for k in [1, 2, 3, 7] {
+            let sharded = ShardedIndex::build(&cqap, &db, &pmtds, k).unwrap();
+            assert_eq!(sharded.num_shards(), k);
+            for (u, v) in graph_pair_requests(&g, 40, 29) {
+                let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+                assert_eq!(
+                    sharded.answer(&request).unwrap(),
+                    reference.answer(&request).unwrap(),
+                    "k = {k}, request ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_answers_equal_unsharded_for_multi_tuple_batches() {
+        let (cqap, pmtds, g, db, reference) = fixture();
+        let sharded = ShardedIndex::build(&cqap, &db, &pmtds, 4).unwrap();
+        for tuples in zipf_multi_requests(&g, 25, 6, 1.1, 31) {
+            let tuples: Vec<Tuple> = tuples.into_iter().map(|(u, v)| Tuple::pair(u, v)).collect();
+            let request = AccessRequest::new(cqap.access(), tuples).unwrap();
+            assert_eq!(
+                sharded.answer(&request).unwrap(),
+                reference.answer(&request).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_request_answers_empty() {
+        let (cqap, pmtds, _, db, reference) = fixture();
+        let sharded = ShardedIndex::build(&cqap, &db, &pmtds, 3).unwrap();
+        let empty = AccessRequest::new(cqap.access(), Vec::new()).unwrap();
+        assert_eq!(
+            sharded.answer(&empty).unwrap(),
+            reference.answer(&empty).unwrap()
+        );
+    }
+
+    #[test]
+    fn build_rejects_zero_shards_and_propagates_shard_errors() {
+        let (cqap, pmtds, _, db, _) = fixture();
+        assert!(ShardedIndex::build(&cqap, &db, &pmtds, 0).is_err());
+        // A PMTD set for a different CQAP fails in every shard; the error
+        // surfaces instead of hanging the build.
+        let (cqap2, _) = pf::pmtds_2reach().unwrap();
+        let g2 = Graph::random(20, 60, 3);
+        let db2 = g2.as_path_database(2);
+        assert!(ShardedIndex::build(&cqap2, &db2, &pmtds, 3).is_err());
+    }
+
+    #[test]
+    fn shared_pool_builds_match_dedicated_pool_builds() {
+        let (cqap, pmtds, g, db, _) = fixture();
+        let pool = WorkStealingPool::new(2);
+        let a = ShardedIndex::build_with_pool(&cqap, &db, &pmtds, 3, &pool).unwrap();
+        let b = ShardedIndex::build(&cqap, &db, &pmtds, 3).unwrap();
+        assert_eq!(a.space_used(), b.space_used());
+        for (u, v) in graph_pair_requests(&g, 10, 41) {
+            let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+            assert_eq!(a.answer(&request).unwrap(), b.answer(&request).unwrap());
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! [`ShardRouter`]: a scatter-gather front door over per-shard serving
+//! runtimes.
+//!
+//! The router owns one [`ServeRuntime`] per shard — each with its own
+//! work-stealing pool and `Arc`-valued LRU answer cache — and implements
+//! [`BatchAnswer`] itself:
+//!
+//! * a **single-binding** request routes to exactly one shard (a hash of
+//!   its routing value) and is served by that shard's runtime, hitting
+//!   that shard's cache and in-flight dedup;
+//! * a **multi-binding** request is split into per-shard sub-requests,
+//!   *scattered* as concurrent submissions across the shard runtimes, and
+//!   the per-shard answers are *gathered* and unioned in sub-request
+//!   (first-appearance) order.
+//!
+//! Because the router is itself a `BatchAnswer`, the whole generic serving
+//! surface — a top-level [`ServeRuntime`] with its own global cache,
+//! `serve_batch`, `submit`/`Ticket`, the benches and examples — works over
+//! shards unchanged.
+
+use std::sync::Arc;
+
+use cqap_common::Result;
+use cqap_panda::CqapIndex;
+use cqap_query::AccessRequest;
+use cqap_relation::Relation;
+use cqap_serve::{default_threads, BatchAnswer, ServeConfig, ServeRuntime, ServeStats};
+
+use crate::index::ShardedIndex;
+use crate::partition::ShardSpec;
+
+/// Configuration of the per-shard runtimes behind a [`ShardRouter`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardRouterConfig {
+    /// Worker threads in each shard's pool. Zero means "auto": spread the
+    /// machine's available parallelism evenly across shards (at least one
+    /// thread each).
+    pub threads_per_shard: usize,
+    /// Capacity of each shard's LRU answer cache, in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ShardRouterConfig {
+    fn default() -> Self {
+        ShardRouterConfig {
+            threads_per_shard: 0,
+            cache_capacity: 1_024,
+        }
+    }
+}
+
+/// A scatter-gather router serving a [`ShardedIndex`] through one
+/// [`ServeRuntime`] per shard.
+pub struct ShardRouter {
+    spec: ShardSpec,
+    runtimes: Vec<ServeRuntime<CqapIndex>>,
+}
+
+impl ShardRouter {
+    /// Routes over `index` with the default per-shard configuration.
+    pub fn new(index: ShardedIndex) -> Self {
+        ShardRouter::with_config(index, ShardRouterConfig::default())
+    }
+
+    /// Routes over `index`, with `config` applied to every shard runtime.
+    pub fn with_config(index: ShardedIndex, config: ShardRouterConfig) -> Self {
+        let spec = *index.spec();
+        let threads = if config.threads_per_shard == 0 {
+            (default_threads() / spec.shards().max(1)).max(1)
+        } else {
+            config.threads_per_shard
+        };
+        let runtimes = index
+            .shards()
+            .iter()
+            .map(|shard| {
+                ServeRuntime::with_config(
+                    Arc::clone(shard),
+                    ServeConfig {
+                        threads,
+                        cache_capacity: config.cache_capacity,
+                    },
+                )
+            })
+            .collect();
+        ShardRouter { spec, runtimes }
+    }
+
+    /// The partition contract the router routes by.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.runtimes.len()
+    }
+
+    /// The per-shard runtimes, in shard order (for direct shard probing
+    /// and per-shard cache warm-up).
+    pub fn runtimes(&self) -> &[ServeRuntime<CqapIndex>] {
+        &self.runtimes
+    }
+
+    /// Per-shard serving counters, in shard order — the load-balance view
+    /// (hash skew shows up as uneven `served` counts here).
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.runtimes.iter().map(ServeRuntime::stats).collect()
+    }
+
+    /// Fleet-wide counters: the field-wise sum of every shard's stats.
+    pub fn stats(&self) -> ServeStats {
+        self.shard_stats()
+            .into_iter()
+            .fold(ServeStats::default(), ServeStats::merge)
+    }
+}
+
+impl BatchAnswer for ShardRouter {
+    type Request = AccessRequest;
+    /// `Arc` so the single-shard fast path hands the shard cache's answer
+    /// through without a deep `Relation` clone.
+    type Answer = Arc<Relation>;
+
+    /// Scatter-gather one request across the shard runtimes.
+    fn answer_one(&self, request: &Self::Request) -> Result<Self::Answer> {
+        let mut parts = self.spec.split_request(request)?;
+        if parts.len() == 1 {
+            // Single-shard fast path (every single-binding request): one
+            // submission, no union, no further copies — the sub-request is
+            // the one split_request built, and the ticket's `Arc` is the
+            // shard cache's own allocation.
+            let (shard, sub) = parts.pop().expect("one part");
+            return self.runtimes[shard].submit(sub).wait();
+        }
+        // Scatter every sub-request before gathering any answer, so the
+        // shards probe concurrently; union the parts in sub-request order.
+        let tickets: Vec<_> = parts
+            .into_iter()
+            .map(|(shard, sub)| self.runtimes[shard].submit(sub))
+            .collect();
+        let mut answer: Option<Relation> = None;
+        for ticket in tickets {
+            let part = ticket.wait()?;
+            answer = Some(match answer {
+                None => part.as_ref().clone(),
+                Some(acc) => acc.union(part.as_ref())?,
+            });
+        }
+        Ok(Arc::new(answer.expect("split_request is never empty")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_common::Tuple;
+    use cqap_decomp::families as pf;
+    use cqap_query::workload::{graph_pair_requests, zipf_multi_requests, Graph};
+
+    fn router_fixture(k: usize) -> (ShardRouter, CqapIndex, cqap_query::Cqap, Graph) {
+        let (cqap, pmtds) = pf::pmtds_3reach_fig1().unwrap();
+        let g = Graph::skewed(45, 200, 4, 28, 37);
+        let db = g.as_path_database(3);
+        let reference = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+        let sharded = ShardedIndex::build(&cqap, &db, &pmtds, k).unwrap();
+        (ShardRouter::new(sharded), reference, cqap, g)
+    }
+
+    #[test]
+    fn router_matches_unsharded_reference() {
+        let (router, reference, cqap, g) = router_fixture(3);
+        // Single-binding requests (the fast path)...
+        for (u, v) in graph_pair_requests(&g, 30, 43) {
+            let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+            assert_eq!(
+                *router.answer_one(&request).unwrap(),
+                reference.answer(&request).unwrap()
+            );
+        }
+        // ...and multi-binding scatter-gather requests.
+        for tuples in zipf_multi_requests(&g, 15, 5, 1.0, 47) {
+            let tuples: Vec<Tuple> = tuples.into_iter().map(|(u, v)| Tuple::pair(u, v)).collect();
+            let request = AccessRequest::new(cqap.access(), tuples).unwrap();
+            assert_eq!(
+                *router.answer_one(&request).unwrap(),
+                reference.answer(&request).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn router_inside_a_serve_runtime_serves_batches_over_shards() {
+        let (router, reference, cqap, g) = router_fixture(4);
+        let requests: Vec<AccessRequest> = graph_pair_requests(&g, 80, 53)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        // The whole existing serving surface over shards, unchanged: a
+        // top-level runtime whose "index" is the router.
+        let runtime = ServeRuntime::with_config(
+            Arc::new(router),
+            ServeConfig {
+                threads: 4,
+                cache_capacity: 64,
+            },
+        );
+        let answers = runtime.serve_batch(&requests).unwrap();
+        assert_eq!(answers.len(), requests.len());
+        for (request, answer) in requests.iter().zip(&answers) {
+            // Top-level answers are Arc<Arc<Relation>>: the front cache's
+            // Arc around the router's shared answer.
+            assert_eq!(***answer, reference.answer(request).unwrap());
+        }
+        // Requests flowed through to the shard runtimes.
+        let shard_stats = runtime.index().shard_stats();
+        assert_eq!(shard_stats.len(), 4);
+        let fleet = runtime.index().stats();
+        assert!(fleet.served > 0);
+        assert_eq!(
+            fleet.served,
+            shard_stats.iter().map(|s| s.served).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn single_binding_requests_touch_exactly_one_shard() {
+        let (router, _, cqap, _) = router_fixture(3);
+        let request = AccessRequest::single(cqap.access(), &[1, 2]).unwrap();
+        let owner = router.spec().shard_of_binding(&Tuple::pair(1, 2));
+        router.answer_one(&request).unwrap();
+        for (shard, stats) in router.shard_stats().into_iter().enumerate() {
+            let expected = if shard == owner { 1 } else { 0 };
+            assert_eq!(stats.served, expected, "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn shard_caches_absorb_repeats() {
+        let (router, _, cqap, g) = router_fixture(2);
+        let requests: Vec<AccessRequest> = graph_pair_requests(&g, 20, 59)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        for request in &requests {
+            router.answer_one(request).unwrap();
+        }
+        // Second pass: every request hits some shard's LRU (or joins an
+        // identical probe).
+        for request in &requests {
+            router.answer_one(request).unwrap();
+        }
+        let fleet = router.stats();
+        assert_eq!(fleet.served, 2 * requests.len() as u64);
+        assert!(
+            fleet.cache_hits + fleet.inflight_hits >= requests.len() as u64,
+            "warm pass should avoid index probes: {fleet:?}"
+        );
+    }
+}

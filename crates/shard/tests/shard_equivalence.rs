@@ -1,0 +1,56 @@
+//! Property test: sharded answering is *exactly* unsharded answering.
+//!
+//! Across randomized databases, shard counts `k ∈ {1, 2, 3, 7}` and
+//! zipf-skewed multi-tuple request batches, a [`ShardedIndex`] must answer
+//! bit-for-bit identically to the single [`CqapIndex`] built over the
+//! whole database — the acceptance bar for the hash-partition invariants
+//! of `cqap_shard::partition`.
+
+use cqap_common::Tuple;
+use cqap_decomp::families::pmtds_3reach_fig1;
+use cqap_panda::CqapIndex;
+use cqap_query::workload::{graph_pair_requests, zipf_multi_requests, Graph};
+use cqap_query::AccessRequest;
+use cqap_shard::ShardedIndex;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized database + every shard count: single-binding requests
+    /// and zipf multi-tuple batches answer identically to the reference.
+    #[test]
+    fn sharded_matches_unsharded(seed in 0u64..10_000, edges in 60usize..200) {
+        let (cqap, pmtds) = pmtds_3reach_fig1().unwrap();
+        let graph = Graph::random(40, edges, seed);
+        let db = graph.as_path_database(3);
+        let reference = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+
+        for k in [1usize, 2, 3, 7] {
+            let sharded = ShardedIndex::build(&cqap, &db, &pmtds, k).unwrap();
+            prop_assert_eq!(sharded.num_shards(), k);
+
+            // Single-binding requests: the routed fast path.
+            for (u, v) in graph_pair_requests(&graph, 12, seed ^ 0x5eed) {
+                let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+                prop_assert_eq!(
+                    sharded.answer(&request).unwrap(),
+                    reference.answer(&request).unwrap(),
+                    "k = {}, request ({}, {})", k, u, v
+                );
+            }
+
+            // Zipf multi-tuple batches: the scatter/union path.
+            for tuples in zipf_multi_requests(&graph, 6, 5, 1.1, seed ^ 0x21f) {
+                let tuples: Vec<Tuple> =
+                    tuples.into_iter().map(|(u, v)| Tuple::pair(u, v)).collect();
+                let request = AccessRequest::new(cqap.access(), tuples).unwrap();
+                prop_assert_eq!(
+                    sharded.answer(&request).unwrap(),
+                    reference.answer(&request).unwrap(),
+                    "k = {}", k
+                );
+            }
+        }
+    }
+}

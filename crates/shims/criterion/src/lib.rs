@@ -4,11 +4,29 @@
 //! [`criterion_group!`] / [`criterion_main!`], benchmark groups,
 //! `bench_function` / `bench_with_input`, [`BenchmarkId`] — with a simple
 //! fixed-sample wall-clock harness: each benchmark closure is warmed up
-//! once and then timed for `sample_size` samples, and the mean / min /
-//! max per-sample time is printed. There is no statistical analysis, HTML
-//! report, or outlier rejection; the goal is comparable relative numbers
-//! in an environment without registry access.
+//! once and then timed for `sample_size` samples.
+//!
+//! Two fidelity features the workspace relies on for cross-PR
+//! comparability:
+//!
+//! * **Outlier-robust statistics.** Besides mean / min / max, every
+//!   benchmark reports the **median** and the **MAD** (median absolute
+//!   deviation from the median) — on noisy shared runners one descheduled
+//!   sample can double a mean, while the median±MAD pair barely moves.
+//! * **Baseline JSON dump** (`--save-baseline` stand-in). When the
+//!   `BENCH_BASELINE` environment variable is set (benches may also set it
+//!   themselves), every completed benchmark is appended to
+//!   `BENCH_<bench-binary>_<baseline>.json` in the working directory — a
+//!   JSON array of `{label, samples, median_ns, mad_ns, mean_ns, min_ns,
+//!   max_ns}` records, rewritten after each benchmark so the file is valid
+//!   even if the run is interrupted. Diffing two such files is the
+//!   cross-PR regression check.
+//!
+//! There is no HTML report; the goal is comparable relative numbers in an
+//! environment without registry access.
 
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -140,6 +158,53 @@ impl Bencher {
     }
 }
 
+/// Summary statistics over one benchmark's samples, in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median sample time (outlier-robust location).
+    pub median_ns: u128,
+    /// Median absolute deviation from the median (outlier-robust spread).
+    pub mad_ns: u128,
+    /// Arithmetic mean sample time.
+    pub mean_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+}
+
+impl SampleStats {
+    /// Computes the summary over a non-empty sample set.
+    pub fn of(durations: &[Duration]) -> SampleStats {
+        assert!(!durations.is_empty(), "stats need at least one sample");
+        let mut ns: Vec<u128> = durations.iter().map(Duration::as_nanos).collect();
+        ns.sort_unstable();
+        let median = median_of_sorted(&ns);
+        let mut deviations: Vec<u128> = ns.iter().map(|&x| x.abs_diff(median)).collect();
+        deviations.sort_unstable();
+        SampleStats {
+            samples: ns.len(),
+            median_ns: median,
+            mad_ns: median_of_sorted(&deviations),
+            mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
+            min_ns: ns[0],
+            max_ns: ns[ns.len() - 1],
+        }
+    }
+}
+
+/// Median of an already-sorted slice (midpoint average for even lengths).
+fn median_of_sorted(sorted: &[u128]) -> u128 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     let mut bencher = Bencher {
         samples,
@@ -150,17 +215,98 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) 
         println!("{label:<50} (no samples)");
         return;
     }
-    let total: Duration = bencher.durations.iter().sum();
-    let mean = total / bencher.durations.len() as u32;
-    let min = bencher.durations.iter().min().unwrap();
-    let max = bencher.durations.iter().max().unwrap();
+    let stats = SampleStats::of(&bencher.durations);
     println!(
-        "{label:<50} mean {:>12} min {:>12} max {:>12} ({} samples)",
-        fmt_duration(mean),
-        fmt_duration(*min),
-        fmt_duration(*max),
-        bencher.durations.len(),
+        "{label:<50} median {:>12} ± {:>10} mean {:>12} min {:>12} max {:>12} ({} samples)",
+        fmt_duration(Duration::from_nanos(stats.median_ns as u64)),
+        fmt_duration(Duration::from_nanos(stats.mad_ns as u64)),
+        fmt_duration(Duration::from_nanos(stats.mean_ns as u64)),
+        fmt_duration(Duration::from_nanos(stats.min_ns as u64)),
+        fmt_duration(Duration::from_nanos(stats.max_ns as u64)),
+        stats.samples,
     );
+    record_baseline(label, &stats);
+}
+
+/// Accumulated baseline records plus the file they are dumped to.
+struct BaselineSink {
+    path: PathBuf,
+    records: Vec<String>,
+}
+
+static BASELINE_SINK: OnceLock<Option<Mutex<BaselineSink>>> = OnceLock::new();
+
+/// Appends one benchmark record to the baseline JSON file, if baseline
+/// dumping is enabled (`BENCH_BASELINE` set). The whole file is rewritten
+/// after every record so it is a valid JSON array at all times.
+fn record_baseline(label: &str, stats: &SampleStats) {
+    let Some(sink) = BASELINE_SINK
+        .get_or_init(|| baseline_path().map(|path| Mutex::new(BaselineSink { path, records: Vec::new() })))
+    else {
+        return;
+    };
+    let mut sink = sink.lock().expect("baseline sink");
+    sink.records.push(format!(
+        "  {{\"label\": {}, \"samples\": {}, \"median_ns\": {}, \"mad_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+        json_string(label),
+        stats.samples,
+        stats.median_ns,
+        stats.mad_ns,
+        stats.mean_ns,
+        stats.min_ns,
+        stats.max_ns,
+    ));
+    let body = format!("[\n{}\n]\n", sink.records.join(",\n"));
+    if let Err(error) = std::fs::write(&sink.path, body) {
+        eprintln!("warning: cannot write baseline {}: {error}", sink.path.display());
+    }
+}
+
+/// `BENCH_<bench-binary>_<baseline>.json`, or `None` when `BENCH_BASELINE`
+/// is unset/empty (dumping disabled — keeps unit-test runs file-free).
+fn baseline_path() -> Option<PathBuf> {
+    let baseline = std::env::var("BENCH_BASELINE").ok().filter(|b| !b.is_empty())?;
+    let binary = std::env::args()
+        .next()
+        .as_deref()
+        .and_then(|arg0| Path::new(arg0).file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".into());
+    let binary = strip_cargo_hash(&binary).to_string();
+    Some(PathBuf::from(format!("BENCH_{binary}_{baseline}.json")))
+}
+
+/// Strips the `-<16 hex>` suffix cargo appends to bench executable names.
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if !name.is_empty()
+                && hash.len() == 16
+                && hash.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            name
+        }
+        _ => stem,
+    }
+}
+
+/// Minimal JSON string encoder (labels are benchmark ids: ASCII-ish, but
+/// escape everything JSON requires anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -229,5 +375,40 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00 µs");
         assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
         assert_eq!(fmt_duration(Duration::from_secs(4)), "4.00 s");
+    }
+
+    #[test]
+    fn median_and_mad_are_outlier_robust() {
+        // Nine fast samples and one 100x outlier: the mean blows up, the
+        // median/MAD barely notice.
+        let durations: Vec<Duration> = (0..9)
+            .map(|i| Duration::from_nanos(100 + i))
+            .chain([Duration::from_nanos(10_000)])
+            .collect();
+        let stats = SampleStats::of(&durations);
+        assert_eq!(stats.samples, 10);
+        assert_eq!(stats.median_ns, 104); // avg of 104 and 105 → 104 (integer)
+        assert!(stats.mad_ns <= 5, "MAD ignores the outlier: {}", stats.mad_ns);
+        assert!(stats.mean_ns > 1_000, "mean is dragged by the outlier");
+        assert_eq!(stats.min_ns, 100);
+        assert_eq!(stats.max_ns, 10_000);
+
+        // Odd-length median is the middle element.
+        let odd: Vec<Duration> = [30u64, 10, 20].iter().map(|&n| Duration::from_nanos(n)).collect();
+        assert_eq!(SampleStats::of(&odd).median_ns, 20);
+    }
+
+    #[test]
+    fn cargo_hash_suffix_is_stripped() {
+        assert_eq!(strip_cargo_hash("shard_scaling-0a1b2c3d4e5f6789"), "shard_scaling");
+        // Not a 16-hex suffix: untouched.
+        assert_eq!(strip_cargo_hash("serve-throughput"), "serve-throughput");
+        assert_eq!(strip_cargo_hash("plain"), "plain");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("group/bench k=2"), "\"group/bench k=2\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 }

@@ -20,8 +20,13 @@
 //!   baselines used by the empirical experiments.
 //! * [`serve`] — the batched, concurrent request-serving runtime: the
 //!   [`BatchAnswer`](serve::BatchAnswer) trait every index family
-//!   implements, a work-stealing thread pool, an LRU answer cache and
+//!   implements, a work-stealing thread pool, an `Arc`-valued LRU answer
+//!   cache with in-flight probe sharing, and
 //!   [`ServeRuntime`](serve::ServeRuntime).
+//! * [`shard`] — hash-sharded serving: [`ShardedIndex`](shard::ShardedIndex)
+//!   partitions the database by routing-variable hash into independently
+//!   built `CqapIndex` shards, and [`ShardRouter`](shard::ShardRouter)
+//!   scatter-gathers requests across per-shard runtimes.
 //!
 //! ## Quick start
 //!
@@ -52,6 +57,7 @@ pub use cqap_panda as panda;
 pub use cqap_query as query;
 pub use cqap_relation as relation;
 pub use cqap_serve as serve;
+pub use cqap_shard as shard;
 pub use cqap_yannakakis as yannakakis;
 
 /// The most commonly used items, for glob import in examples and tests.
@@ -69,5 +75,6 @@ pub mod prelude {
     pub use cqap_query::{AccessRequest, ConjunctiveQuery, Cqap, Hypergraph};
     pub use cqap_relation::{Database, Relation, Schema};
     pub use cqap_serve::{BatchAnswer, ServeConfig, ServeRuntime};
+    pub use cqap_shard::{ShardRouter, ShardRouterConfig, ShardSpec, ShardedIndex};
     pub use cqap_yannakakis::{naive_answer, OnlineYannakakis};
 }
