@@ -24,6 +24,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use cqap_bench::ensure_baseline_named;
 use cqap_common::Tuple;
 use cqap_decomp::families::pmtds_3reach_fig1;
 use cqap_panda::CqapIndex;
@@ -33,14 +34,6 @@ use cqap_serve::{answer_batch_parallel, default_threads};
 use cqap_shard::{ShardRouter, ShardedIndex};
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
-
-/// Defaults `BENCH_BASELINE` so this bench always dumps its JSON baseline
-/// (the shim only writes when the variable is set).
-fn ensure_baseline_named() {
-    if std::env::var("BENCH_BASELINE").map_or(true, |v| v.is_empty()) {
-        std::env::set_var("BENCH_BASELINE", "local");
-    }
-}
 
 fn bench_shard_scaling(c: &mut Criterion) {
     ensure_baseline_named();

@@ -1,0 +1,146 @@
+//! The space/latency curve of hot/cold shard placement — the paper's
+//! tradeoff made physical.
+//!
+//! ```sh
+//! cargo bench -p cqap-bench --bench tier_tradeoff
+//! ```
+//!
+//! Four hash shards are built once; then, for cold-shard fractions
+//! `{0, ½, 1}` (0, 2 and 4 of the 4 shards spilled to disk), a zipf-skewed
+//! request stream is served through the [`TieredShardedIndex`]:
+//!
+//! * `serve/cold_<c>_of_4` — latency of the whole stream at that split
+//!   (the coldest-by-traffic shards are the ones spilled, as the
+//!   budget-driven [`PlacementPolicy`] would choose);
+//! * the headline prints the per-tier space breakdown for every split and
+//!   checks a sample of answers against the unsharded reference, so the
+//!   *space* half of the curve sits next to the latency half in the same
+//!   output.
+//!
+//! Like `shard_scaling`, this bench always emits a JSON baseline
+//! (`BENCH_tier_tradeoff_<name>.json`, name from `BENCH_BASELINE`,
+//! default `local`) — and when that file already exists from a previous
+//! run, the criterion shim prints the median delta against it, which is
+//! how the curve is tracked across PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cqap_bench::ensure_baseline_named;
+use cqap_decomp::families::pmtds_3reach_fig1;
+use cqap_panda::CqapIndex;
+use cqap_query::workload::{zipf_pair_requests, Graph};
+use cqap_query::AccessRequest;
+use cqap_serve::BatchAnswer;
+use cqap_shard::ShardedIndex;
+use cqap_store::{scratch_dir, PlacementPolicy, ShardTier, TieredShardedIndex};
+
+const SHARDS: usize = 4;
+const COLD_COUNTS: [usize; 3] = [0, 2, 4];
+
+/// The `cold` lowest-traffic shards go cold — exactly what a shrinking
+/// hot-tier budget takes away first under the greedy placement policy.
+fn placement_for(weights: &[u64], cold: usize) -> Vec<ShardTier> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (weights[i], i));
+    let mut placement = vec![ShardTier::Hot; weights.len()];
+    for &shard in order.iter().take(cold) {
+        placement[shard] = ShardTier::Cold;
+    }
+    placement
+}
+
+fn bench_tier_tradeoff(c: &mut Criterion) {
+    ensure_baseline_named();
+    let (cqap, pmtds) = pmtds_3reach_fig1().expect("paper PMTDs");
+    // Serve from the fully-materialized (S14) PMTD alone: its online phase
+    // is a pure S-view probe, so the measured latency isolates exactly
+    // what the storage tier changes — RAM hash probe vs. fence search +
+    // one disk segment read. (With T-view-heavy plans in the mix, online
+    // join work identical across tiers swamps the probe cost.)
+    let pmtds = &pmtds[2..];
+    let graph = Graph::skewed(700, 4_000, 8, 220, 7);
+    let db = graph.as_path_database(3);
+    let requests: Vec<AccessRequest> = zipf_pair_requests(&graph, 300, 1.05, 11)
+        .into_iter()
+        .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).expect("valid"))
+        .collect();
+
+    let spec = cqap_shard::ShardSpec::new(&cqap, SHARDS).expect("spec");
+    let weights = PlacementPolicy::observe(&spec, &requests);
+
+    let mut group = c.benchmark_group("tier_tradeoff");
+    group.sample_size(5);
+    for cold in COLD_COUNTS {
+        let sharded = ShardedIndex::build(&cqap, &db, pmtds, SHARDS).expect("build");
+        let placement = placement_for(&weights, cold);
+        let tiered = TieredShardedIndex::from_sharded(
+            sharded,
+            &placement,
+            scratch_dir(&format!("bench-cold{cold}")),
+        )
+        .expect("tiered build");
+        let space = tiered.space_used();
+        println!(
+            "tier_tradeoff: cold {cold}/{SHARDS} -> {space} (resident {} of {} values)",
+            space.resident_values(),
+            space.total_values(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("serve", format!("cold_{cold}_of_{SHARDS}")),
+            &tiered,
+            |b, tiered| {
+                b.iter(|| {
+                    for request in &requests {
+                        black_box(tiered.answer_one(request).expect("answer"));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Correctness headline: at every split, tiered answers are checked
+/// identical to the unsharded reference on a request sample, and the
+/// per-tier space breakdown is printed next to it.
+fn bench_headline_exactness(_c: &mut Criterion) {
+    ensure_baseline_named();
+    let (cqap, pmtds) = pmtds_3reach_fig1().expect("paper PMTDs");
+    let graph = Graph::skewed(700, 4_000, 8, 220, 7);
+    let db = graph.as_path_database(3);
+    // Exactness is checked over the full Figure 1 plan set (T-views and
+    // all), not just the probe-only plan the latency sweep uses.
+    let reference = CqapIndex::build(&cqap, &db, &pmtds).expect("reference build");
+    let requests: Vec<AccessRequest> = zipf_pair_requests(&graph, 60, 1.05, 17)
+        .into_iter()
+        .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).expect("valid"))
+        .collect();
+    let spec = cqap_shard::ShardSpec::new(&cqap, SHARDS).expect("spec");
+    let weights = PlacementPolicy::observe(&spec, &requests);
+
+    for cold in COLD_COUNTS {
+        let sharded = ShardedIndex::build(&cqap, &db, &pmtds, SHARDS).expect("build");
+        let tiered = TieredShardedIndex::from_sharded(
+            sharded,
+            &placement_for(&weights, cold),
+            scratch_dir(&format!("headline-cold{cold}")),
+        )
+        .expect("tiered build");
+        for request in &requests {
+            assert_eq!(
+                tiered.answer(request).expect("tiered answer"),
+                reference.answer(request).expect("reference answer"),
+                "tiered serving must be exact at cold = {cold}"
+            );
+        }
+        println!(
+            "headline: cold {cold}/{SHARDS} exact on {} zipf requests | {}",
+            requests.len(),
+            tiered.space_used(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_tier_tradeoff, bench_headline_exactness);
+criterion_main!(benches);

@@ -21,7 +21,7 @@ use cqap_decomp::Pmtd;
 use cqap_query::{AccessRequest, Cqap};
 use cqap_relation::{Database, Relation};
 use cqap_yannakakis::naive::{atom_relation, full_join};
-use cqap_yannakakis::{naive_answer, OnlineYannakakis, PreprocessedViews};
+use cqap_yannakakis::{naive_answer, OnlineYannakakis, PreprocessedViews, SViewProbe};
 
 /// A materialized CQAP index over a set of PMTDs.
 pub struct CqapIndex {
@@ -84,6 +84,26 @@ impl CqapIndex {
         self.plans.iter().map(|p| p.preprocessed.stored_values()).sum()
     }
 
+    /// The CQAP this index answers.
+    pub fn cqap(&self) -> &Cqap {
+        &self.cqap
+    }
+
+    /// The input database (kept so the online phase can compute T-views;
+    /// it is *not* part of [`CqapIndex::space_used`], matching the paper's
+    /// `Õ(S + |D|)` accounting).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The per-PMTD plans — each an Online-Yannakakis evaluator plus its
+    /// preprocessed (semijoin-reduced, link-indexed) S-views. This is the
+    /// preprocessing output a second storage tier spills: `cqap-store`
+    /// serializes exactly these views, keyed by the same link variables.
+    pub fn plans(&self) -> impl Iterator<Item = (&OnlineYannakakis, &PreprocessedViews)> {
+        self.plans.iter().map(|p| (&p.evaluator, &p.preprocessed))
+    }
+
     /// Number of PMTDs in the plan set.
     pub fn num_pmtds(&self) -> usize {
         self.plans.len()
@@ -93,74 +113,7 @@ impl CqapIndex {
     /// for every PMTD and unioning the per-PMTD answers (Section 4.3),
     /// projected onto the CQAP's declared head.
     pub fn answer(&self, request: &AccessRequest) -> Result<Relation> {
-        let mut acc: Option<Relation> = None;
-        for plan in &self.plans {
-            let t_views = self.online_views(plan.evaluator.pmtd(), request)?;
-            let part = plan
-                .evaluator
-                .answer(&plan.preprocessed, &t_views, request)?;
-            acc = Some(match acc {
-                None => part,
-                Some(prev) => prev.union(&part)?,
-            });
-        }
-        let result = acc.expect("at least one PMTD");
-        result.project_onto(self.cqap.declared_head().union(self.cqap.access()))
-    }
-
-    /// Computes the online T-view content of a PMTD for the given request:
-    /// for every non-materialized bag, the join of the request (projected
-    /// onto the access variables inside the bag) with the atoms contained in
-    /// the bag. In the rare case where a bag is not covered by its atoms and
-    /// the access pattern (possible for hand-written decompositions), the
-    /// view falls back to a projection of the request-restricted full join,
-    /// which is always correct but pays the full-join cost online.
-    fn online_views(
-        &self,
-        pmtd: &Pmtd,
-        request: &AccessRequest,
-    ) -> Result<Vec<(usize, Relation)>> {
-        let request_rel = request.as_relation();
-        let mut out = Vec::new();
-        for node in 0..pmtd.td().num_nodes() {
-            if pmtd.is_materialized(node) {
-                continue;
-            }
-            let bag = pmtd.td().bag(node);
-            let access_in_bag = request.access().intersect(bag);
-            let mut acc: Option<Relation> = if access_in_bag.is_empty() {
-                None
-            } else {
-                Some(request_rel.project_onto(access_in_bag)?)
-            };
-            for atom in self.cqap.cq().atoms() {
-                if !atom.varset().is_subset(bag) {
-                    continue;
-                }
-                let rel = atom_relation(&self.db, atom)?;
-                acc = Some(match acc {
-                    None => rel,
-                    Some(prev) => prev.join(&rel)?,
-                });
-            }
-            let view = match acc {
-                Some(rel) if rel.varset() == bag => rel,
-                _ => {
-                    // Fallback: the bag is not covered by its atoms plus the
-                    // access pattern; compute it from the restricted full
-                    // join instead.
-                    let full = full_join(&self.cqap, &self.db)?;
-                    let restricted = if request.access().is_empty() {
-                        full
-                    } else {
-                        full.semijoin(&request_rel)?
-                    };
-                    restricted.project_onto(bag)?
-                }
-            };
-            out.push((node, view));
-        }
-        Ok(out)
+        answer_with_plans(&self.cqap, &self.db, self.plans(), request)
     }
 
     /// Reference answer computed from scratch (used by tests and as the
@@ -169,6 +122,103 @@ impl CqapIndex {
         let ans = naive_answer(&self.cqap, &self.db, request)?;
         ans.project_onto(self.cqap.declared_head().union(self.cqap.access()))
     }
+}
+
+/// The shared online driver loop over any S-view backend: computes the
+/// T-views and runs Online Yannakakis for every plan, unions the per-plan
+/// answers, and projects onto `declared_head ∪ access`. [`CqapIndex`]
+/// calls this with its in-memory [`PreprocessedViews`]; `cqap-store`'s
+/// `StoredIndex` with its disk-resident views — one loop, so the backends
+/// cannot silently diverge.
+///
+/// # Errors
+/// Fails for an empty plan set, and propagates evaluation errors.
+pub fn answer_with_plans<'a, V, I>(
+    cqap: &Cqap,
+    db: &Database,
+    plans: I,
+    request: &AccessRequest,
+) -> Result<Relation>
+where
+    V: SViewProbe + 'a,
+    I: IntoIterator<Item = (&'a OnlineYannakakis, &'a V)>,
+{
+    let mut acc: Option<Relation> = None;
+    for (evaluator, views) in plans {
+        let t_views = online_t_views(cqap, db, evaluator.pmtd(), request)?;
+        let part = evaluator.answer_with(views, &t_views, request)?;
+        acc = Some(match acc {
+            None => part,
+            Some(prev) => prev.union(&part)?,
+        });
+    }
+    let result = acc.ok_or_else(|| {
+        CqapError::InvalidQuery("the framework needs at least one PMTD".into())
+    })?;
+    result.project_onto(cqap.declared_head().union(cqap.access()))
+}
+
+/// Computes the online T-view content of a PMTD for the given request: for
+/// every non-materialized bag, the join of the request (projected onto the
+/// access variables inside the bag) with the atoms contained in the bag. In
+/// the rare case where a bag is not covered by its atoms and the access
+/// pattern (possible for hand-written decompositions), the view falls back
+/// to a projection of the request-restricted full join, which is always
+/// correct but pays the full-join cost online.
+///
+/// This is the online half of the framework pipeline, shared by every
+/// backend that answers from the same preprocessing output ([`CqapIndex`]
+/// in memory, `cqap-store`'s `StoredIndex` from disk).
+///
+/// # Errors
+/// Propagates schema/atom lookup failures from the database.
+pub fn online_t_views(
+    cqap: &Cqap,
+    db: &Database,
+    pmtd: &Pmtd,
+    request: &AccessRequest,
+) -> Result<Vec<(usize, Relation)>> {
+    let request_rel = request.as_relation();
+    let mut out = Vec::new();
+    for node in 0..pmtd.td().num_nodes() {
+        if pmtd.is_materialized(node) {
+            continue;
+        }
+        let bag = pmtd.td().bag(node);
+        let access_in_bag = request.access().intersect(bag);
+        let mut acc: Option<Relation> = if access_in_bag.is_empty() {
+            None
+        } else {
+            Some(request_rel.project_onto(access_in_bag)?)
+        };
+        for atom in cqap.cq().atoms() {
+            if !atom.varset().is_subset(bag) {
+                continue;
+            }
+            let rel = atom_relation(db, atom)?;
+            acc = Some(match acc {
+                None => rel,
+                Some(prev) => prev.join(&rel)?,
+            });
+        }
+        let view = match acc {
+            Some(rel) if rel.varset() == bag => rel,
+            _ => {
+                // Fallback: the bag is not covered by its atoms plus the
+                // access pattern; compute it from the restricted full
+                // join instead.
+                let full = full_join(cqap, db)?;
+                let restricted = if request.access().is_empty() {
+                    full
+                } else {
+                    full.semijoin(&request_rel)?
+                };
+                restricted.project_onto(bag)?
+            }
+        };
+        out.push((node, view));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

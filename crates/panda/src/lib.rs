@@ -66,5 +66,5 @@ pub mod driver;
 pub mod rules;
 
 pub use analysis::{figure4a_curve, figure4b_curve, goldstein_baseline, table1_3reach, RuleReport};
-pub use driver::CqapIndex;
+pub use driver::{answer_with_plans, online_t_views, CqapIndex};
 pub use rules::{generate_rules, prune_rules, rule_of_choice, TwoPhaseRule};

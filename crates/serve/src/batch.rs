@@ -14,6 +14,7 @@
 
 use std::hash::Hash;
 
+use cqap_common::CqapError;
 use cqap_common::Result;
 use cqap_common::Val;
 use cqap_indexes::{
@@ -57,17 +58,118 @@ pub trait BatchAnswer: Send + Sync {
     fn answer_batch(&self, requests: &[Self::Request]) -> Result<Vec<Self::Answer>> {
         requests.iter().map(|r| self.answer_one(r)).collect()
     }
+
+    /// The *coalescing class* of a request, for index families that can
+    /// merge several queued requests into one bulk probe (the paper's
+    /// §6.4 batching remark). The serving runtime merges requests that
+    /// return the same `Some(class)` — for the framework driver,
+    /// single-tuple requests sharing an access pattern. `None` (the
+    /// default) opts the request out of coalescing.
+    fn coalesce_class(request: &Self::Request) -> Option<u64> {
+        let _ = request;
+        None
+    }
+
+    /// Merges two or more same-class requests into one bulk request whose
+    /// single probe answers all of them; the per-request answers are
+    /// recovered with [`BatchAnswer::extract`].
+    ///
+    /// # Errors
+    /// The default errs (it is never invoked unless
+    /// [`BatchAnswer::coalesce_class`] returned `Some`); implementations
+    /// may fail on inconsistent groups, in which case the runtime falls
+    /// back to one probe per request.
+    fn coalesce(requests: &[Self::Request]) -> Result<Self::Request> {
+        let _ = requests;
+        Err(CqapError::Other(
+            "this index family does not coalesce requests".into(),
+        ))
+    }
+
+    /// Extracts one merged request's answer from the bulk answer of the
+    /// probe dispatched for [`BatchAnswer::coalesce`]'s output.
+    ///
+    /// # Errors
+    /// The default errs (never invoked unless coalescing is supported);
+    /// implementations propagate their own extraction failures.
+    fn extract(&self, bulk: &Self::Answer, request: &Self::Request) -> Result<Self::Answer> {
+        let _ = (bulk, request);
+        Err(CqapError::Other(
+            "this index family does not coalesce requests".into(),
+        ))
+    }
+}
+
+/// The coalescing class shared by every `AccessRequest`-keyed structure:
+/// single-tuple requests, grouped by their access pattern (the `VarSet`
+/// bits). Multi-tuple requests stay un-coalesced — they are already bulk
+/// probes.
+pub fn access_request_class(request: &AccessRequest) -> Option<u64> {
+    (request.len() == 1).then(|| request.access().0)
+}
+
+/// Merges single-tuple access requests over one access pattern into one
+/// multi-tuple request (the bulk probe of the §6.4 batching remark).
+///
+/// # Errors
+/// Fails if the group is empty, mixes access patterns, or contains a
+/// multi-tuple request — the runtime then falls back to individual probes.
+pub fn coalesce_access_requests(requests: &[AccessRequest]) -> Result<AccessRequest> {
+    let first = requests.first().ok_or_else(|| {
+        CqapError::Other("cannot coalesce an empty request group".into())
+    })?;
+    let access = first.access();
+    let mut tuples = Vec::with_capacity(requests.len());
+    for request in requests {
+        if request.access() != access || request.len() != 1 {
+            return Err(CqapError::Other(
+                "coalesce groups must be single-tuple requests over one access pattern".into(),
+            ));
+        }
+        tuples.extend(request.tuples().iter().cloned());
+    }
+    AccessRequest::new(access, tuples)
+}
+
+/// Recovers one request's answer from a coalesced probe's bulk answer.
+///
+/// Framework answers always carry the access variables (they are projected
+/// onto `declared_head ∪ access`), so the bulk answer splits exactly: the
+/// tuples belonging to request `t` are those matching `t` on the access
+/// variables — a semijoin with the request. This is why coalescing is
+/// answer-preserving: `π(join ⋉ ∪ᵢtᵢ) ⋉ tᵢ = π(join ⋉ tᵢ)`.
+///
+/// # Errors
+/// Fails only if the bulk answer does not contain the access variables
+/// (impossible for answers produced by the framework drivers).
+pub fn extract_access_answer(bulk: &Relation, request: &AccessRequest) -> Result<Relation> {
+    bulk.semijoin(&request.as_relation())
 }
 
 /// The framework driver: the online phase runs Online Yannakakis over every
 /// PMTD and unions the per-PMTD answers, so this impl is the generic
-/// (every-CQAP) serving path.
+/// (every-CQAP) serving path. It joins the coalescing protocol:
+/// single-tuple requests sharing the access pattern merge into one
+/// multi-tuple probe, and the per-request answers are recovered by
+/// semijoining the bulk answer with each request.
 impl BatchAnswer for CqapIndex {
     type Request = AccessRequest;
     type Answer = Relation;
 
     fn answer_one(&self, request: &Self::Request) -> Result<Self::Answer> {
         self.answer(request)
+    }
+
+    fn coalesce_class(request: &Self::Request) -> Option<u64> {
+        access_request_class(request)
+    }
+
+    fn coalesce(requests: &[Self::Request]) -> Result<Self::Request> {
+        coalesce_access_requests(requests)
+    }
+
+    fn extract(&self, bulk: &Self::Answer, request: &Self::Request) -> Result<Self::Answer> {
+        extract_access_answer(bulk, request)
     }
 }
 

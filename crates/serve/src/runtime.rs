@@ -70,6 +70,12 @@ pub struct ServeStats {
     /// flight for the same key (cross-caller deduplication), instead of
     /// re-probing the index.
     pub inflight_hits: u64,
+    /// Requests merged with other same-class requests of their batch into
+    /// a single bulk probe (the §6.4 batching remark: for the framework
+    /// driver, queued single-tuple requests sharing an access pattern
+    /// become one multi-tuple probe before dispatch). Counts every member
+    /// of a merged group; groups of one dispatch normally and count zero.
+    pub coalesced: u64,
     /// Requests that had to probe the index.
     pub cache_misses: u64,
     /// Index probes that returned an error (counted once per probe; every
@@ -87,6 +93,7 @@ impl ServeStats {
             cache_hits: self.cache_hits + other.cache_hits,
             dedup_hits: self.dedup_hits + other.dedup_hits,
             inflight_hits: self.inflight_hits + other.inflight_hits,
+            coalesced: self.coalesced + other.coalesced,
             cache_misses: self.cache_misses + other.cache_misses,
             errors: self.errors + other.errors,
         }
@@ -99,6 +106,7 @@ struct StatsCells {
     cache_hits: AtomicU64,
     dedup_hits: AtomicU64,
     inflight_hits: AtomicU64,
+    coalesced: AtomicU64,
     cache_misses: AtomicU64,
     errors: AtomicU64,
 }
@@ -110,6 +118,7 @@ impl StatsCells {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
             inflight_hits: self.inflight_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
         }
@@ -147,6 +156,14 @@ impl<A> Ticket<A> {
     }
 }
 
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
 /// Answers one request, converting a panic in the index into a regular
 /// [`CqapError`] so workers stay alive, the error counter stays truthful,
 /// and callers see "request panicked" rather than a torn-down-runtime
@@ -154,12 +171,27 @@ impl<A> Ticket<A> {
 fn answer_guarded<I: BatchAnswer>(index: &I, request: &I::Request) -> Result<I::Answer> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| index.answer_one(request)))
         .unwrap_or_else(|panic| {
-            let message = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            Err(CqapError::Other(format!("request panicked: {message}")))
+            Err(CqapError::Other(format!(
+                "request panicked: {}",
+                panic_message(panic)
+            )))
+        })
+}
+
+/// [`BatchAnswer::extract`] with the same panic-to-error conversion as
+/// [`answer_guarded`], so one bad member of a coalesced group cannot strand
+/// the rest of the group.
+fn extract_guarded<I: BatchAnswer>(
+    index: &I,
+    bulk: &I::Answer,
+    request: &I::Request,
+) -> Result<I::Answer> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| index.extract(bulk, request)))
+        .unwrap_or_else(|panic| {
+            Err(CqapError::Other(format!(
+                "extract panicked: {}",
+                panic_message(panic)
+            )))
         })
 }
 
@@ -289,6 +321,51 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         });
     }
 
+    /// Runs one bulk probe for a coalesced group on the pool: computes the
+    /// bulk answer once, then per member extracts its answer, publishes it
+    /// to the cache under the member's own key, drains that key's pending
+    /// waiters, and resolves the member's channel. A bulk failure fans the
+    /// error out to every member (counted as one probe error).
+    fn dispatch_coalesced(
+        &self,
+        bulk: I::Request,
+        parts: Vec<(I::Request, mpsc::Sender<Result<Arc<I::Answer>>>)>,
+    ) {
+        let index = Arc::clone(&self.index);
+        let state = Arc::clone(&self.state);
+        let stats = Arc::clone(&self.stats);
+        self.pool.execute(move || {
+            let bulk_answer = answer_guarded(index.as_ref(), &bulk);
+            if bulk_answer.is_err() {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            for (request, tx) in parts {
+                let result = match &bulk_answer {
+                    Ok(answer) => {
+                        let extracted =
+                            extract_guarded(index.as_ref(), answer, &request).map(Arc::new);
+                        if extracted.is_err() {
+                            stats.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        extracted
+                    }
+                    Err(error) => Err(error.clone()),
+                };
+                let waiters = {
+                    let mut state = state.lock().expect("state lock");
+                    if let Ok(answer) = &result {
+                        state.cache.insert(request.clone(), Arc::clone(answer));
+                    }
+                    state.pending.remove(&request).unwrap_or_default()
+                };
+                for waiter in waiters {
+                    let _ = waiter.send(clone_result(&result));
+                }
+                let _ = tx.send(result);
+            }
+        });
+    }
+
     /// Submits one request; the returned [`Ticket`] resolves to its answer.
     /// Cache hits resolve immediately without entering the pool, and
     /// concurrent submits of one key share a single index probe.
@@ -311,7 +388,9 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
     /// (sharing one `Arc`); previously served requests are answered from
     /// the LRU cache; requests whose probe is already in flight (from a
     /// concurrent `submit` or batch) join that probe instead of re-running
-    /// it.
+    /// it. Remaining fresh probes that share a coalescing class (see
+    /// [`BatchAnswer::coalesce_class`]) are merged into one bulk probe
+    /// before dispatch and counted in [`ServeStats::coalesced`].
     ///
     /// # Errors
     /// Fails if any request fails (the first error in input order wins).
@@ -383,11 +462,66 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
             }
         };
 
-        // Dispatch this batch's own probes; results come back tagged with
-        // their position group via a side channel per probe.
+        // Coalesce (§6.4): distinct fresh probes sharing a coalescing
+        // class — for the framework drivers, single-tuple requests over
+        // one access pattern — merge into a single bulk probe. The bulk
+        // answer is split back per member and published under the
+        // individual keys (cache inserts and pending waiters included),
+        // so coalescing is invisible to everything downstream of the
+        // dispatch.
         let mut own: Vec<(mpsc::Receiver<Result<Arc<I::Answer>>>, Vec<usize>)> =
             Vec::with_capacity(probes.len());
+        let mut singles: Vec<(I::Request, Vec<usize>)> = Vec::new();
+        let mut classes: FxHashMap<u64, Vec<(I::Request, Vec<usize>)>> = FxHashMap::default();
         for (request, positions) in probes {
+            // Guarded like the probe paths: a panicking classifier must
+            // not unwind serve_batch with this batch's keys stranded in
+            // the pending map (later callers would wait on them forever).
+            let class = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                I::coalesce_class(&request)
+            }))
+            .unwrap_or(None);
+            match class {
+                Some(class) => classes.entry(class).or_default().push((request, positions)),
+                None => singles.push((request, positions)),
+            }
+        }
+        for (_, group) in classes {
+            if group.len() < 2 {
+                singles.extend(group);
+                continue;
+            }
+            let members: Vec<I::Request> = group.iter().map(|(r, _)| r.clone()).collect();
+            let merged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                I::coalesce(&members)
+            }))
+            .unwrap_or_else(|panic| {
+                Err(CqapError::Other(format!(
+                    "coalesce panicked: {}",
+                    panic_message(panic)
+                )))
+            });
+            match merged {
+                Ok(bulk) => {
+                    self.stats
+                        .coalesced
+                        .fetch_add(group.len() as u64, Ordering::Relaxed);
+                    let mut parts = Vec::with_capacity(group.len());
+                    for (request, positions) in group {
+                        let (ptx, prx) = mpsc::channel();
+                        parts.push((request, ptx));
+                        own.push((prx, positions));
+                    }
+                    self.dispatch_coalesced(bulk, parts);
+                }
+                // The index refused the merge: dispatch the group one
+                // probe per request, as if it never coalesced.
+                Err(_) => singles.extend(group),
+            }
+        }
+        // Dispatch the remaining probes individually; results come back
+        // tagged with their position group via a side channel per probe.
+        for (request, positions) in singles {
             let (ptx, prx) = mpsc::channel();
             self.dispatch_probe(request, ptx);
             own.push((prx, positions));
@@ -680,6 +814,92 @@ mod tests {
         gate.send(()).expect("worker waiting");
         assert!(retry.wait().is_err());
         assert_eq!(index.probes.load(Ordering::Relaxed), 2);
+    }
+
+    /// A coalescable index: a request is a list of keys, the answer their
+    /// doubles; single-key requests merge into one bulk probe.
+    struct BulkIndex {
+        probes: AtomicU64,
+    }
+
+    impl crate::BatchAnswer for BulkIndex {
+        type Request = Vec<u64>;
+        type Answer = Vec<u64>;
+
+        fn answer_one(&self, request: &Vec<u64>) -> cqap_common::Result<Vec<u64>> {
+            self.probes.fetch_add(1, Ordering::Relaxed);
+            Ok(request.iter().map(|k| k * 2).collect())
+        }
+
+        fn coalesce_class(request: &Vec<u64>) -> Option<u64> {
+            (request.len() == 1).then_some(0)
+        }
+
+        fn coalesce(requests: &[Vec<u64>]) -> cqap_common::Result<Vec<u64>> {
+            Ok(requests.concat())
+        }
+
+        fn extract(&self, bulk: &Vec<u64>, request: &Vec<u64>) -> cqap_common::Result<Vec<u64>> {
+            Ok(request
+                .iter()
+                .map(|k| k * 2)
+                .filter(|v| bulk.contains(v))
+                .collect())
+        }
+    }
+
+    #[test]
+    fn same_class_probes_coalesce_into_one_bulk_probe() {
+        let index = Arc::new(BulkIndex {
+            probes: AtomicU64::new(0),
+        });
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 16,
+            },
+        );
+        let batch: Vec<Vec<u64>> = vec![vec![1], vec![2], vec![3], vec![4, 5]];
+        let answers: Vec<Vec<u64>> = runtime
+            .serve_batch(&batch)
+            .unwrap()
+            .iter()
+            .map(|a| (**a).clone())
+            .collect();
+        assert_eq!(answers, vec![vec![2], vec![4], vec![6], vec![8, 10]]);
+        // The three singles merged into one bulk probe; the multi-key
+        // request (class None) probed alone.
+        assert_eq!(index.probes.load(Ordering::Relaxed), 2, "two probes total");
+        let stats = runtime.stats();
+        assert_eq!(stats.coalesced, 3, "three members of the merged group");
+        assert_eq!(stats.cache_misses, 4);
+        // Merged members were cached under their own keys.
+        let again = runtime.serve_batch(&batch).unwrap();
+        assert_eq!(again.len(), 4);
+        assert_eq!(runtime.stats().cache_hits, 4);
+        assert_eq!(index.probes.load(Ordering::Relaxed), 2, "warm pass probes nothing");
+    }
+
+    #[test]
+    fn coalesced_driver_answers_match_sequential() {
+        // Distinct single-tuple driver requests share one access pattern,
+        // so a cold batch coalesces into one multi-tuple probe — and the
+        // extracted per-request answers are exactly the sequential ones.
+        let (index, requests) = small_index();
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 4,
+                cache_capacity: 256,
+            },
+        );
+        let answers = runtime.serve_batch(&requests).unwrap();
+        for (request, answer) in requests.iter().zip(&answers) {
+            assert_eq!(answer.as_ref(), &index.answer(request).unwrap());
+        }
+        let stats = runtime.stats();
+        assert!(stats.coalesced > 0, "cold distinct singles coalesce: {stats:?}");
     }
 
     #[test]

@@ -149,6 +149,22 @@ impl BatchAnswer for ShardRouter {
         }
         Ok(Arc::new(answer.expect("split_request is never empty")))
     }
+
+    fn coalesce_class(request: &Self::Request) -> Option<u64> {
+        cqap_serve::batch::access_request_class(request)
+    }
+
+    fn coalesce(requests: &[Self::Request]) -> Result<Self::Request> {
+        cqap_serve::batch::coalesce_access_requests(requests)
+    }
+
+    /// A coalesced probe is one scatter-gather; each member's answer is
+    /// the semijoin of the gathered union with the member's binding.
+    fn extract(&self, bulk: &Self::Answer, request: &Self::Request) -> Result<Self::Answer> {
+        Ok(Arc::new(cqap_serve::batch::extract_access_answer(
+            bulk, request,
+        )?))
+    }
 }
 
 #[cfg(test)]

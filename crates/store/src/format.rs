@@ -1,0 +1,537 @@
+//! The on-disk S-view format: sorted runs of `(key, tuple-block)` records
+//! with a sparse in-memory fence index.
+//!
+//! One file holds one materialized view. Tuples are grouped by their
+//! projection onto the view's *link* variables (the key Online Yannakakis
+//! probes by), the groups are sorted by key, and each group is written as
+//! one record: the key values, the block length, then the block of full
+//! tuples. Every value is a little-endian `u64`, so the format needs no
+//! serialization dependency.
+//!
+//! ```text
+//! header:  MAGIC  arity  var[0..arity]  link-varset  records  tuples
+//! record:  key[0..key_arity]  count  tuple[0] .. tuple[count-1]
+//! ```
+//!
+//! At open time the file is scanned once and every `FENCE_STRIDE`-th
+//! record's `(first key, byte offset)` is retained in memory — the *fence
+//! index*, the only resident state. A probe binary-searches the fences for
+//! the segment that could hold the key, performs **one contiguous file
+//! read** of that segment (at most `FENCE_STRIDE` records), and walks the
+//! buffer until the key is found or passed. Probes take `&self` and are
+//! safe from many threads at once (positioned reads on Unix; a seek lock
+//! elsewhere), which is what lets a disk-resident view sit behind the same
+//! `Sync` serving surface as the in-memory indexes.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use cqap_common::{CqapError, FxHashMap, Result, Tuple, Val, VarSet};
+use cqap_relation::{Relation, Schema};
+
+/// `b"CQAPSVW1"` — the format tag checked at open.
+const MAGIC: u64 = u64::from_le_bytes(*b"CQAPSVW1");
+
+/// Records per fence segment: a probe reads at most this many records in
+/// its one contiguous segment read.
+const FENCE_STRIDE: usize = 16;
+
+fn io_err(path: &Path, action: &str, error: std::io::Error) -> CqapError {
+    CqapError::Other(format!(
+        "stored view {}: {action}: {error}",
+        path.display()
+    ))
+}
+
+fn corrupt(path: &Path, what: &str) -> CqapError {
+    CqapError::Other(format!(
+        "stored view {} is corrupt: {what}",
+        path.display()
+    ))
+}
+
+/// A positioned-read handle that can be shared across threads.
+struct RandomAccess {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: std::sync::Mutex<File>,
+}
+
+impl RandomAccess {
+    fn new(file: File) -> Self {
+        #[cfg(unix)]
+        {
+            RandomAccess { file }
+        }
+        #[cfg(not(unix))]
+        {
+            RandomAccess {
+                file: std::sync::Mutex::new(file),
+            }
+        }
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            std::os::unix::fs::FileExt::read_exact_at(&self.file, buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom};
+            let mut file = self.file.lock().expect("file lock");
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(buf)
+        }
+    }
+}
+
+/// One fence: the key of the segment's first record plus its byte offset.
+struct Fence {
+    key: Tuple,
+    offset: u64,
+}
+
+/// A disk-resident S-view: a sorted run on disk plus the in-memory fence
+/// index. Probing never scans the file — a binary search over the fences
+/// narrows the key to one segment, which is fetched in a single contiguous
+/// read.
+pub struct StoredView {
+    path: PathBuf,
+    file: RandomAccess,
+    schema: Schema,
+    link: VarSet,
+    fences: Vec<Fence>,
+    num_tuples: usize,
+    num_records: usize,
+    file_bytes: u64,
+    delete_on_drop: bool,
+}
+
+/// Serializes `rel`, grouped and sorted by its projection onto `link`, to
+/// a new file at `path` (truncating any existing file).
+///
+/// # Errors
+/// Fails if `link` is not a subset of the relation's variables, or on I/O
+/// errors.
+pub fn write_view(path: &Path, rel: &Relation, link: VarSet) -> Result<()> {
+    let key_positions = rel.schema().positions_of_set(link)?;
+    let mut groups: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
+    for t in rel.iter() {
+        groups.entry(t.project(&key_positions)).or_default().push(t);
+    }
+    let mut keys: Vec<&Tuple> = groups.keys().collect();
+    keys.sort_unstable_by(|a, b| a.as_slice().cmp(b.as_slice()));
+
+    let file = File::create(path).map_err(|e| io_err(path, "create", e))?;
+    let mut out = BufWriter::new(file);
+    let mut emit = |v: u64| -> Result<()> {
+        out.write_all(&v.to_le_bytes())
+            .map_err(|e| io_err(path, "write", e))
+    };
+    emit(MAGIC)?;
+    emit(rel.schema().arity() as u64)?;
+    for &v in rel.schema().vars() {
+        emit(v as u64)?;
+    }
+    emit(link.0)?;
+    emit(keys.len() as u64)?;
+    emit(rel.len() as u64)?;
+    for key in keys {
+        let mut block = groups[key].clone();
+        // Deterministic files: blocks are sorted too.
+        block.sort_unstable_by(|a, b| a.as_slice().cmp(b.as_slice()));
+        for &v in key.as_slice() {
+            emit(v)?;
+        }
+        emit(block.len() as u64)?;
+        for t in block {
+            for &v in t.as_slice() {
+                emit(v)?;
+            }
+        }
+    }
+    out.flush().map_err(|e| io_err(path, "flush", e))?;
+    Ok(())
+}
+
+/// Little-endian `u64` reader over an in-memory segment buffer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining_vals(&self) -> usize {
+        (self.buf.len() - self.pos) / 8
+    }
+
+    fn next(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn next_vals(&mut self, n: usize) -> Option<Vec<Val>> {
+        (0..n).map(|_| self.next()).collect()
+    }
+
+    fn skip_vals(&mut self, n: usize) -> bool {
+        let bytes = n * 8;
+        if self.pos + bytes > self.buf.len() {
+            return false;
+        }
+        self.pos += bytes;
+        true
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
+impl StoredView {
+    /// Opens a view file, validating the header and building the fence
+    /// index with one sequential scan.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or a malformed file.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = File::open(path).map_err(|e| io_err(path, "open", e))?;
+        let file_bytes = file
+            .metadata()
+            .map_err(|e| io_err(path, "stat", e))?
+            .len();
+        let mut reader = BufReader::new(file);
+        let next = |reader: &mut BufReader<File>| -> Result<u64> {
+            let mut bytes = [0u8; 8];
+            reader
+                .read_exact(&mut bytes)
+                .map_err(|e| io_err(path, "read header/record", e))?;
+            Ok(u64::from_le_bytes(bytes))
+        };
+
+        if next(&mut reader)? != MAGIC {
+            return Err(corrupt(path, "bad magic"));
+        }
+        let arity = next(&mut reader)? as usize;
+        if arity > 64 {
+            return Err(corrupt(path, "implausible arity"));
+        }
+        let mut vars = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            vars.push(next(&mut reader)? as usize);
+        }
+        let schema = Schema::new(vars).map_err(|_| corrupt(path, "invalid schema"))?;
+        let link = VarSet(next(&mut reader)?);
+        if !link.is_subset(schema.varset()) {
+            return Err(corrupt(path, "link variables outside the schema"));
+        }
+        let num_records = next(&mut reader)? as usize;
+        let num_tuples = next(&mut reader)? as usize;
+        let key_arity = link.len();
+
+        // Sequential fence-building scan: remember every FENCE_STRIDE-th
+        // record's first key and offset, skip the blocks.
+        let mut fences = Vec::with_capacity(num_records.div_ceil(FENCE_STRIDE));
+        // Header words: magic, arity, the `arity` schema vars, link,
+        // record count, tuple count.
+        let mut offset = (5 + arity) as u64 * 8;
+        let mut seen_tuples = 0usize;
+        for record in 0..num_records {
+            let mut key = Vec::with_capacity(key_arity);
+            for _ in 0..key_arity {
+                key.push(next(&mut reader)?);
+            }
+            let count = next(&mut reader)? as usize;
+            if count == 0 {
+                return Err(corrupt(path, "empty record block"));
+            }
+            if record % FENCE_STRIDE == 0 {
+                fences.push(Fence {
+                    key: Tuple::from_slice(&key),
+                    offset,
+                });
+            }
+            let block_bytes = (count * arity) as u64 * 8;
+            std::io::copy(
+                &mut reader.by_ref().take(block_bytes),
+                &mut std::io::sink(),
+            )
+            .map_err(|e| io_err(path, "scan", e))
+            .and_then(|skipped| {
+                if skipped == block_bytes {
+                    Ok(())
+                } else {
+                    Err(corrupt(path, "truncated record block"))
+                }
+            })?;
+            offset += (key_arity + 1 + count * arity) as u64 * 8;
+            seen_tuples += count;
+        }
+        if seen_tuples != num_tuples {
+            return Err(corrupt(path, "tuple count mismatch"));
+        }
+        if offset != file_bytes {
+            return Err(corrupt(path, "trailing bytes"));
+        }
+
+        let file = File::open(path).map_err(|e| io_err(path, "reopen", e))?;
+        Ok(StoredView {
+            path: path.to_path_buf(),
+            file: RandomAccess::new(file),
+            schema,
+            link,
+            fences,
+            num_tuples,
+            num_records,
+            file_bytes,
+            delete_on_drop: false,
+        })
+    }
+
+    /// Marks the backing file for deletion when this view is dropped (used
+    /// by owners that spilled the file themselves).
+    pub fn delete_on_drop(&mut self) {
+        self.delete_on_drop = true;
+    }
+
+    /// The schema of the stored tuples.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The link (probe-key) variables.
+    pub fn link(&self) -> VarSet {
+        self.link
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.num_tuples
+    }
+
+    /// Whether the view stores no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.num_tuples == 0
+    }
+
+    /// Number of distinct keys (records).
+    pub fn num_keys(&self) -> usize {
+        self.num_records
+    }
+
+    /// Stored values on disk — the same machine-independent space measure
+    /// as [`cqap_relation::Relation::stored_values`], so disk-resident and
+    /// in-memory views report comparable `S`.
+    pub fn stored_values(&self) -> usize {
+        self.num_tuples * self.schema.arity()
+    }
+
+    /// Size of the backing file in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Values held resident in memory by the fence index (the per-view RAM
+    /// cost of the cold tier).
+    pub fn resident_values(&self) -> usize {
+        self.fences.iter().map(|f| f.key.arity()).sum()
+    }
+
+    /// All stored tuples whose link projection equals `key`: binary search
+    /// over the fences, one contiguous segment read, then a forward walk
+    /// that stops as soon as the sorted run passes the key.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or if the segment bytes are malformed.
+    pub fn probe(&self, key: &Tuple) -> Result<Vec<Tuple>> {
+        if key.arity() != self.link.len() {
+            return Ok(Vec::new());
+        }
+        // Last fence whose first key is <= the target; if even the first
+        // fence is greater, the key precedes every record.
+        let idx = self
+            .fences
+            .partition_point(|f| f.key.as_slice() <= key.as_slice());
+        if idx == 0 {
+            return Ok(Vec::new());
+        }
+        let start = self.fences[idx - 1].offset;
+        let end = self
+            .fences
+            .get(idx)
+            .map_or(self.file_bytes, |f| f.offset);
+        let mut buf = vec![0u8; (end - start) as usize];
+        self.file
+            .read_exact_at(&mut buf, start)
+            .map_err(|e| io_err(&self.path, "segment read", e))?;
+
+        let key_arity = self.link.len();
+        let arity = self.schema.arity();
+        let mut cursor = Cursor::new(&buf);
+        while !cursor.at_end() {
+            let record_key = cursor
+                .next_vals(key_arity)
+                .ok_or_else(|| corrupt(&self.path, "truncated key"))?;
+            let count = cursor
+                .next()
+                .ok_or_else(|| corrupt(&self.path, "truncated count"))? as usize;
+            if count * arity > cursor.remaining_vals() {
+                return Err(corrupt(&self.path, "block overruns segment"));
+            }
+            match record_key.as_slice().cmp(key.as_slice()) {
+                std::cmp::Ordering::Less => {
+                    if !cursor.skip_vals(count * arity) {
+                        return Err(corrupt(&self.path, "truncated block"));
+                    }
+                }
+                std::cmp::Ordering::Equal => {
+                    let mut out = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let vals = cursor
+                            .next_vals(arity)
+                            .ok_or_else(|| corrupt(&self.path, "truncated tuple"))?;
+                        out.push(Tuple::from_slice(&vals));
+                    }
+                    return Ok(out);
+                }
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+        Ok(Vec::new())
+    }
+}
+
+impl Drop for StoredView {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_common::vars;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = crate::scratch_dir("format-test");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir(dir);
+        }
+    }
+
+    #[test]
+    fn roundtrip_probe_matches_hash_index() {
+        let rel = Relation::binary(
+            "R",
+            0,
+            1,
+            (0..500u64).map(|i| (i % 37, i * 7 % 101)),
+        );
+        let link = vars![1];
+        let path = scratch("roundtrip.sview");
+        write_view(&path, &rel, link).unwrap();
+        let view = StoredView::open(&path).unwrap();
+        assert_eq!(view.len(), rel.len());
+        assert_eq!(view.stored_values(), rel.stored_values());
+        assert_eq!(view.schema(), rel.schema());
+        assert!(view.resident_values() <= view.num_keys());
+
+        let index = cqap_relation::HashIndex::build(&rel, link).unwrap();
+        for key in 0..45u64 {
+            let key = Tuple::unary(key);
+            let mut expected: Vec<Tuple> = index.probe(&key).to_vec();
+            expected.sort_unstable_by(|a, b| a.as_slice().cmp(b.as_slice()));
+            assert_eq!(view.probe(&key).unwrap(), expected, "key {key:?}");
+        }
+        // Wrong-arity keys behave like missing keys, as in HashIndex.
+        assert!(view.probe(&Tuple::pair(1, 2)).unwrap().is_empty());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn empty_relation_and_empty_link() {
+        let empty = Relation::new("E", Schema::of([0, 1]));
+        let path = scratch("empty.sview");
+        write_view(&path, &empty, vars![1]).unwrap();
+        let view = StoredView::open(&path).unwrap();
+        assert!(view.is_empty());
+        assert!(view.probe(&Tuple::unary(3)).unwrap().is_empty());
+        cleanup(&path);
+
+        // Empty link: the whole view is one record under the empty key.
+        let rel = Relation::binary("R", 0, 1, [(1, 2), (3, 4), (1, 5)]);
+        let path = scratch("nolink.sview");
+        write_view(&path, &rel, VarSet::EMPTY).unwrap();
+        let view = StoredView::open(&path).unwrap();
+        assert_eq!(view.num_keys(), 1);
+        let all = view.probe(&Tuple::empty()).unwrap();
+        assert_eq!(all.len(), 3);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn many_keys_cross_fence_segments() {
+        // 400 distinct keys at stride 16 => 25 fences; probe every key plus
+        // misses on both sides and between keys.
+        let rel = Relation::binary("R", 0, 1, (0..400u64).map(|i| (3 * i + 1, i)));
+        let path = scratch("fences.sview");
+        write_view(&path, &rel, vars![1]).unwrap();
+        let view = StoredView::open(&path).unwrap();
+        assert_eq!(view.num_keys(), 400);
+        assert!(view.resident_values() >= 25);
+        for i in 0..400u64 {
+            let hit = view.probe(&Tuple::unary(3 * i + 1)).unwrap();
+            assert_eq!(hit, vec![Tuple::pair(3 * i + 1, i)]);
+            assert!(view.probe(&Tuple::unary(3 * i)).unwrap().is_empty());
+        }
+        assert!(view.probe(&Tuple::unary(0)).unwrap().is_empty());
+        assert!(view.probe(&Tuple::unary(9_999)).unwrap().is_empty());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let rel = Relation::binary("R", 0, 1, [(1, 2), (3, 4)]);
+        let path = scratch("corrupt.sview");
+        write_view(&path, &rel, vars![1]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(StoredView::open(&path).is_err(), "bad magic");
+
+        write_view(&path, &rel, vars![1]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+        assert!(StoredView::open(&path).is_err(), "truncated file");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn delete_on_drop_removes_the_file() {
+        let rel = Relation::binary("R", 0, 1, [(1, 2)]);
+        let path = scratch("dropped.sview");
+        write_view(&path, &rel, vars![1]).unwrap();
+        {
+            let mut view = StoredView::open(&path).unwrap();
+            view.delete_on_drop();
+        }
+        assert!(!path.exists());
+        cleanup(&path);
+    }
+}

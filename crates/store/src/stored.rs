@@ -1,0 +1,340 @@
+//! [`StoredIndex`]: the framework driver answering from disk-resident
+//! S-views.
+//!
+//! A `StoredIndex` is built from the **same preprocessing output** as an
+//! in-memory [`CqapIndex`] — each plan's semijoin-reduced, link-keyed
+//! S-views are spilled to one sorted-run file per view (see
+//! [`crate::format`]) — and answers through the **same online phase**
+//! ([`OnlineYannakakis::answer_with`]), with the hash-index probes replaced
+//! by fence-indexed segment reads. Because every probe returns the same
+//! tuples, the answers are identical to the in-memory index (the
+//! equivalence proptest in `crates/store/tests` enforces this bit for
+//! bit), while the resident footprint of the S-views drops to the fence
+//! index.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cqap_common::{CqapError, Result, Tuple};
+use cqap_decomp::Pmtd;
+use cqap_panda::CqapIndex;
+use cqap_query::{AccessRequest, Cqap};
+use cqap_relation::{Database, Relation, Schema};
+use cqap_serve::BatchAnswer;
+use cqap_yannakakis::{OnlineYannakakis, SViewProbe};
+
+use crate::format::{write_view, StoredView};
+
+/// Counter for unique scratch-directory names within one process.
+static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, process-unique directory path under the system temp dir (not
+/// yet created). Used by the `*_in_temp` constructors, the benches and the
+/// tests.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cqap-store-{tag}-{}-{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Removes `dir` itself once the spilled files inside are gone. Declared
+/// *after* the views in every owning struct, so Rust's field drop order
+/// (declaration order) deletes the files first and then the — by then
+/// empty — directory. `remove_dir` is non-recursive, so a caller-provided
+/// directory holding unrelated files is never destroyed.
+struct DirCleanup(PathBuf);
+
+impl Drop for DirCleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir(&self.0);
+    }
+}
+
+/// The disk-resident S-views of one PMTD plan, implementing the
+/// [`SViewProbe`] seam of the online phase.
+pub struct StoredViews {
+    views: Vec<Option<StoredView>>,
+}
+
+impl StoredViews {
+    /// Spills every materialized view of `pre` to `<dir>/<prefix>_node<n>.sview`
+    /// and opens the files back as fence-indexed stored views (which own
+    /// and delete the files when dropped).
+    ///
+    /// # Errors
+    /// Fails on I/O errors.
+    pub fn spill(
+        pre: &cqap_yannakakis::PreprocessedViews,
+        dir: &Path,
+        prefix: &str,
+    ) -> Result<StoredViews> {
+        let mut views: Vec<Option<StoredView>> = Vec::new();
+        for (node, rel, link) in pre.materialized() {
+            let path = dir.join(format!("{prefix}_node{node}.sview"));
+            write_view(&path, rel, link)?;
+            let mut view = StoredView::open(&path)?;
+            view.delete_on_drop();
+            if views.len() <= node {
+                views.resize_with(node + 1, || None);
+            }
+            views[node] = Some(view);
+        }
+        Ok(StoredViews { views })
+    }
+
+    fn view(&self, node: usize) -> Result<&StoredView> {
+        self.views
+            .get(node)
+            .and_then(|v| v.as_ref())
+            .ok_or_else(|| {
+                CqapError::InvalidPmtd(format!("S-view {node} was not spilled"))
+            })
+    }
+
+    /// Stored values across all views (the intrinsic `S`, now on disk).
+    pub fn stored_values(&self) -> usize {
+        self.views.iter().flatten().map(StoredView::stored_values).sum()
+    }
+
+    /// Total bytes on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.views.iter().flatten().map(StoredView::disk_bytes).sum()
+    }
+
+    /// Values resident in RAM (the fence indexes).
+    pub fn resident_values(&self) -> usize {
+        self.views.iter().flatten().map(StoredView::resident_values).sum()
+    }
+}
+
+impl SViewProbe for StoredViews {
+    fn schema(&self, node: usize) -> Option<&Schema> {
+        self.views.get(node).and_then(|v| v.as_ref()).map(StoredView::schema)
+    }
+
+    fn probe(&self, node: usize, key: &Tuple) -> Result<Vec<Tuple>> {
+        self.view(node)?.probe(key)
+    }
+}
+
+/// A CQAP index whose S-views live on disk: same preprocessing content,
+/// same online algorithm, answers identical to [`CqapIndex`] — but the
+/// space budget `S` is spent on the cold tier, with only the fence
+/// indexes (and the input database) resident.
+pub struct StoredIndex {
+    cqap: Cqap,
+    db: Database,
+    plans: Vec<(OnlineYannakakis, StoredViews)>,
+    // Declared last: removes the spill directory after the views above
+    // have deleted their files.
+    _dir: DirCleanup,
+}
+
+impl StoredIndex {
+    /// Spills an existing in-memory index: every plan's preprocessed
+    /// S-views are written to sorted-run files under `dir` (created if
+    /// missing). The returned index owns the files — they are deleted when
+    /// it drops, and `dir` itself is removed if that leaves it empty.
+    ///
+    /// # Errors
+    /// Fails on I/O errors.
+    pub fn spill(index: &CqapIndex, dir: impl AsRef<Path>) -> Result<StoredIndex> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| {
+            CqapError::Other(format!("cannot create spill dir {}: {e}", dir.display()))
+        })?;
+        let mut plans = Vec::new();
+        for (i, (evaluator, pre)) in index.plans().enumerate() {
+            let stored = StoredViews::spill(pre, dir, &format!("plan{i}"))?;
+            plans.push((evaluator.clone(), stored));
+        }
+        Ok(StoredIndex {
+            cqap: index.cqap().clone(),
+            db: index.database().clone(),
+            plans,
+            _dir: DirCleanup(dir.to_path_buf()),
+        })
+    }
+
+    /// Runs the full preprocessing phase and spills the result: equivalent
+    /// to `CqapIndex::build` followed by [`StoredIndex::spill`] (the
+    /// in-memory views are dropped once written).
+    ///
+    /// # Errors
+    /// Propagates build failures (mismatched PMTDs, empty PMTD set) and
+    /// I/O errors.
+    pub fn build(
+        cqap: &Cqap,
+        db: &Database,
+        pmtds: &[Pmtd],
+        dir: impl AsRef<Path>,
+    ) -> Result<StoredIndex> {
+        let index = CqapIndex::build(cqap, db, pmtds)?;
+        StoredIndex::spill(&index, dir)
+    }
+
+    /// [`StoredIndex::build`] into a fresh process-unique directory under
+    /// the system temp dir (removed again when the index drops).
+    ///
+    /// # Errors
+    /// Same failure modes as [`StoredIndex::build`].
+    pub fn build_in_temp(cqap: &Cqap, db: &Database, pmtds: &[Pmtd]) -> Result<StoredIndex> {
+        StoredIndex::build(cqap, db, pmtds, scratch_dir("stored"))
+    }
+
+    /// The CQAP this index answers.
+    pub fn cqap(&self) -> &Cqap {
+        &self.cqap
+    }
+
+    /// Number of PMTDs in the plan set.
+    pub fn num_pmtds(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The intrinsic space cost (stored values across all S-views) — the
+    /// same measure as [`CqapIndex::space_used`], so a spilled index
+    /// reports the same `S` as its in-memory source.
+    pub fn space_used(&self) -> usize {
+        self.plans.iter().map(|(_, v)| v.stored_values()).sum()
+    }
+
+    /// Bytes the S-views occupy on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.plans.iter().map(|(_, v)| v.disk_bytes()).sum()
+    }
+
+    /// Values resident in RAM for probing (the sparse fence indexes) —
+    /// the cold tier's actual memory footprint, excluding the database.
+    pub fn resident_values(&self) -> usize {
+        self.plans.iter().map(|(_, v)| v.resident_values()).sum()
+    }
+
+    /// Online phase: identical to [`CqapIndex::answer`] — literally the
+    /// same driver loop ([`cqap_panda::answer_with_plans`]): the same
+    /// T-views, the same per-PMTD Online Yannakakis, the same union —
+    /// with every S-view probe served from disk.
+    ///
+    /// # Errors
+    /// The same validation failures as the in-memory driver, plus I/O
+    /// errors from the cold tier.
+    pub fn answer(&self, request: &AccessRequest) -> Result<Relation> {
+        cqap_panda::answer_with_plans(
+            &self.cqap,
+            &self.db,
+            self.plans.iter().map(|(evaluator, views)| (evaluator, views)),
+            request,
+        )
+    }
+}
+
+/// The disk backend serves through the same one-trait API as every other
+/// structure — a `StoredIndex` drops into `ServeRuntime`, the benches and
+/// the examples exactly like the in-memory driver. It also joins the
+/// request-coalescing protocol: merged probes amortize cold-tier segment
+/// reads across a whole batch.
+impl BatchAnswer for StoredIndex {
+    type Request = AccessRequest;
+    type Answer = Relation;
+
+    fn answer_one(&self, request: &Self::Request) -> Result<Self::Answer> {
+        self.answer(request)
+    }
+
+    fn coalesce_class(request: &Self::Request) -> Option<u64> {
+        cqap_serve::batch::access_request_class(request)
+    }
+
+    fn coalesce(requests: &[Self::Request]) -> Result<Self::Request> {
+        cqap_serve::batch::coalesce_access_requests(requests)
+    }
+
+    fn extract(&self, bulk: &Self::Answer, request: &Self::Request) -> Result<Self::Answer> {
+        cqap_serve::batch::extract_access_answer(bulk, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_decomp::families as pf;
+    use cqap_query::workload::{graph_pair_requests, zipf_multi_requests, Graph};
+
+    fn fixture() -> (Cqap, Vec<Pmtd>, Graph, Database, CqapIndex) {
+        let (cqap, pmtds) = pf::pmtds_3reach_fig1().unwrap();
+        let g = Graph::skewed(50, 220, 4, 30, 23);
+        let db = g.as_path_database(3);
+        let reference = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+        (cqap, pmtds, g, db, reference)
+    }
+
+    #[test]
+    fn stored_answers_equal_in_memory() {
+        let (cqap, pmtds, g, db, reference) = fixture();
+        let stored = StoredIndex::build_in_temp(&cqap, &db, &pmtds).unwrap();
+        assert_eq!(stored.num_pmtds(), reference.num_pmtds());
+        for (u, v) in graph_pair_requests(&g, 40, 29) {
+            let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+            assert_eq!(
+                stored.answer(&request).unwrap(),
+                reference.answer(&request).unwrap(),
+                "request ({u},{v})"
+            );
+        }
+        for tuples in zipf_multi_requests(&g, 10, 6, 1.1, 31) {
+            let tuples: Vec<Tuple> = tuples.into_iter().map(|(u, v)| Tuple::pair(u, v)).collect();
+            let request = AccessRequest::new(cqap.access(), tuples).unwrap();
+            assert_eq!(
+                stored.answer(&request).unwrap(),
+                reference.answer(&request).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn space_accounting_matches_the_source_index() {
+        let (_cqap, _pmtds, _, _db, reference) = fixture();
+        let dir = scratch_dir("accounting");
+        let stored = StoredIndex::spill(&reference, &dir).unwrap();
+        // The same intrinsic S on disk as in memory, and only the sparse
+        // fence index resident.
+        assert_eq!(stored.space_used(), reference.space_used());
+        assert!(stored.disk_bytes() > 0);
+        assert!(stored.resident_values() < stored.space_used());
+        assert!(dir.exists());
+        drop(stored);
+        assert!(!dir.exists(), "spill dir cleaned up on drop");
+    }
+
+    #[test]
+    fn empty_request_and_bad_requests_behave_like_the_reference() {
+        let (cqap, pmtds, _, db, reference) = fixture();
+        let stored = StoredIndex::build_in_temp(&cqap, &db, &pmtds).unwrap();
+        let empty = AccessRequest::new(cqap.access(), Vec::new()).unwrap();
+        assert_eq!(
+            stored.answer(&empty).unwrap(),
+            reference.answer(&empty).unwrap()
+        );
+        let wrong = AccessRequest::single(cqap_common::VarSet::from_iter([0, 1]), &[0, 1]).unwrap();
+        assert!(stored.answer(&wrong).is_err());
+        assert!(reference.answer(&wrong).is_err());
+    }
+
+    #[test]
+    fn stored_index_is_shareable_across_threads() {
+        let (cqap, pmtds, g, db, reference) = fixture();
+        let stored = StoredIndex::build_in_temp(&cqap, &db, &pmtds).unwrap();
+        let requests: Vec<AccessRequest> = graph_pair_requests(&g, 30, 41)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        let expected: Vec<Relation> = requests
+            .iter()
+            .map(|r| reference.answer(r).unwrap())
+            .collect();
+        let answers = cqap_serve::answer_batch_parallel(&stored, &requests, 4).unwrap();
+        assert_eq!(answers, expected);
+    }
+}

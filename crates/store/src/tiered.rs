@@ -1,0 +1,496 @@
+//! [`TieredShardedIndex`]: hot/cold placement of hash-partitioned shards.
+//!
+//! This extends the `cqap-shard` seam with the storage tier: the database
+//! is partitioned under the exact same [`ShardSpec`] contract, every shard
+//! is built as a full [`CqapIndex`], and a *placement* then decides per
+//! shard whether it stays **hot** (the in-memory index, hash probes) or
+//! goes **cold** (spilled to a [`StoredIndex`], fence-indexed disk
+//! probes). Since hot and cold shards answer identically — the storage
+//! backend changes *where* S-view probes are served, never *what* they
+//! return — the tiered index inherits the shard contract's exactness:
+//! answers are bit-for-bit the unsharded reference, at any tier split.
+//!
+//! Placement is driven by [`PlacementPolicy`]: a per-deployment byte
+//! budget for the hot tier plus observed per-shard request frequency.
+//! Hottest shards are kept in memory first; whatever exceeds the budget
+//! pays disk reads. That is the paper's space/time tradeoff made physical:
+//! `S` resident buys probe latency, and the `tier_tradeoff` bench sweeps
+//! exactly this axis.
+
+use std::cmp::Reverse;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cqap_common::{CqapError, Result};
+use cqap_decomp::Pmtd;
+use cqap_panda::CqapIndex;
+use cqap_query::{AccessRequest, Cqap};
+use cqap_relation::{Database, Relation};
+use cqap_serve::BatchAnswer;
+use cqap_shard::{ShardSpec, ShardedIndex};
+
+use crate::stored::{scratch_dir, StoredIndex};
+
+/// Where one shard's index lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardTier {
+    /// In memory: a full [`CqapIndex`], hash-probed.
+    Hot,
+    /// On disk: a [`StoredIndex`], fence-probed.
+    Cold,
+}
+
+/// Decides the hot/cold split: a hot-tier byte budget plus observed
+/// per-shard request frequency.
+#[derive(Clone, Debug)]
+pub struct PlacementPolicy {
+    hot_budget_bytes: usize,
+    weights: Vec<u64>,
+}
+
+impl PlacementPolicy {
+    /// A policy with the given hot-tier budget (bytes of S-view values
+    /// resident in memory) and no traffic information (shards are then
+    /// ranked by id).
+    pub fn hot_budget(bytes: usize) -> Self {
+        PlacementPolicy {
+            hot_budget_bytes: bytes,
+            weights: Vec::new(),
+        }
+    }
+
+    /// Attaches observed per-shard request frequencies (higher = hotter).
+    /// Typically produced by [`PlacementPolicy::observe`] over a traffic
+    /// sample, or by [`TieredShardedIndex::observed_loads`] from a live
+    /// deployment.
+    #[must_use]
+    pub fn with_weights(mut self, weights: Vec<u64>) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Counts how many request bindings each shard would receive under
+    /// `spec` — the observed-frequency input to placement.
+    pub fn observe(spec: &ShardSpec, requests: &[AccessRequest]) -> Vec<u64> {
+        let mut weights = vec![0u64; spec.shards()];
+        for request in requests {
+            for tuple in request.tuples() {
+                weights[spec.shard_of_binding(tuple)] += 1;
+            }
+        }
+        weights
+    }
+
+    /// The placement: shards are visited hottest-first (weight descending,
+    /// shard id as the deterministic tie-break) and kept [`ShardTier::Hot`]
+    /// while they fit the remaining byte budget; everything else goes
+    /// [`ShardTier::Cold`].
+    pub fn place(&self, shard_bytes: &[usize]) -> Vec<ShardTier> {
+        let mut order: Vec<usize> = (0..shard_bytes.len()).collect();
+        order.sort_by_key(|&i| (Reverse(self.weights.get(i).copied().unwrap_or(0)), i));
+        let mut remaining = self.hot_budget_bytes;
+        let mut placement = vec![ShardTier::Cold; shard_bytes.len()];
+        for shard in order {
+            if shard_bytes[shard] <= remaining {
+                remaining -= shard_bytes[shard];
+                placement[shard] = ShardTier::Hot;
+            }
+        }
+        placement
+    }
+}
+
+enum TierShard {
+    Hot(Arc<CqapIndex>),
+    Cold(StoredIndex),
+}
+
+/// Per-tier space breakdown of a [`TieredShardedIndex`] — the "space" axis
+/// of the tradeoff, split by where it is actually paid.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TieredSpace {
+    /// Shards resident in memory.
+    pub hot_shards: usize,
+    /// Shards on disk.
+    pub cold_shards: usize,
+    /// S-view values resident in memory (hot shards).
+    pub hot_values: usize,
+    /// S-view values on disk (cold shards).
+    pub cold_values: usize,
+    /// Bytes the cold shards occupy on disk.
+    pub cold_disk_bytes: u64,
+    /// Values the cold shards keep resident (their sparse fence indexes).
+    pub cold_resident_values: usize,
+}
+
+impl TieredSpace {
+    /// Total intrinsic `S` across both tiers.
+    pub fn total_values(&self) -> usize {
+        self.hot_values + self.cold_values
+    }
+
+    /// Values actually resident in RAM: hot S-views plus cold fence
+    /// indexes.
+    pub fn resident_values(&self) -> usize {
+        self.hot_values + self.cold_resident_values
+    }
+}
+
+impl std::fmt::Display for TieredSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hot shard(s): {} values in RAM | {} cold shard(s): {} values in {} bytes on disk, {} fence values resident",
+            self.hot_shards,
+            self.hot_values,
+            self.cold_shards,
+            self.cold_values,
+            self.cold_disk_bytes,
+            self.cold_resident_values,
+        )
+    }
+}
+
+/// A hash-sharded CQAP index whose shards are independently placed hot
+/// (in-memory [`CqapIndex`]) or cold ([`StoredIndex`] on disk), under the
+/// unchanged [`ShardSpec`] partition contract.
+pub struct TieredShardedIndex {
+    spec: ShardSpec,
+    shards: Vec<TierShard>,
+    /// Bindings routed to each shard since construction — the observed
+    /// request frequency a re-placement would feed back into
+    /// [`PlacementPolicy::with_weights`].
+    loads: Vec<AtomicU64>,
+    // Declared last so the cold shards' spill subdirectories are removed
+    // before the parent scratch dir (present only for `build_in_temp`).
+    _temp_parent: Option<TempParent>,
+}
+
+struct TempParent(std::path::PathBuf);
+
+impl Drop for TempParent {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir(&self.0);
+    }
+}
+
+impl TieredShardedIndex {
+    /// Builds the `k` shard indexes (concurrently, via
+    /// [`ShardedIndex::build`]), sizes them, and applies `policy` to place
+    /// each shard hot or cold; cold shards are spilled under
+    /// `<dir>/shard<i>` and their in-memory copies dropped.
+    ///
+    /// # Errors
+    /// Propagates shard-build failures and spill I/O errors.
+    pub fn build(
+        cqap: &Cqap,
+        db: &Database,
+        pmtds: &[Pmtd],
+        shards: usize,
+        policy: &PlacementPolicy,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self> {
+        let sharded = ShardedIndex::build(cqap, db, pmtds, shards)?;
+        let bytes: Vec<usize> = sharded
+            .shards()
+            .iter()
+            .map(|s| s.space_used() * std::mem::size_of::<cqap_common::Val>())
+            .collect();
+        let placement = policy.place(&bytes);
+        TieredShardedIndex::from_sharded(sharded, &placement, dir)
+    }
+
+    /// [`TieredShardedIndex::build`] into a fresh process-unique scratch
+    /// directory, removed again when the index drops.
+    ///
+    /// # Errors
+    /// Same failure modes as [`TieredShardedIndex::build`].
+    pub fn build_in_temp(
+        cqap: &Cqap,
+        db: &Database,
+        pmtds: &[Pmtd],
+        shards: usize,
+        policy: &PlacementPolicy,
+    ) -> Result<Self> {
+        let dir = scratch_dir("tiered");
+        let mut built = TieredShardedIndex::build(cqap, db, pmtds, shards, policy, &dir)?;
+        built._temp_parent = Some(TempParent(dir));
+        Ok(built)
+    }
+
+    /// Applies an explicit per-shard placement to an already built
+    /// [`ShardedIndex`], consuming it: hot shards keep their in-memory
+    /// index, cold shards are spilled under `<dir>/shard<i>` and the
+    /// in-memory copy is released.
+    ///
+    /// # Errors
+    /// Fails if `placement` does not have exactly one entry per shard, or
+    /// on spill I/O errors.
+    pub fn from_sharded(
+        sharded: ShardedIndex,
+        placement: &[ShardTier],
+        dir: impl AsRef<Path>,
+    ) -> Result<Self> {
+        if placement.len() != sharded.num_shards() {
+            return Err(CqapError::InvalidQuery(format!(
+                "placement has {} entries for {} shards",
+                placement.len(),
+                sharded.num_shards()
+            )));
+        }
+        let spec = *sharded.spec();
+        let arcs: Vec<Arc<CqapIndex>> = sharded.shards().to_vec();
+        drop(sharded);
+        let dir = dir.as_ref();
+        let mut shards = Vec::with_capacity(arcs.len());
+        for (i, (index, tier)) in arcs.into_iter().zip(placement).enumerate() {
+            shards.push(match tier {
+                ShardTier::Hot => TierShard::Hot(index),
+                ShardTier::Cold => {
+                    let stored = StoredIndex::spill(&index, dir.join(format!("shard{i}")))?;
+                    // `index` drops here: the cold shard's in-memory
+                    // S-views are released.
+                    TierShard::Cold(stored)
+                }
+            });
+        }
+        let loads = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
+        Ok(TieredShardedIndex {
+            spec,
+            shards,
+            loads,
+            _temp_parent: None,
+        })
+    }
+
+    /// The partition contract.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Number of shards `k`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The tier of each shard, in shard order.
+    pub fn placements(&self) -> Vec<ShardTier> {
+        self.shards
+            .iter()
+            .map(|s| match s {
+                TierShard::Hot(_) => ShardTier::Hot,
+                TierShard::Cold(_) => ShardTier::Cold,
+            })
+            .collect()
+    }
+
+    /// Bindings served per shard since construction — the observed
+    /// frequency input for the next placement round.
+    pub fn observed_loads(&self) -> Vec<u64> {
+        self.loads.iter().map(|l| l.load(Ordering::Relaxed)).collect()
+    }
+
+    /// The per-tier space breakdown.
+    pub fn space_used(&self) -> TieredSpace {
+        let mut space = TieredSpace::default();
+        for shard in &self.shards {
+            match shard {
+                TierShard::Hot(index) => {
+                    space.hot_shards += 1;
+                    space.hot_values += index.space_used();
+                }
+                TierShard::Cold(stored) => {
+                    space.cold_shards += 1;
+                    space.cold_values += stored.space_used();
+                    space.cold_disk_bytes += stored.disk_bytes();
+                    space.cold_resident_values += stored.resident_values();
+                }
+            }
+        }
+        space
+    }
+
+    fn answer_shard(&self, shard: usize, sub: &AccessRequest) -> Result<Relation> {
+        self.loads[shard].fetch_add(sub.len().max(1) as u64, Ordering::Relaxed);
+        match &self.shards[shard] {
+            TierShard::Hot(index) => index.answer(sub),
+            TierShard::Cold(stored) => stored.answer(sub),
+        }
+    }
+
+    /// Answers an access request exactly like [`ShardedIndex::answer`]:
+    /// split by routing hash, answer per shard (from whichever tier holds
+    /// it), union in first-appearance order.
+    ///
+    /// # Errors
+    /// Propagates the first failing shard's error.
+    pub fn answer(&self, request: &AccessRequest) -> Result<Relation> {
+        let mut parts = self.spec.split_request(request)?.into_iter();
+        let (shard, sub) = parts.next().expect("split_request is never empty");
+        let mut answer = self.answer_shard(shard, &sub)?;
+        for (shard, sub) in parts {
+            answer = answer.union(&self.answer_shard(shard, &sub)?)?;
+        }
+        Ok(answer)
+    }
+}
+
+/// The tiered index serves through the same one-trait API as everything
+/// else, including the request-coalescing protocol — so the serving
+/// runtime, benches and examples run over hot/cold shards unchanged.
+impl BatchAnswer for TieredShardedIndex {
+    type Request = AccessRequest;
+    type Answer = Relation;
+
+    fn answer_one(&self, request: &Self::Request) -> Result<Self::Answer> {
+        self.answer(request)
+    }
+
+    fn coalesce_class(request: &Self::Request) -> Option<u64> {
+        cqap_serve::batch::access_request_class(request)
+    }
+
+    fn coalesce(requests: &[Self::Request]) -> Result<Self::Request> {
+        cqap_serve::batch::coalesce_access_requests(requests)
+    }
+
+    fn extract(&self, bulk: &Self::Answer, request: &Self::Request) -> Result<Self::Answer> {
+        cqap_serve::batch::extract_access_answer(bulk, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqap_common::Tuple;
+    use cqap_decomp::families as pf;
+    use cqap_query::workload::{graph_pair_requests, zipf_multi_requests, Graph};
+
+    fn fixture() -> (Cqap, Vec<Pmtd>, Graph, Database, CqapIndex) {
+        let (cqap, pmtds) = pf::pmtds_3reach_fig1().unwrap();
+        let g = Graph::skewed(50, 220, 4, 30, 23);
+        let db = g.as_path_database(3);
+        let reference = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+        (cqap, pmtds, g, db, reference)
+    }
+
+    #[test]
+    fn placement_is_greedy_hottest_first_within_budget() {
+        let bytes = [100usize, 200, 300, 50];
+        // No weights: ranked by shard id; 0 and 1 fit a 350-byte budget,
+        // then 2 does not, but 3 still does.
+        let policy = PlacementPolicy::hot_budget(350);
+        assert_eq!(
+            policy.place(&bytes),
+            vec![ShardTier::Hot, ShardTier::Hot, ShardTier::Cold, ShardTier::Hot]
+        );
+        // Weighted: shard 2 is hottest and takes the budget first.
+        let policy = PlacementPolicy::hot_budget(350).with_weights(vec![1, 2, 100, 3]);
+        assert_eq!(
+            policy.place(&bytes),
+            vec![ShardTier::Cold, ShardTier::Cold, ShardTier::Hot, ShardTier::Hot]
+        );
+        // Zero budget: everything cold; infinite budget: everything hot.
+        assert!(PlacementPolicy::hot_budget(0)
+            .place(&bytes)
+            .iter()
+            .all(|t| *t == ShardTier::Cold));
+        assert!(PlacementPolicy::hot_budget(usize::MAX)
+            .place(&bytes)
+            .iter()
+            .all(|t| *t == ShardTier::Hot));
+    }
+
+    #[test]
+    fn observe_counts_bindings_per_shard() {
+        let (cqap, _, g, _, _) = fixture();
+        let spec = ShardSpec::new(&cqap, 3).unwrap();
+        let requests: Vec<AccessRequest> = graph_pair_requests(&g, 50, 7)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        let weights = PlacementPolicy::observe(&spec, &requests);
+        assert_eq!(weights.len(), 3);
+        assert_eq!(weights.iter().sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn tiered_answers_equal_unsharded_at_every_split() {
+        let (cqap, pmtds, g, db, reference) = fixture();
+        for cold in 0..=3usize {
+            let sharded = ShardedIndex::build(&cqap, &db, &pmtds, 3).unwrap();
+            let placement: Vec<ShardTier> = (0..3)
+                .map(|i| if i < cold { ShardTier::Cold } else { ShardTier::Hot })
+                .collect();
+            let tiered = TieredShardedIndex::from_sharded(
+                sharded,
+                &placement,
+                scratch_dir("split-test"),
+            )
+            .unwrap();
+            assert_eq!(tiered.placements(), placement);
+            for (u, v) in graph_pair_requests(&g, 25, 29) {
+                let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+                assert_eq!(
+                    tiered.answer(&request).unwrap(),
+                    reference.answer(&request).unwrap(),
+                    "cold = {cold}, request ({u},{v})"
+                );
+            }
+            for tuples in zipf_multi_requests(&g, 8, 5, 1.1, 31) {
+                let tuples: Vec<Tuple> =
+                    tuples.into_iter().map(|(u, v)| Tuple::pair(u, v)).collect();
+                let request = AccessRequest::new(cqap.access(), tuples).unwrap();
+                assert_eq!(
+                    tiered.answer(&request).unwrap(),
+                    reference.answer(&request).unwrap(),
+                    "cold = {cold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn space_reports_per_tier_and_loads_accumulate() {
+        let (cqap, pmtds, g, db, _) = fixture();
+        let policy = PlacementPolicy::hot_budget(0);
+        let tiered =
+            TieredShardedIndex::build_in_temp(&cqap, &db, &pmtds, 2, &policy).unwrap();
+        let space = tiered.space_used();
+        assert_eq!(space.cold_shards, 2);
+        assert_eq!(space.hot_shards, 0);
+        assert_eq!(space.hot_values, 0);
+        assert!(space.cold_values > 0);
+        assert!(space.cold_disk_bytes > 0);
+        assert!(space.resident_values() < space.total_values());
+        assert!(space.to_string().contains("cold"));
+
+        assert_eq!(tiered.observed_loads(), vec![0, 0]);
+        for (u, v) in graph_pair_requests(&g, 20, 37) {
+            let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+            tiered.answer(&request).unwrap();
+        }
+        assert_eq!(tiered.observed_loads().iter().sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn placement_arity_is_validated_and_temp_dirs_are_cleaned() {
+        let (cqap, pmtds, _, db, _) = fixture();
+        let sharded = ShardedIndex::build(&cqap, &db, &pmtds, 2).unwrap();
+        assert!(TieredShardedIndex::from_sharded(
+            sharded,
+            &[ShardTier::Hot],
+            scratch_dir("arity-test")
+        )
+        .is_err());
+
+        let policy = PlacementPolicy::hot_budget(0);
+        let tiered =
+            TieredShardedIndex::build_in_temp(&cqap, &db, &pmtds, 2, &policy).unwrap();
+        let dir = tiered._temp_parent.as_ref().unwrap().0.clone();
+        assert!(dir.exists());
+        drop(tiered);
+        assert!(!dir.exists(), "scratch dir cleaned up on drop");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property test: the storage tier is *exactly* the in-memory index.
+//!
+//! Across randomized databases, tier splits and zipf-skewed multi-tuple
+//! request batches, both a [`StoredIndex`] (every S-view on disk) and a
+//! [`TieredShardedIndex`] (every hot/cold shard placement) must answer
+//! bit-for-bit identically to the single in-memory [`CqapIndex`] built
+//! over the whole database — the acceptance bar for the on-disk format
+//! and the placement invariants, mirroring `shard_equivalence.rs` one
+//! seam further down.
+
+use cqap_common::Tuple;
+use cqap_decomp::families::pmtds_3reach_fig1;
+use cqap_panda::CqapIndex;
+use cqap_query::workload::{graph_pair_requests, zipf_multi_requests, Graph};
+use cqap_query::AccessRequest;
+use cqap_shard::ShardedIndex;
+use cqap_store::{scratch_dir, PlacementPolicy, ShardTier, StoredIndex, TieredShardedIndex};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized database: the disk-resident index and every tier split
+    /// of a 3-shard deployment answer identically to the reference, for
+    /// single-binding requests and zipf multi-tuple batches.
+    #[test]
+    fn stored_and_tiered_match_in_memory(seed in 0u64..10_000, edges in 60usize..200) {
+        let (cqap, pmtds) = pmtds_3reach_fig1().unwrap();
+        let graph = Graph::random(40, edges, seed);
+        let db = graph.as_path_database(3);
+        let reference = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+
+        let singles: Vec<AccessRequest> = graph_pair_requests(&graph, 10, seed ^ 0x5eed)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        let multis: Vec<AccessRequest> = zipf_multi_requests(&graph, 5, 5, 1.1, seed ^ 0x21f)
+            .into_iter()
+            .map(|tuples| {
+                let tuples: Vec<Tuple> =
+                    tuples.into_iter().map(|(u, v)| Tuple::pair(u, v)).collect();
+                AccessRequest::new(cqap.access(), tuples).unwrap()
+            })
+            .collect();
+
+        // Unsharded, fully disk-resident: same intrinsic S, same answers.
+        let stored = StoredIndex::build_in_temp(&cqap, &db, &pmtds).unwrap();
+        prop_assert_eq!(stored.space_used(), reference.space_used());
+        for request in singles.iter().chain(&multis) {
+            prop_assert_eq!(
+                stored.answer(request).unwrap(),
+                reference.answer(request).unwrap(),
+                "StoredIndex diverged"
+            );
+        }
+
+        // Sharded with every hot/cold split of k = 3 (the seed picks the
+        // cold subset): 0, 1, 2 and 3 cold shards, placement rotated by
+        // the seed so every shard sees both tiers across cases.
+        for cold in 0..=3usize {
+            let placement: Vec<ShardTier> = (0..3)
+                .map(|i| {
+                    if (i + seed as usize) % 3 < cold {
+                        ShardTier::Cold
+                    } else {
+                        ShardTier::Hot
+                    }
+                })
+                .collect();
+            let sharded = ShardedIndex::build(&cqap, &db, &pmtds, 3).unwrap();
+            let tiered = TieredShardedIndex::from_sharded(
+                sharded,
+                &placement,
+                scratch_dir("proptest"),
+            )
+            .unwrap();
+            for request in singles.iter().chain(&multis) {
+                prop_assert_eq!(
+                    tiered.answer(request).unwrap(),
+                    reference.answer(request).unwrap(),
+                    "tiered diverged at cold = {} placement {:?}", cold, placement
+                );
+            }
+        }
+    }
+
+    /// The budget-driven policy end to end: any hot budget yields a valid
+    /// placement whose tiered index is exact, and smaller budgets never
+    /// place more shards hot than larger ones.
+    #[test]
+    fn policy_budgets_stay_exact(seed in 0u64..10_000, budget_kb in 0usize..64) {
+        let (cqap, pmtds) = pmtds_3reach_fig1().unwrap();
+        let graph = Graph::random(40, 150, seed);
+        let db = graph.as_path_database(3);
+        let reference = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+        let requests: Vec<AccessRequest> = graph_pair_requests(&graph, 12, seed ^ 0x7ab)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+
+        let spec = cqap_shard::ShardSpec::new(&cqap, 3).unwrap();
+        let weights = PlacementPolicy::observe(&spec, &requests);
+        let policy = PlacementPolicy::hot_budget(budget_kb * 1024).with_weights(weights);
+        let tiered =
+            TieredShardedIndex::build_in_temp(&cqap, &db, &pmtds, 3, &policy).unwrap();
+        let space = tiered.space_used();
+        prop_assert_eq!(space.hot_shards + space.cold_shards, 3);
+        for request in &requests {
+            prop_assert_eq!(
+                tiered.answer(request).unwrap(),
+                reference.answer(request).unwrap(),
+                "budget {}KiB placement diverged", budget_kb
+            );
+        }
+    }
+}

@@ -73,4 +73,4 @@ pub mod naive;
 pub mod online;
 
 pub use naive::naive_answer;
-pub use online::{OnlineYannakakis, PreprocessedViews};
+pub use online::{OnlineYannakakis, PreprocessedViews, SViewProbe};

@@ -52,6 +52,81 @@ impl PreprocessedViews {
     pub fn view(&self, node: usize) -> Option<&Relation> {
         self.views.get(node).and_then(|v| v.as_ref()).map(|v| &v.rel)
     }
+
+    /// Iterates `(node, reduced S-view, link variables)` over the
+    /// materialized nodes — the exact content-plus-key layout a second
+    /// storage tier (e.g. the disk backend in `cqap-store`) has to
+    /// replicate to answer through [`SViewProbe`].
+    pub fn materialized(&self) -> impl Iterator<Item = (usize, &Relation, VarSet)> + '_ {
+        self.views
+            .iter()
+            .enumerate()
+            .filter_map(|(node, v)| v.as_ref().map(|v| (node, &v.rel, v.link)))
+    }
+
+    fn sview(&self, node: usize) -> Result<&SView> {
+        self.views
+            .get(node)
+            .and_then(|v| v.as_ref())
+            .ok_or_else(|| {
+                CqapError::InvalidPmtd(format!("S-view {node} was not preprocessed"))
+            })
+    }
+}
+
+/// Probe-only access to the materialized S-views of one PMTD.
+///
+/// This is the storage seam of the online phase: Online Yannakakis never
+/// scans an S-view, it only (a) asks whether some tuple matches a key over
+/// the view's *link* variables (a semijoin probe) and (b) fetches the block
+/// of tuples matching a key (a join probe). Anything that can serve those
+/// two lookups — the in-memory [`PreprocessedViews`] hash indexes, or a
+/// disk-resident sorted run with a fence index — can sit behind
+/// [`OnlineYannakakis::answer_with`] and produce identical answers.
+///
+/// Keys are the projection of a view tuple onto its link variables, in
+/// ascending variable order (the [`cqap_relation::HashIndex`] convention).
+pub trait SViewProbe {
+    /// The schema of the stored view at `node`, or `None` if the node has
+    /// no materialized view.
+    fn schema(&self, node: usize) -> Option<&Schema>;
+
+    /// All stored tuples of `node`'s view whose link-variable projection
+    /// equals `key`.
+    ///
+    /// # Errors
+    /// Fails if the node has no stored view, or on a storage-level fault
+    /// (e.g. an I/O error in a disk backend).
+    fn probe(&self, node: usize, key: &Tuple) -> Result<Vec<Tuple>>;
+
+    /// Whether any stored tuple of `node`'s view matches `key` on the link
+    /// variables.
+    ///
+    /// # Errors
+    /// Same failure modes as [`SViewProbe::probe`].
+    fn contains(&self, node: usize, key: &Tuple) -> Result<bool> {
+        Ok(!self.probe(node, key)?.is_empty())
+    }
+}
+
+/// The in-memory backend: probes are O(1) hash lookups; `probe` clones the
+/// matching bucket (the generic online phase memoizes per distinct key, so
+/// each bucket is cloned at most once per pass).
+impl SViewProbe for PreprocessedViews {
+    fn schema(&self, node: usize) -> Option<&Schema> {
+        self.views
+            .get(node)
+            .and_then(|v| v.as_ref())
+            .map(|v| v.rel.schema())
+    }
+
+    fn probe(&self, node: usize, key: &Tuple) -> Result<Vec<Tuple>> {
+        Ok(self.sview(node)?.index.probe(key).to_vec())
+    }
+
+    fn contains(&self, node: usize, key: &Tuple) -> Result<bool> {
+        Ok(self.sview(node)?.index.contains_key(key))
+    }
 }
 
 /// Online Yannakakis over one PMTD.
@@ -141,6 +216,25 @@ impl OnlineYannakakis {
         t_views: &[(usize, Relation)],
         request: &AccessRequest,
     ) -> Result<Relation> {
+        self.answer_with(pre, t_views, request)
+    }
+
+    /// [`OnlineYannakakis::answer`] over any S-view backend: the same
+    /// two-pass algorithm, touching the materialized views only through
+    /// [`SViewProbe`] lookups. With [`PreprocessedViews`] this is exactly
+    /// `answer`; with a disk backend the identical passes run against
+    /// sorted runs on disk, and produce identical answers because every
+    /// probe returns the same tuples.
+    ///
+    /// # Errors
+    /// The same validation failures as [`OnlineYannakakis::answer`], plus
+    /// whatever storage-level errors the backend's probes surface.
+    pub fn answer_with<V: SViewProbe>(
+        &self,
+        pre: &V,
+        t_views: &[(usize, Relation)],
+        request: &AccessRequest,
+    ) -> Result<Relation> {
         let td = self.pmtd.td();
         let head = self.pmtd.head();
         if request.access() != self.pmtd.access() {
@@ -190,11 +284,13 @@ impl OnlineYannakakis {
                 // the top-down pass only if it contributes head variables
                 // not already present in the parent.
                 (ViewKind::S, ViewKind::T) => {
-                    let sview = pre.views[t].as_ref().ok_or_else(|| {
-                        CqapError::InvalidPmtd(format!("S-view {t} was not preprocessed"))
-                    })?;
+                    if pre.schema(t).is_none() {
+                        return Err(CqapError::InvalidPmtd(format!(
+                            "S-view {t} was not preprocessed"
+                        )));
+                    }
                     let parent = t_rel[p].take().expect("T-view present");
-                    t_rel[p] = Some(semijoin_probe(&parent, &sview.index, sview.link)?);
+                    t_rel[p] = Some(semijoin_probe(&parent, pre, t, self.link(t))?);
                     let child_head = self.pmtd.view_schema(t).intersect(head);
                     if child_head.is_subset(self.pmtd.view_schema(p)) {
                         kept[t] = false;
@@ -228,11 +324,14 @@ impl OnlineYannakakis {
         let mut acc = request_relation(request);
         match self.pmtd.view(root).kind {
             ViewKind::S => {
-                let sview = pre.views[root].as_ref().ok_or_else(|| {
-                    CqapError::InvalidPmtd("root S-view was not preprocessed".into())
-                })?;
-                acc = semijoin_probe(&acc, &sview.index, sview.link)?;
-                acc = join_probe(&acc, &sview.rel, &sview.index, sview.link)?;
+                if pre.schema(root).is_none() {
+                    return Err(CqapError::InvalidPmtd(
+                        "root S-view was not preprocessed".into(),
+                    ));
+                }
+                let link = self.link(root);
+                acc = semijoin_probe(&acc, pre, root, link)?;
+                acc = join_probe(&acc, pre, root, link)?;
                 kept[root] = false;
             }
             ViewKind::T => {
@@ -252,8 +351,7 @@ impl OnlineYannakakis {
             }
             match self.pmtd.view(t).kind {
                 ViewKind::S => {
-                    let sview = pre.views[t].as_ref().expect("kept S-view present");
-                    acc = join_probe(&acc, &sview.rel, &sview.index, sview.link)?;
+                    acc = join_probe(&acc, pre, t, self.link(t))?;
                 }
                 ViewKind::T => {
                     let rel = t_rel[t].as_ref().expect("kept T-view present");
@@ -279,9 +377,16 @@ fn request_relation(request: &AccessRequest) -> Relation {
     }
 }
 
-/// Semijoin `left ⋉ index` by probing the prebuilt index on the link
-/// variables — O(|left|) regardless of the indexed relation's size.
-fn semijoin_probe(left: &Relation, index: &HashIndex, link: VarSet) -> Result<Relation> {
+/// Semijoin `left ⋉ view(node)` by probing the S-view backend on the link
+/// variables — O(|left|) probes regardless of the view's size. Probe
+/// outcomes are memoized per distinct key, so a backend with non-trivial
+/// probe cost (disk) is hit once per key, not once per tuple.
+fn semijoin_probe<V: SViewProbe>(
+    left: &Relation,
+    views: &V,
+    node: usize,
+    link: VarSet,
+) -> Result<Relation> {
     let key_positions = left.schema().positions_of_set(link.intersect(left.varset()))?;
     debug_assert_eq!(
         link.intersect(left.varset()),
@@ -289,44 +394,61 @@ fn semijoin_probe(left: &Relation, index: &HashIndex, link: VarSet) -> Result<Re
         "probe side must contain the link variables"
     );
     let mut out = Relation::new(format!("{}⋉", left.name()), left.schema().clone());
+    let mut known: FxHashMap<Tuple, bool> = FxHashMap::default();
     for t in left.iter() {
-        if index.contains_key(&t.project(&key_positions)) {
+        let key = t.project(&key_positions);
+        let hit = match known.get(&key) {
+            Some(&hit) => hit,
+            None => {
+                let hit = views.contains(node, &key)?;
+                known.insert(key, hit);
+                hit
+            }
+        };
+        if hit {
             out.insert(t.clone())?;
         }
     }
     Ok(out)
 }
 
-/// Join `left ⋈ rel` by probing the prebuilt index of `rel` on the link
+/// Join `left ⋈ view(node)` by probing the S-view backend on the link
 /// variables; matches are additionally checked on any other shared
-/// variables. O(|left| + |output|) probes.
-fn join_probe(
+/// variables. O(|left| + |output|) probes, one backend probe per distinct
+/// key.
+fn join_probe<V: SViewProbe>(
     left: &Relation,
-    rel: &Relation,
-    index: &HashIndex,
+    views: &V,
+    node: usize,
     link: VarSet,
 ) -> Result<Relation> {
-    let out_schema = left.schema().join(rel.schema());
+    let rel_schema = views
+        .schema(node)
+        .ok_or_else(|| CqapError::InvalidPmtd(format!("S-view {node} was not preprocessed")))?
+        .clone();
+    let out_schema = left.schema().join(&rel_schema);
     let key_positions = left.schema().positions_of_set(link)?;
-    let shared = left.varset().intersect(rel.varset());
+    let shared = left.varset().intersect(rel_schema.varset());
     let extra_shared = shared.difference(link);
     let left_extra = left.schema().positions_of_set(extra_shared)?;
-    let rel_extra = rel.schema().positions_of_set(extra_shared)?;
+    let rel_extra = rel_schema.positions_of_set(extra_shared)?;
     let appended: Vec<usize> = out_schema.vars()[left.schema().arity()..]
         .iter()
-        .map(|&v| rel.schema().position(v).expect("appended var"))
+        .map(|&v| rel_schema.position(v).expect("appended var"))
         .collect();
     let mut out = Relation::new(
-        format!("({} ⋈ {})", left.name(), rel.name()),
+        format!("({} ⋈ S{})", left.name(), node),
         out_schema,
     );
-    let mut probes: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
+    let mut probes: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
     for lt in left.iter() {
         let key = lt.project(&key_positions);
-        let matches = probes
-            .entry(key.clone())
-            .or_insert_with(|| index.probe(&key).iter().collect());
-        for rt in matches.iter() {
+        if !probes.contains_key(&key) {
+            let matched = views.probe(node, &key)?;
+            probes.insert(key.clone(), matched);
+        }
+        let matches = probes.get(&key).expect("just inserted");
+        for rt in matches {
             if lt.project(&left_extra) == rt.project(&rel_extra) {
                 out.insert(lt.concat(&rt.project(&appended)))?;
             }

@@ -117,7 +117,7 @@ fn main() {
     let router = runtime.index();
     for (shard, stats) in router.shard_stats().into_iter().enumerate() {
         println!(
-            "shard {shard}: served {:>5}  lru hits {:>5}  inflight {:>4}  probes {:>5}",
+            "shard {shard}: served {:>5}  lru hits {:>5}  inflight {:>4}  misses {:>5}",
             stats.served, stats.cache_hits, stats.inflight_hits, stats.cache_misses
         );
     }

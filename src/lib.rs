@@ -27,6 +27,12 @@
 //!   partitions the database by routing-variable hash into independently
 //!   built `CqapIndex` shards, and [`ShardRouter`](shard::ShardRouter)
 //!   scatter-gathers requests across per-shard runtimes.
+//! * [`store`] — the tiered storage backend:
+//!   [`StoredIndex`](store::StoredIndex) answers from disk-resident
+//!   S-views (sorted runs with sparse fence indexes), and
+//!   [`TieredShardedIndex`](store::TieredShardedIndex) places each hash
+//!   shard hot (in memory) or cold (on disk) under a budget- and
+//!   traffic-driven [`PlacementPolicy`](store::PlacementPolicy).
 //!
 //! ## Quick start
 //!
@@ -58,6 +64,7 @@ pub use cqap_query as query;
 pub use cqap_relation as relation;
 pub use cqap_serve as serve;
 pub use cqap_shard as shard;
+pub use cqap_store as store;
 pub use cqap_yannakakis as yannakakis;
 
 /// The most commonly used items, for glob import in examples and tests.
@@ -76,5 +83,6 @@ pub mod prelude {
     pub use cqap_relation::{Database, Relation, Schema};
     pub use cqap_serve::{BatchAnswer, ServeConfig, ServeRuntime};
     pub use cqap_shard::{ShardRouter, ShardRouterConfig, ShardSpec, ShardedIndex};
+    pub use cqap_store::{PlacementPolicy, ShardTier, StoredIndex, TieredShardedIndex};
     pub use cqap_yannakakis::{naive_answer, OnlineYannakakis};
 }
