@@ -1,0 +1,153 @@
+//! Per-request online latency of the compiled serving path, across every
+//! backend that shares it.
+//!
+//! ```sh
+//! cargo bench -p cqap-bench --bench online_latency
+//! ```
+//!
+//! The compiled-probe-plan refactor moved all per-request bookkeeping of
+//! the Online-Yannakakis driver (schema resolution, atom-relation clones,
+//! per-request join-index builds, intermediate dedup inserts) to index
+//! construction time. This bench tracks what is left: the **per-request
+//! median**, cold and warm, for the three serving backends —
+//!
+//! * `driver_cold` / `driver_warm` — the framework driver (`CqapIndex`):
+//!   cold is a direct `answer` per request (no cache anywhere), warm is a
+//!   `ServeRuntime` whose LRU already holds every answer;
+//! * `driver_cold_interpreted` — the pre-refactor interpreted path, kept
+//!   answering the same stream so the before/after of the compiled plans
+//!   stays visible in every run;
+//! * `sharded_cold` — a 2-shard `ShardedIndex` routing each binding to
+//!   its shard;
+//! * `tiered_cold` — a 2-shard `TieredShardedIndex` with one shard
+//!   spilled to disk (half the probes pay fence + segment reads).
+//!
+//! Like the other serving benches this always emits a JSON baseline
+//! (`BENCH_online_latency_<name>.json`, name from `BENCH_BASELINE`,
+//! default `local`); when the named file already exists, the criterion
+//! shim prints each benchmark's median delta against the saved run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use cqap_bench::ensure_baseline_named;
+use cqap_decomp::families::pmtds_3reach_fig1;
+use cqap_panda::CqapIndex;
+use cqap_query::workload::{zipf_pair_requests, Graph};
+use cqap_query::AccessRequest;
+use cqap_serve::{BatchAnswer, ServeConfig, ServeRuntime};
+use cqap_shard::ShardedIndex;
+use cqap_store::{scratch_dir, PlacementPolicy, ShardTier, TieredShardedIndex};
+
+fn bench_online_latency(c: &mut Criterion) {
+    ensure_baseline_named();
+    let (cqap, pmtds) = pmtds_3reach_fig1().expect("paper PMTDs");
+    let graph = Graph::skewed(900, 5_000, 8, 250, 7);
+    let db = graph.as_path_database(3);
+    let requests: Vec<AccessRequest> = zipf_pair_requests(&graph, 256, 1.05, 11)
+        .into_iter()
+        .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).expect("valid"))
+        .collect();
+
+    let index = Arc::new(CqapIndex::build(&cqap, &db, &pmtds).expect("preprocessing"));
+    let sharded = ShardedIndex::build(&cqap, &db, &pmtds, 2).expect("sharded build");
+    let weights = PlacementPolicy::observe(sharded.spec(), &requests);
+    // Half the deployment cold: the lower-traffic shard pays disk probes.
+    let placement: Vec<ShardTier> = {
+        let cold = if weights[0] <= weights[1] { 0 } else { 1 };
+        (0..2)
+            .map(|i| if i == cold { ShardTier::Cold } else { ShardTier::Hot })
+            .collect()
+    };
+    let tiered = TieredShardedIndex::from_sharded(
+        ShardedIndex::build(&cqap, &db, &pmtds, 2).expect("sharded build"),
+        &placement,
+        scratch_dir("online-latency"),
+    )
+    .expect("tiered build");
+
+    // Sanity: every backend answers the stream identically.
+    for request in requests.iter().take(16) {
+        let expected = index.answer(request).expect("driver answer");
+        assert_eq!(
+            sharded.answer_one(request).expect("sharded answer"),
+            expected
+        );
+        assert_eq!(tiered.answer_one(request).expect("tiered answer"), expected);
+    }
+
+    let mut group = c.benchmark_group("online_latency");
+    group.sample_size(30);
+
+    // Per-request sampling: each iteration answers the next request of
+    // the zipf stream, so the reported median is a per-request latency.
+    let mut at = 0usize;
+    group.bench_function("driver_cold", |b| {
+        b.iter(|| {
+            at = (at + 1) % requests.len();
+            black_box(index.answer(&requests[at]).expect("answer"))
+        })
+    });
+    let mut at = 0usize;
+    group.bench_function("driver_cold_interpreted", |b| {
+        b.iter(|| {
+            at = (at + 1) % requests.len();
+            black_box(index.answer_interpreted(&requests[at]).expect("answer"))
+        })
+    });
+
+    let runtime = ServeRuntime::with_config(
+        Arc::clone(&index),
+        ServeConfig {
+            threads: 2,
+            cache_capacity: 4_096,
+        },
+    );
+    runtime.serve_batch(&requests).expect("cache warm-up");
+    let mut at = 0usize;
+    group.bench_with_input(
+        BenchmarkId::new("driver_warm", "lru"),
+        &runtime,
+        |b, runtime| {
+            b.iter(|| {
+                at = (at + 1) % requests.len();
+                black_box(
+                    runtime
+                        .submit(requests[at].clone())
+                        .wait()
+                        .expect("warm answer"),
+                )
+            })
+        },
+    );
+
+    let mut at = 0usize;
+    group.bench_with_input(BenchmarkId::new("sharded_cold", "k2"), &sharded, |b, sharded| {
+        b.iter(|| {
+            at = (at + 1) % requests.len();
+            black_box(sharded.answer_one(&requests[at]).expect("answer"))
+        })
+    });
+    let mut at = 0usize;
+    group.bench_with_input(
+        BenchmarkId::new("tiered_cold", "k2_half_cold"),
+        &tiered,
+        |b, tiered| {
+            b.iter(|| {
+                at = (at + 1) % requests.len();
+                black_box(tiered.answer_one(&requests[at]).expect("answer"))
+            })
+        },
+    );
+    group.finish();
+
+    let space = tiered.space_used();
+    println!(
+        "tiered split: {} hot / {} cold shards, {} hot values, {} cold values on disk",
+        space.hot_shards, space.cold_shards, space.hot_values, space.cold_values
+    );
+}
+
+criterion_group!(benches, bench_online_latency);
+criterion_main!(benches);

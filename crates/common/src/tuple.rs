@@ -6,6 +6,7 @@
 //! ternary relations that make up all of the paper's workloads.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// An attribute value. Workload generators intern vertex ids, set ids and
 /// element ids directly as `u64`.
@@ -14,17 +15,56 @@ pub type Val = u64;
 const INLINE: usize = 4;
 
 /// A relational tuple of fixed arity.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Tuple {
     repr: Repr,
 }
 
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, PartialEq, Eq)]
 enum Repr {
     /// Arity ≤ INLINE, stored without heap allocation.
     Inline { len: u8, data: [Val; INLINE] },
     /// Arity > INLINE.
     Heap(Box<[Val]>),
+}
+
+/// Tuples hash as their value slice, so hash containers keyed by `Tuple`
+/// can be probed with a borrowed `&[Val]` scratch slice (see the
+/// `Borrow<[Val]>` impl) without materializing a key tuple first.
+impl Hash for Tuple {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// Tuples order as their value slice (lexicographic), keeping `Ord`
+/// consistent with the slice-based `Hash`/`Eq`/`Borrow<[Val]>` family —
+/// a derived order would compare the inline/heap representation first.
+impl Ord for Tuple {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl PartialOrd for Tuple {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lets hash-map lookups borrow a tuple as its value slice: a hot loop
+/// projects a key into a reused `Vec<Val>` ([`Tuple::project_into`]) and
+/// probes the map with the slice, building an owned `Tuple` only on the
+/// miss path. Consistent with `Hash`/`Eq` because both sides hash and
+/// compare the slice.
+impl std::borrow::Borrow<[Val]> for Tuple {
+    #[inline]
+    fn borrow(&self) -> &[Val] {
+        self.as_slice()
+    }
 }
 
 impl Tuple {
@@ -151,6 +191,67 @@ impl Tuple {
     pub fn to_vec(&self) -> Vec<Val> {
         self.as_slice().to_vec()
     }
+
+    /// In-place projection: writes the projected values into `buf`
+    /// (cleared first) instead of building a new tuple. Combined with the
+    /// `Borrow<[Val]>` impl, this is how the compiled online path probes
+    /// its key-memo tables: project into a reused buffer, look the slice
+    /// up, and build an owned key [`Tuple`] only when the lookup misses.
+    #[inline]
+    pub fn project_into(&self, positions: &[usize], buf: &mut Vec<Val>) {
+        let slice = self.as_slice();
+        buf.clear();
+        buf.extend(positions.iter().map(|&p| slice[p]));
+    }
+
+    /// Fused `self.concat(&other.project(positions))` without building the
+    /// intermediate projected tuple — the shape of every join-output tuple
+    /// (probe-side tuple + the appended columns of the matched tuple).
+    pub fn concat_projected(&self, other: &Tuple, positions: &[usize]) -> Tuple {
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let total = a.len() + positions.len();
+        if total <= INLINE {
+            let mut data = [0; INLINE];
+            data[..a.len()].copy_from_slice(a);
+            for (k, &p) in positions.iter().enumerate() {
+                data[a.len() + k] = b[p];
+            }
+            Tuple {
+                repr: Repr::Inline {
+                    len: total as u8,
+                    data,
+                },
+            }
+        } else {
+            let mut v = Vec::with_capacity(total);
+            v.extend_from_slice(a);
+            v.extend(positions.iter().map(|&p| b[p]));
+            Tuple {
+                repr: Repr::Heap(v.into_boxed_slice()),
+            }
+        }
+    }
+
+    /// Whether `self` projected onto `my_positions` equals `other`
+    /// projected onto `other_positions`, compared value-by-value without
+    /// materializing either projection. Both position slices must have the
+    /// same length (callers derive them from one shared variable set).
+    #[inline]
+    pub fn projected_eq(
+        &self,
+        my_positions: &[usize],
+        other: &Tuple,
+        other_positions: &[usize],
+    ) -> bool {
+        debug_assert_eq!(my_positions.len(), other_positions.len());
+        let a = self.as_slice();
+        let b = other.as_slice();
+        my_positions
+            .iter()
+            .zip(other_positions)
+            .all(|(&p, &q)| a[p] == b[q])
+    }
 }
 
 impl fmt::Debug for Tuple {
@@ -255,6 +356,73 @@ mod tests {
     fn display() {
         assert_eq!(Tuple::triple(1, 2, 3).to_string(), "(1,2,3)");
         assert_eq!(Tuple::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn in_place_projection_and_slice_borrowed_lookup() {
+        let t = Tuple::from_slice(&[10, 20, 30, 40, 50]);
+        let mut buf = Vec::new();
+        t.project_into(&[4, 0], &mut buf);
+        assert_eq!(buf, vec![50, 10]);
+        t.project_into(&[], &mut buf);
+        assert!(buf.is_empty());
+
+        // The Borrow<[Val]> contract: a map keyed by Tuple is probeable
+        // with the projected slice, across both representations.
+        let mut map = std::collections::HashMap::new();
+        map.insert(Tuple::pair(50, 10), "inline");
+        map.insert(Tuple::from_slice(&[1, 2, 3, 4, 5]), "heap");
+        t.project_into(&[4, 0], &mut buf);
+        assert_eq!(map.get(buf.as_slice()), Some(&"inline"));
+        assert_eq!(
+            map.get([1u64, 2, 3, 4, 5].as_slice()),
+            Some(&"heap")
+        );
+        assert_eq!(map.get([9u64].as_slice()), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_across_representations() {
+        // Ord must agree with slice order even when the representations
+        // differ (inline vs heap) — the Borrow<[Val]> consistency contract.
+        fn slice_cmp(a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
+            a.as_slice().cmp(b.as_slice())
+        }
+        let tuples = [
+            Tuple::empty(),
+            Tuple::unary(5),
+            Tuple::pair(1, 2),
+            Tuple::from_slice(&[1, 2, 3, 4, 5]),
+            Tuple::from_slice(&[9, 0, 0, 0, 0, 0]),
+        ];
+        for a in &tuples {
+            for b in &tuples {
+                assert_eq!(a.cmp(b), slice_cmp(a, b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_concat_projected() {
+        let a = Tuple::pair(1, 2);
+        let b = Tuple::triple(7, 8, 9);
+        assert_eq!(a.concat_projected(&b, &[2, 0]), Tuple::from_slice(&[1, 2, 9, 7]));
+        assert_eq!(a.concat_projected(&b, &[]), a);
+        // Spilling past the inline limit matches the two-step composition.
+        let wide = Tuple::from_slice(&[1, 2, 3, 4]);
+        assert_eq!(
+            wide.concat_projected(&b, &[0, 1]),
+            wide.concat(&b.project(&[0, 1]))
+        );
+    }
+
+    #[test]
+    fn projected_equality() {
+        let a = Tuple::triple(1, 5, 9);
+        let b = Tuple::from_slice(&[5, 9, 1, 0]);
+        assert!(a.projected_eq(&[0, 1], &b, &[2, 0]));
+        assert!(!a.projected_eq(&[0, 1], &b, &[0, 1]));
+        assert!(a.projected_eq(&[], &b, &[]));
     }
 
     #[test]

@@ -1,0 +1,518 @@
+//! The compiled online driver: per-PMTD T-view *programs* plus the
+//! compiled probe plan of `cqap-yannakakis`.
+//!
+//! The interpreted driver ([`online_t_views`](crate::online_t_views))
+//! pays, on every request and for every non-materialized bag, the cost of
+//! (a) cloning each in-bag atom's relation out of the database (a full
+//! copy including its membership set) and (b) re-building a hash-join
+//! index over it. Both are request-independent, so a compiled T-view program
+//! hoists them to build time:
+//!
+//! * a bag containing **no access variable** has a request-independent
+//!   T-view: its content is joined once at build time and reused as-is
+//!   (the program's static form);
+//! * a bag **covered by its atoms and access pattern** compiles to a
+//!   chain of pre-built [`HashIndex`]es keyed on the join variables: the
+//!   per-request work is one index probe per accumulator tuple, never a
+//!   scan of the database;
+//! * the rare uncovered bag (hand-written decompositions) falls back to
+//!   the full join, which is precomputed once and shared.
+//!
+//! A [`CompiledPmtd`] pairs these programs with the
+//! [`CompiledPlan`] for the PMTD; [`answer_with_compiled`] is the driver
+//! loop shared by every backend (in-memory `CqapIndex`, `cqap-store`'s
+//! disk-resident `StoredIndex`), mirroring
+//! [`answer_with_plans`](crate::answer_with_plans) step for step.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use cqap_common::{CqapError, FxHashSet, Result, Tuple, VarSet};
+use cqap_query::{AccessRequest, Cqap};
+use cqap_relation::{Database, HashIndex, Relation, RelationBuilder, Schema};
+use cqap_yannakakis::naive::atom_relation;
+use cqap_yannakakis::{CompiledPlan, OnlineYannakakis, PlanScratch, SViewProbe};
+
+thread_local! {
+    /// One scratch arena per serving worker: the pool threads of
+    /// `cqap-serve` each own exactly one, so the compiled pipelines run
+    /// with warm buffers and no cross-thread contention.
+    static DRIVER_SCRATCH: RefCell<DriverScratch> = RefCell::new(DriverScratch::new());
+}
+
+/// Runs `f` with this thread's reusable [`DriverScratch`] arena.
+pub fn with_driver_scratch<R>(f: impl FnOnce(&mut DriverScratch) -> R) -> R {
+    DRIVER_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// The per-worker scratch of the full compiled driver: the plan-execution
+/// arena plus the buffers of the T-view programs, so neither half of a
+/// request allocates working state on a warm worker.
+#[derive(Debug, Default)]
+pub struct DriverScratch {
+    /// The compiled-plan arena (handed to `CompiledPlan::answer_with`).
+    plan: PlanScratch,
+    /// Ping-pong accumulators of the dynamic T-view join chains.
+    acc: Vec<Tuple>,
+    next: Vec<Tuple>,
+    /// Seed-deduplication set for multi-tuple requests.
+    seen: FxHashSet<Tuple>,
+}
+
+impl DriverScratch {
+    /// A fresh scratch arena (all buffers empty).
+    pub fn new() -> Self {
+        DriverScratch::default()
+    }
+}
+
+/// Build-time memo of per-atom join indexes, keyed by the atom's stored
+/// relation, its variable renaming and the join-key varset: the PMTDs of
+/// one index routinely join the same atoms on the same keys, so the
+/// O(|D|)-sized indexes are built (and retained) once per distinct key,
+/// not once per PMTD.
+pub(crate) type AtomIndexCache =
+    cqap_common::FxHashMap<(String, Vec<usize>, u64), Arc<HashIndex>>;
+
+/// One pre-resolved join of the accumulator with an in-bag atom: the
+/// atom's relation is indexed once, at build time, on the variables it
+/// shares with the accumulator schema at this point of the chain.
+#[derive(Clone, Debug)]
+struct PreJoin {
+    /// Shared across the PMTDs of one index build (see [`AtomIndexCache`]).
+    index: Arc<HashIndex>,
+    /// Shared-variable positions in the accumulator schema.
+    key_positions: Vec<usize>,
+    /// Atom-side positions of the columns appended to the output.
+    appended: Vec<usize>,
+}
+
+/// How one T-view is produced per request.
+#[derive(Clone, Debug)]
+enum TViewKind {
+    /// No access variable in the bag: the content is request-independent
+    /// and fully precomputed.
+    Static(Arc<Relation>),
+    /// Start from the request projected onto the bag's access variables,
+    /// then run the pre-indexed join chain.
+    Dynamic {
+        /// Positions of the bag's access variables in the request schema.
+        start_positions: Vec<usize>,
+        joins: Vec<PreJoin>,
+    },
+    /// Uncovered bag: semijoin the precomputed full join by the request
+    /// and project onto the bag.
+    Fallback { bag: VarSet, full: Arc<Relation> },
+}
+
+/// A compiled producer for the T-view of one non-materialized node.
+#[derive(Clone, Debug)]
+struct TViewProgram {
+    node: usize,
+    schema: Schema,
+    kind: TViewKind,
+}
+
+impl TViewProgram {
+    fn exec(
+        &self,
+        request: &AccessRequest,
+        scratch: &mut DriverScratch,
+    ) -> Result<Option<Relation>> {
+        match &self.kind {
+            // Statics are shared by reference; the caller borrows them.
+            TViewKind::Static(_) => Ok(None),
+            TViewKind::Dynamic {
+                start_positions,
+                joins,
+            } => {
+                // Seed: the request projected onto the bag's access
+                // variables, deduplicated, in the reused accumulator.
+                let acc = &mut scratch.acc;
+                let next = &mut scratch.next;
+                acc.clear();
+                if request.len() <= 1 {
+                    acc.extend(
+                        request
+                            .tuples()
+                            .iter()
+                            .map(|t| t.project(start_positions)),
+                    );
+                } else {
+                    scratch.seen.clear();
+                    for t in request.tuples() {
+                        let p = t.project(start_positions);
+                        if !scratch.seen.contains(&p) {
+                            scratch.seen.insert(p.clone());
+                            acc.push(p);
+                        }
+                    }
+                }
+                // The pre-indexed join chain: requests never scan an atom
+                // relation, they probe its build-time index.
+                for join in joins {
+                    next.clear();
+                    for lt in acc.iter() {
+                        let key = lt.project(&join.key_positions);
+                        for rt in join.index.probe(&key) {
+                            next.push(lt.concat_projected(rt, &join.appended));
+                        }
+                    }
+                    std::mem::swap(acc, next);
+                }
+                // Distinct by construction: the seed is deduplicated and
+                // each join extends tuples by key-determined columns.
+                let mut builder = RelationBuilder::distinct("T_view", self.schema.clone());
+                for t in acc.drain(..) {
+                    builder.push(t);
+                }
+                Ok(Some(builder.finish()))
+            }
+            TViewKind::Fallback { bag, full } => {
+                let restricted = if request.access().is_empty() {
+                    full.as_ref().clone()
+                } else {
+                    full.semijoin(&request.as_relation())?
+                };
+                Ok(Some(restricted.project_onto(*bag)?))
+            }
+        }
+    }
+}
+
+/// One PMTD's full compiled answering pipeline: the T-view programs plus
+/// the compiled Online-Yannakakis plan, sharing one fixed set of schemas.
+///
+/// Compiled once per plan at index build time; cloned (cheaply — the big
+/// pieces are behind `Arc` or are position tables) when a second backend
+/// (e.g. a disk spill) reuses the same preprocessing output.
+#[derive(Clone, Debug)]
+pub struct CompiledPmtd {
+    access: VarSet,
+    programs: Vec<TViewProgram>,
+    plan: CompiledPlan,
+}
+
+impl CompiledPmtd {
+    /// Compiles the T-view programs and the probe plan for `evaluator`'s
+    /// PMTD against the backend `views`. `full` is the precomputed full
+    /// join of the query (the build phase has it anyway); it is retained
+    /// only if some bag needs the fallback path.
+    ///
+    /// # Errors
+    /// Propagates schema/atom resolution failures; fails if a probed
+    /// S-view is missing from `views`.
+    pub fn compile<V: SViewProbe>(
+        cqap: &Cqap,
+        db: &Database,
+        evaluator: &OnlineYannakakis,
+        views: &V,
+        full: &Relation,
+    ) -> Result<CompiledPmtd> {
+        CompiledPmtd::compile_cached(cqap, db, evaluator, views, full, &mut AtomIndexCache::default())
+    }
+
+    /// [`CompiledPmtd::compile`] with a caller-owned atom-index memo, so a
+    /// multi-PMTD build shares one `Arc`'d join index per distinct
+    /// (atom, join-key) pair instead of rebuilding it per PMTD.
+    pub(crate) fn compile_cached<V: SViewProbe>(
+        cqap: &Cqap,
+        db: &Database,
+        evaluator: &OnlineYannakakis,
+        views: &V,
+        full: &Relation,
+        atom_indexes: &mut AtomIndexCache,
+    ) -> Result<CompiledPmtd> {
+        let pmtd = evaluator.pmtd();
+        let access = cqap.access();
+        let request_schema = Schema::of(access.iter());
+        let mut full_arc: Option<Arc<Relation>> = None;
+        let mut programs = Vec::new();
+        for node in 0..pmtd.td().num_nodes() {
+            if pmtd.is_materialized(node) {
+                continue;
+            }
+            let bag = pmtd.td().bag(node);
+            let access_in_bag = access.intersect(bag);
+            let in_bag_atoms: Vec<_> = cqap
+                .cq()
+                .atoms()
+                .iter()
+                .filter(|atom| atom.varset().is_subset(bag))
+                .collect();
+
+            let fallback = |full_arc: &mut Option<Arc<Relation>>| {
+                let full = full_arc
+                    .get_or_insert_with(|| Arc::new(full.clone()))
+                    .clone();
+                TViewProgram {
+                    node,
+                    schema: Schema::of(bag.iter()),
+                    kind: TViewKind::Fallback { bag, full },
+                }
+            };
+
+            let program = if access_in_bag.is_empty() {
+                // Request-independent: join the in-bag atoms once, now.
+                let mut acc: Option<Relation> = None;
+                for atom in &in_bag_atoms {
+                    let rel = atom_relation(db, atom)?;
+                    acc = Some(match acc {
+                        None => rel,
+                        Some(prev) => prev.join(&rel)?,
+                    });
+                }
+                match acc {
+                    Some(rel) if rel.varset() == bag => TViewProgram {
+                        node,
+                        schema: rel.schema().clone(),
+                        kind: TViewKind::Static(Arc::new(rel)),
+                    },
+                    _ => fallback(&mut full_arc),
+                }
+            } else {
+                // Simulate the join chain's schemas and index each atom
+                // on its (statically known) join variables.
+                let start_positions = request_schema.positions_of_set(access_in_bag)?;
+                let mut schema = request_schema.project(access_in_bag);
+                let mut joins = Vec::with_capacity(in_bag_atoms.len());
+                for atom in &in_bag_atoms {
+                    let atom_schema = Schema::new(atom.vars.clone())?;
+                    let shared = schema.varset().intersect(atom_schema.varset());
+                    let out_schema = schema.join(&atom_schema);
+                    let appended = out_schema.vars()[schema.arity()..]
+                        .iter()
+                        .map(|&v| atom_schema.position(v).expect("appended var"))
+                        .collect();
+                    let cache_key = (atom.relation.clone(), atom.vars.clone(), shared.0);
+                    let index = match atom_indexes.get(&cache_key) {
+                        Some(index) => Arc::clone(index),
+                        None => {
+                            let rel = atom_relation(db, atom)?;
+                            let index = Arc::new(HashIndex::build(&rel, shared)?);
+                            atom_indexes.insert(cache_key, Arc::clone(&index));
+                            index
+                        }
+                    };
+                    joins.push(PreJoin {
+                        key_positions: schema.positions_of_set(shared)?,
+                        index,
+                        appended,
+                    });
+                    schema = out_schema;
+                }
+                if schema.varset() == bag {
+                    TViewProgram {
+                        node,
+                        schema,
+                        kind: TViewKind::Dynamic {
+                            start_positions,
+                            joins,
+                        },
+                    }
+                } else {
+                    fallback(&mut full_arc)
+                }
+            };
+            programs.push(program);
+        }
+
+        let t_schemas: Vec<(usize, Schema)> = programs
+            .iter()
+            .map(|p| (p.node, p.schema.clone()))
+            .collect();
+        let plan = evaluator.compile(views, &t_schemas)?;
+        Ok(CompiledPmtd {
+            access,
+            programs,
+            plan,
+        })
+    }
+
+    /// Answers one request: runs the T-view programs, then the compiled
+    /// plan, against `views`. Static T-views are borrowed from the
+    /// compiled state — never cloned per request.
+    ///
+    /// # Errors
+    /// The same validation failures as the interpreted path, plus backend
+    /// storage errors.
+    pub fn answer<V: SViewProbe>(
+        &self,
+        views: &V,
+        request: &AccessRequest,
+        scratch: &mut DriverScratch,
+    ) -> Result<Relation> {
+        if request.access() != self.access {
+            return Err(CqapError::AccessPatternMismatch {
+                expected_arity: self.access.len(),
+                found_arity: request.access().len(),
+            });
+        }
+        let mut owned: Vec<(usize, Relation)> = Vec::new();
+        for program in &self.programs {
+            if let Some(rel) = program.exec(request, scratch)? {
+                owned.push((program.node, rel));
+            }
+        }
+        let mut t_views: Vec<(usize, &Relation)> = Vec::with_capacity(self.programs.len());
+        let mut owned_iter = owned.iter();
+        for program in &self.programs {
+            match &program.kind {
+                TViewKind::Static(rel) => t_views.push((program.node, rel.as_ref())),
+                _ => {
+                    let (node, rel) = owned_iter.next().expect("program produced a view");
+                    debug_assert_eq!(*node, program.node);
+                    t_views.push((*node, rel));
+                }
+            }
+        }
+        self.plan.answer_with(views, &t_views, request, &mut scratch.plan)
+    }
+}
+
+/// Projects `rel` onto `target ∩ varset` like
+/// [`Relation::project_onto`], but moves the relation through unchanged
+/// when the projection is the identity (the common case for the framework
+/// drivers, whose plans already produce head-shaped answers).
+fn project_final(rel: Relation, target: VarSet) -> Result<Relation> {
+    let keep = target.intersect(rel.varset());
+    if keep == rel.varset() && rel.schema().vars().windows(2).all(|w| w[0] < w[1]) {
+        return Ok(rel);
+    }
+    rel.project_onto(target)
+}
+
+/// The compiled driver loop over any S-view backend: runs every PMTD's
+/// compiled pipeline, unions the per-PMTD answers, and projects onto
+/// `declared_head ∪ access` — the compiled mirror of
+/// [`answer_with_plans`](crate::answer_with_plans), used by `CqapIndex`
+/// (in-memory views) and `cqap-store`'s `StoredIndex` (disk views), so
+/// the backends cannot silently diverge.
+///
+/// # Errors
+/// Fails for an empty plan set, and propagates evaluation errors.
+pub fn answer_with_compiled<'a, V, I>(
+    cqap: &Cqap,
+    plans: I,
+    request: &AccessRequest,
+) -> Result<Relation>
+where
+    V: SViewProbe + 'a,
+    I: IntoIterator<Item = (&'a CompiledPmtd, &'a V)>,
+{
+    with_driver_scratch(|scratch| {
+        let mut acc: Option<Relation> = None;
+        for (plan, views) in plans {
+            let part = plan.answer(views, request, scratch)?;
+            acc = Some(match acc {
+                None => part,
+                // Both sides are owned: the larger moves, the smaller's
+                // tuples are inserted — no relation clone.
+                Some(prev) => prev.union_with(part)?,
+            });
+        }
+        let result = acc.ok_or_else(|| {
+            CqapError::InvalidQuery("the framework needs at least one PMTD".into())
+        })?;
+        project_final(result, cqap.declared_head().union(cqap.access()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{online_t_views, CqapIndex};
+    use cqap_decomp::families as pf;
+    use cqap_query::workload::{graph_pair_requests, Graph};
+    use cqap_yannakakis::naive::full_join;
+
+    #[test]
+    fn compiled_t_views_match_the_interpreted_ones() {
+        let (cqap, pmtds) = pf::pmtds_3reach_fig1().unwrap();
+        let g = Graph::random(35, 150, 3);
+        let db = g.as_path_database(3);
+        let full = full_join(&cqap, &db).unwrap();
+        for pmtd in &pmtds {
+            let evaluator = OnlineYannakakis::new(pmtd.clone());
+            let mut s_views = Vec::new();
+            for node in pmtd.materialization_set() {
+                s_views.push((node, full.project_onto(pmtd.view_schema(node)).unwrap()));
+            }
+            let pre = evaluator.preprocess(&s_views).unwrap();
+            let compiled = CompiledPmtd::compile(&cqap, &db, &evaluator, &pre, &full).unwrap();
+            for (u, v) in graph_pair_requests(&g, 15, 5) {
+                let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+                let expected = online_t_views(&cqap, &db, pmtd, &request).unwrap();
+                for program in &compiled.programs {
+                    let produced;
+                    let got: &Relation = match &program.kind {
+                        TViewKind::Static(rel) => rel,
+                        _ => {
+                            produced = program
+                                .exec(&request, &mut DriverScratch::new())
+                                .unwrap()
+                                .unwrap();
+                            &produced
+                        }
+                    };
+                    let want = expected
+                        .iter()
+                        .find(|(n, _)| *n == program.node)
+                        .map(|(_, r)| r)
+                        .expect("same node set");
+                    assert_eq!(got, want, "node {} of {}", program.node, pmtd.summary());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_single_request_driver_path_performs_zero_dedup_inserts() {
+        // The fully-materialized plan (S14): after one warm-up request,
+        // the complete driver path — T-view programs, compiled plan,
+        // per-PMTD union, final projection — must never touch the
+        // relation-level dedup machinery (the paper's "probe-only online
+        // phase" made literal at the allocator level).
+        let (cqap, pmtds) = pf::pmtds_3reach_fig1().unwrap();
+        let g = Graph::random(50, 260, 13);
+        let db = g.as_path_database(3);
+        let index = CqapIndex::build(&cqap, &db, &pmtds[2..3]).unwrap();
+        let requests: Vec<AccessRequest> = graph_pair_requests(&g, 6, 17)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        // Expected answers (interpreted path) computed outside the
+        // counted window — the reference itself uses dedup inserts.
+        let expected: Vec<Relation> = requests
+            .iter()
+            .map(|r| index.answer_interpreted(r).unwrap())
+            .collect();
+        index.answer(&requests[0]).unwrap(); // warm the scratch arena
+
+        let before = cqap_relation::instrument::dedup_inserts();
+        let answers: Vec<Relation> =
+            requests.iter().map(|r| index.answer(r).unwrap()).collect();
+        assert_eq!(
+            cqap_relation::instrument::dedup_inserts(),
+            before,
+            "warm single-request serving must perform zero relation-level dedup inserts"
+        );
+        assert_eq!(answers, expected);
+    }
+
+    #[test]
+    fn compiled_driver_matches_interpreted_driver() {
+        let (cqap, pmtds) = pf::pmtds_3reach_all().unwrap();
+        let g = Graph::skewed(40, 180, 3, 30, 7);
+        let db = g.as_path_database(3);
+        let index = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+        for (u, v) in graph_pair_requests(&g, 25, 11) {
+            let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+            assert_eq!(
+                index.answer(&request).unwrap(),
+                index.answer_interpreted(&request).unwrap(),
+                "({u},{v})"
+            );
+        }
+    }
+}

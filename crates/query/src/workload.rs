@@ -102,7 +102,7 @@ impl Graph {
 
     /// Loads the graph as a binary relation over variables `(a, b)`.
     pub fn as_relation(&self, name: &str, a: Var, b: Var) -> Relation {
-        Relation::binary(name, a, b, self.edges.iter().copied())
+        Relation::binary(name.to_string(), a, b, self.edges.iter().copied())
     }
 
     /// Builds the database for the k-path query with distinct relation names
@@ -171,7 +171,7 @@ impl SetFamily {
     /// Loads the family as the binary relation `R(y, x)` ("element y belongs
     /// to set x") over variables `(y, x)`.
     pub fn as_relation(&self, name: &str, y: Var, x: Var) -> Relation {
-        Relation::binary(name, y, x, self.memberships.iter().copied())
+        Relation::binary(name.to_string(), y, x, self.memberships.iter().copied())
     }
 
     /// Total number of membership pairs `N`.

@@ -30,6 +30,7 @@ pub mod split;
 pub use constraints::{ConstraintSet, DegreeConstraint};
 pub use database::Database;
 pub use index::HashIndex;
-pub use relation::Relation;
+pub use ops::is_identity;
+pub use relation::{instrument, Relation, RelationBuilder};
 pub use schema::Schema;
 pub use split::{split_heavy_light, HeavyLightSplit};

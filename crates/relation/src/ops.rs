@@ -8,21 +8,47 @@
 //! their input plus output (up to hashing).
 
 use crate::index::HashIndex;
-use crate::relation::Relation;
+use crate::relation::{Relation, RelationBuilder};
 use crate::schema::Schema;
 use cqap_common::{FxHashSet, Result, Tuple, Val, Var, VarSet};
 
+/// Whether `positions` is the identity permutation `0..arity` — i.e. the
+/// projection/reorder it describes is a no-op. Shared with the compiled
+/// online plans, which use it to elide identity final projections.
+pub fn is_identity(positions: &[usize], arity: usize) -> bool {
+    positions.len() == arity && positions.iter().enumerate().all(|(i, &p)| i == p)
+}
+
 impl Relation {
     /// π_vars(R): projection onto `vars` (deduplicating).
+    ///
+    /// Two structural fast paths keep the serving pipeline off the dedup
+    /// machinery: projecting onto (a superset of) the full variable set in
+    /// the existing column order is a clone, and any projection that keeps
+    /// *all* columns is a permutation (duplicate-free by construction).
     pub fn project_onto(&self, vars: VarSet) -> Result<Relation> {
         let keep = vars.intersect(self.varset());
         let positions = self.schema().positions_of_set(keep)?;
-        let schema = Schema::of(keep.iter());
-        let mut out = Relation::new(format!("π{}({})", schema, self.name()), schema);
-        for t in self.iter() {
-            out.insert(t.project(&positions))?;
+        if is_identity(&positions, self.schema().arity()) {
+            return Ok(self.clone());
         }
-        Ok(out)
+        let schema = Schema::of(keep.iter());
+        if keep == self.varset() {
+            // Column permutation: a bijection on tuples, no dedup needed.
+            let mut out = RelationBuilder::distinct(
+                format!("π{}({})", schema, self.name()),
+                schema,
+            );
+            for t in self.iter() {
+                out.push(t.project(&positions));
+            }
+            return Ok(out.finish());
+        }
+        let mut out = RelationBuilder::new(format!("π{}({})", schema, self.name()), schema);
+        for t in self.iter() {
+            out.push(t.project(&positions));
+        }
+        Ok(out.finish())
     }
 
     /// σ_{v = val}(R): selection of tuples whose value for `v` equals `val`.
@@ -31,16 +57,17 @@ impl Relation {
             .schema()
             .position(v)
             .ok_or_else(|| cqap_common::CqapError::UnknownVariable(format!("x{}", v + 1)))?;
-        let mut out = Relation::new(
+        // A selection of a set is a subset: duplicate-free by construction.
+        let mut out = RelationBuilder::distinct(
             format!("σ_x{}={}({})", v + 1, val, self.name()),
             self.schema().clone(),
         );
         for t in self.iter() {
             if t.get(pos) == val {
-                out.insert(t.clone())?;
+                out.push(t.clone());
             }
         }
-        Ok(out)
+        Ok(out.finish())
     }
 
     /// Natural join `R ⋈ S` on the common variables.
@@ -63,7 +90,10 @@ impl Relation {
     fn join_impl(&self, other: &Relation) -> Result<Relation> {
         let shared = self.varset().intersect(other.varset());
         let out_schema = self.schema().join(other.schema());
-        let mut out = Relation::new(
+        // A join output tuple embeds the probe-side tuple and its matched
+        // tuple is determined by it plus the appended columns, so the
+        // output of a join of two sets is duplicate-free by construction.
+        let mut out = RelationBuilder::distinct(
             format!("({} ⋈ {})", self.name(), other.name()),
             out_schema.clone(),
         );
@@ -80,11 +110,10 @@ impl Relation {
         for lt in self.iter() {
             let key = lt.project(&left_key);
             for rt in index.probe(&key) {
-                let extra = rt.project(&appended);
-                out.insert(lt.concat(&extra))?;
+                out.push(lt.concat_projected(rt, &appended));
             }
         }
-        Ok(out)
+        Ok(out.finish())
     }
 
     /// Reorders columns to match `target` (which must contain exactly the
@@ -97,11 +126,15 @@ impl Relation {
             });
         }
         let positions = self.schema().positions_of(target.vars())?;
-        let mut out = Relation::new(self.name().to_string(), target.clone());
-        for t in self.iter() {
-            out.insert(t.project(&positions))?;
+        if is_identity(&positions, self.schema().arity()) {
+            return Ok(self.clone());
         }
-        Ok(out)
+        // A column permutation is a bijection on tuples: no dedup needed.
+        let mut out = RelationBuilder::distinct(self.name().to_string(), target.clone());
+        for t in self.iter() {
+            out.push(t.project(&positions));
+        }
+        Ok(out.finish())
     }
 
     /// Semijoin `R ⋉ S`: tuples of `R` that join with at least one tuple of
@@ -113,16 +146,17 @@ impl Relation {
             other.iter().map(|t| t.project(&positions)).collect()
         };
         let left_key = self.schema().positions_of_set(shared)?;
-        let mut out = Relation::new(
+        // A semijoin of a set is a subset: duplicate-free by construction.
+        let mut out = RelationBuilder::distinct(
             format!("({} ⋉ {})", self.name(), other.name()),
             self.schema().clone(),
         );
         for t in self.iter() {
             if other_keys.contains(&t.project(&left_key)) {
-                out.insert(t.clone())?;
+                out.push(t.clone());
             }
         }
-        Ok(out)
+        Ok(out.finish())
     }
 
     /// Antijoin `R ▷ S`: tuples of `R` that join with *no* tuple of `S`.
@@ -133,26 +167,42 @@ impl Relation {
             other.iter().map(|t| t.project(&positions)).collect()
         };
         let left_key = self.schema().positions_of_set(shared)?;
-        let mut out = Relation::new(
+        let mut out = RelationBuilder::distinct(
             format!("({} ▷ {})", self.name(), other.name()),
             self.schema().clone(),
         );
         for t in self.iter() {
             if !other_keys.contains(&t.project(&left_key)) {
-                out.insert(t.clone())?;
+                out.push(t.clone());
             }
         }
-        Ok(out)
+        Ok(out.finish())
     }
 
     /// Union of two relations over the same variable set (columns are
     /// reordered if necessary).
+    ///
+    /// The *larger* input is cloned as the base and the smaller one is
+    /// inserted into it, so only O(min(|R|, |S|)) tuples go through the
+    /// per-tuple insert path — the shape of the per-PMTD answer union in
+    /// the serving driver. (The bulk side still costs O(big) to clone,
+    /// and its membership set materializes once if it was lazily built;
+    /// the saving is the per-tuple re-insertion, not the copy.)
     pub fn union(&self, other: &Relation) -> Result<Relation> {
+        if other.schema() == self.schema() && other.len() > self.len() {
+            let mut out = other.clone().with_name(self.name().to_string());
+            for t in self.iter() {
+                out.insert(t.clone())?;
+            }
+            return Ok(out);
+        }
         let mut out = self.clone();
+        let reordered;
         let other = if other.schema() == self.schema() {
-            other.clone()
+            other
         } else {
-            other.reorder(self.schema())?
+            reordered = other.reorder(self.schema())?;
+            &reordered
         };
         for t in other.iter() {
             out.insert(t.clone())?;
@@ -160,23 +210,60 @@ impl Relation {
         Ok(out)
     }
 
-    /// Intersection of two relations over the same variable set.
-    pub fn intersect_rel(&self, other: &Relation) -> Result<Relation> {
+    /// Consuming union: both inputs are owned, so the larger side becomes
+    /// the base *by move* — no relation is cloned at all — and only the
+    /// smaller side's tuples go through the per-tuple insert path
+    /// (mismatched column orders reorder `other` into `self`'s schema
+    /// first). This is the union the serving drivers use to fold
+    /// per-PMTD and per-shard answers, where both sides are freshly
+    /// produced and owned. Note the result's tuple *order* depends on
+    /// which side was larger; only the set contents are guaranteed.
+    pub fn union_with(self, other: Relation) -> Result<Relation> {
         let other = if other.schema() == self.schema() {
-            other.clone()
+            other
         } else {
             other.reorder(self.schema())?
         };
-        let mut out = Relation::new(
+        let (mut base, small) = if other.len() > self.len() {
+            let name = self.name().to_string();
+            (other.with_name(name), self)
+        } else {
+            (self, other)
+        };
+        for t in small.into_tuples() {
+            base.insert(t)?;
+        }
+        Ok(base)
+    }
+
+    /// Intersection of two relations over the same variable set.
+    ///
+    /// Iterates the *smaller* input and membership-tests the larger one,
+    /// so the cost is O(min(|R|, |S|)) lookups; no input is cloned.
+    pub fn intersect_rel(&self, other: &Relation) -> Result<Relation> {
+        let reordered;
+        let other = if other.schema() == self.schema() {
+            other
+        } else {
+            reordered = other.reorder(self.schema())?;
+            &reordered
+        };
+        let (scan, lookup) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        // An intersection of sets is a subset of the scanned set.
+        let mut out = RelationBuilder::distinct(
             format!("({} ∩ {})", self.name(), other.name()),
             self.schema().clone(),
         );
-        for t in self.iter() {
-            if other.contains(t) {
-                out.insert(t.clone())?;
+        for t in scan.iter() {
+            if lookup.contains(t) {
+                out.push(t.clone());
             }
         }
-        Ok(out)
+        Ok(out.finish())
     }
 
     /// Cartesian product (join with no shared variables); provided for
@@ -202,7 +289,7 @@ mod tests {
     use super::*;
     use cqap_common::vars;
 
-    fn rel(name: &str, a: Var, b: Var, pairs: &[(u64, u64)]) -> Relation {
+    fn rel(name: &'static str, a: Var, b: Var, pairs: &[(u64, u64)]) -> Relation {
         Relation::binary(name, a, b, pairs.iter().copied())
     }
 
@@ -280,6 +367,63 @@ mod tests {
         let u = r.union(&s).unwrap();
         assert_eq!(u.len(), 2);
         assert!(u.contains(&Tuple::pair(2, 20)));
+    }
+
+    #[test]
+    fn union_is_size_symmetric() {
+        // A tiny delta unioned into a big relation must not depend on the
+        // argument order for its result (only for its cost).
+        let big = rel("big", 0, 1, &(0..500u64).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let delta = rel("delta", 0, 1, &[(1, 2), (1_000, 1_001)]);
+        let a = big.union(&delta).unwrap();
+        let b = delta.union(&big).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 501);
+        // Reordered columns still take the slow (reorder) path correctly.
+        let mut swapped = Relation::new("S", Schema::of([1, 0]));
+        swapped.insert(Tuple::pair(9_999, 77)).unwrap();
+        let u = swapped.union(&big).unwrap();
+        assert_eq!(u.schema().vars(), &[1, 0]);
+        assert_eq!(u.len(), 501);
+        assert!(u.contains(&Tuple::pair(9_999, 77)));
+        assert!(u.contains(&Tuple::pair(2, 1)), "big side reordered into self's schema");
+    }
+
+    #[test]
+    fn consuming_union_matches_borrowing_union() {
+        let big = rel("big", 0, 1, &(0..200u64).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let delta = rel("delta", 0, 1, &[(1, 2), (900, 901)]);
+        let expected = big.union(&delta).unwrap();
+        assert_eq!(big.clone().union_with(delta.clone()).unwrap(), expected);
+        assert_eq!(delta.clone().union_with(big.clone()).unwrap(), expected);
+        // Mismatched column order falls back to the borrowing path.
+        let mut swapped = Relation::new("S", Schema::of([1, 0]));
+        swapped.insert(Tuple::pair(7, 70)).unwrap();
+        assert_eq!(
+            swapped.clone().union_with(delta.clone()).unwrap(),
+            swapped.union(&delta).unwrap()
+        );
+    }
+
+    #[test]
+    fn intersection_is_size_symmetric() {
+        let big = rel("big", 0, 1, &(0..300u64).map(|i| (i, i)).collect::<Vec<_>>());
+        let small = rel("small", 0, 1, &[(3, 3), (7, 8)]);
+        let a = big.intersect_rel(&small).unwrap();
+        let b = small.intersect_rel(&big).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(&Tuple::pair(3, 3)));
+    }
+
+    #[test]
+    fn identity_projection_and_reorder_are_clones() {
+        let r = rel("R", 0, 1, &[(1, 2), (3, 4)]);
+        let p = r.project_onto(VarSet::from_iter([0, 1, 9])).unwrap();
+        assert_eq!(p, r);
+        assert_eq!(p.schema(), r.schema());
+        let same = r.reorder(r.schema()).unwrap();
+        assert_eq!(same, r);
     }
 
     #[test]

@@ -2,35 +2,74 @@
 
 use crate::schema::Schema;
 use cqap_common::{CqapError, FxHashSet, Result, Tuple, Val, Var, VarSet};
+use std::borrow::Cow;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Counters for the relation layer's hash-dedup work, used by tests to
+/// prove that the compiled online path stays off the dedup machinery.
+pub mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        static DEDUP_INSERTS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Total tuples **this thread** has inserted into a relation-level
+    /// dedup hash set (both eager [`Relation::insert`](crate::Relation::insert)
+    /// calls and lazy materialization of a membership set). Monotone;
+    /// callers diff two readings around the code under test. Per-thread so
+    /// concurrent serving workers (and parallel tests) don't pollute each
+    /// other's measurements.
+    pub fn dedup_inserts() -> u64 {
+        DEDUP_INSERTS.with(Cell::get)
+    }
+
+    #[inline]
+    pub(crate) fn record_dedup_inserts(n: u64) {
+        if n > 0 {
+            DEDUP_INSERTS.with(|c| c.set(c.get() + n));
+        }
+    }
+}
 
 /// An in-memory relation: a set of tuples over a [`Schema`].
 ///
 /// Relations are *set-semantics*: [`Relation::insert`] deduplicates. The
 /// paper's size measures (`|R|`, degree constraints) are all defined over
 /// set semantics.
+///
+/// The dedup hash set backing [`Relation::contains`] and equality is built
+/// **lazily**: a relation assembled from tuples that are already distinct
+/// (every semijoin/join output of the online phase — see
+/// [`RelationBuilder::distinct`]) carries only its tuple vector until some
+/// caller actually needs membership tests. Names are `Cow<'static, str>`,
+/// so the hot path labels intermediates with borrowed constants instead of
+/// `format!` allocations.
 #[derive(Clone)]
 pub struct Relation {
-    name: String,
+    name: Cow<'static, str>,
     schema: Schema,
     tuples: Vec<Tuple>,
-    seen: FxHashSet<Tuple>,
+    /// Lazily materialized dedup/membership set; empty for relations built
+    /// through the distinct builder until first needed.
+    seen: OnceLock<FxHashSet<Tuple>>,
 }
 
 impl Relation {
     /// Creates an empty relation with the given name and schema.
-    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+    pub fn new(name: impl Into<Cow<'static, str>>, schema: Schema) -> Self {
         Relation {
             name: name.into(),
             schema,
             tuples: Vec::new(),
-            seen: FxHashSet::default(),
+            seen: OnceLock::new(),
         }
     }
 
     /// Creates a relation and bulk-loads tuples (deduplicating).
     pub fn from_tuples(
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         schema: Schema,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<Self> {
@@ -45,7 +84,7 @@ impl Relation {
     /// loaded from `(Val, Val)` pairs — the common case for the paper's
     /// graph workloads.
     pub fn binary(
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         a: Var,
         b: Var,
         pairs: impl IntoIterator<Item = (Val, Val)>,
@@ -64,7 +103,7 @@ impl Relation {
     }
 
     /// Renames the relation.
-    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+    pub fn with_name(mut self, name: impl Into<Cow<'static, str>>) -> Self {
         self.name = name.into();
         self
     }
@@ -105,6 +144,30 @@ impl Relation {
         &self.tuples
     }
 
+    /// Consumes the relation into its tuple vector (dropping any
+    /// membership set). For callers that fold a relation into another
+    /// structure and would otherwise clone every tuple.
+    #[inline]
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// The membership set, materializing it on first use.
+    fn seen(&self) -> &FxHashSet<Tuple> {
+        self.seen.get_or_init(|| {
+            instrument::record_dedup_inserts(self.tuples.len() as u64);
+            self.tuples.iter().cloned().collect()
+        })
+    }
+
+    /// Mutable access to the membership set, materializing it on first use.
+    fn seen_mut(&mut self) -> &mut FxHashSet<Tuple> {
+        if self.seen.get().is_none() {
+            let _ = self.seen();
+        }
+        self.seen.get_mut().expect("seen set just materialized")
+    }
+
     /// Inserts a tuple, ignoring duplicates.
     ///
     /// # Errors
@@ -116,7 +179,8 @@ impl Relation {
                 found: format!("tuple of arity {}", t.arity()),
             });
         }
-        if self.seen.insert(t.clone()) {
+        instrument::record_dedup_inserts(1);
+        if self.seen_mut().insert(t.clone()) {
             self.tuples.push(t);
             Ok(true)
         } else {
@@ -126,7 +190,7 @@ impl Relation {
 
     /// Whether the relation contains the tuple.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.seen.contains(t)
+        self.seen().contains(t)
     }
 
     /// Returns the tuple values for variable `v` (one per tuple, with
@@ -195,17 +259,126 @@ impl PartialEq for Relation {
     /// Two relations are equal if they have the same schema and the same set
     /// of tuples (order-insensitive). Names are ignored.
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.len() == other.len() && self.seen == other.seen
+        self.schema == other.schema && self.len() == other.len() && self.seen() == other.seen()
     }
 }
 
 impl Eq for Relation {}
 
+/// An append-only assembler for relations whose construction is on a hot
+/// path.
+///
+/// The dedup-on-insert contract of [`Relation::insert`] pays two hash
+/// probes and a shadow copy per tuple. Most relations the online phase
+/// builds are **duplicate-free by construction** — a semijoin or selection
+/// of a set is a subset, and a join output tuple embeds the probe-side
+/// tuple plus columns that are functionally determined by it — so the
+/// builder lets such producers opt out: [`RelationBuilder::distinct`]
+/// skips the hash set entirely, and the resulting relation materializes a
+/// membership set only if someone later asks for one.
+///
+/// Arity is checked with a `debug_assert!` per push (producers derive
+/// tuples from the declared schema, so a mismatch is a bug, not input
+/// validation); `debug` builds additionally verify the distinctness claim
+/// at [`RelationBuilder::finish`].
+pub struct RelationBuilder {
+    name: Cow<'static, str>,
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    /// `Some` while dedup-on-push is active; `None` for distinct builders.
+    seen: Option<FxHashSet<Tuple>>,
+}
+
+impl RelationBuilder {
+    /// A builder that deduplicates on push, exactly like
+    /// [`Relation::insert`].
+    pub fn new(name: impl Into<Cow<'static, str>>, schema: Schema) -> Self {
+        RelationBuilder {
+            name: name.into(),
+            schema,
+            tuples: Vec::new(),
+            seen: Some(FxHashSet::default()),
+        }
+    }
+
+    /// A builder for producers whose output is duplicate-free by
+    /// construction: no dedup set is kept, so pushes are a plain vector
+    /// append. The caller guarantees distinctness; debug builds verify it
+    /// at [`RelationBuilder::finish`].
+    pub fn distinct(name: impl Into<Cow<'static, str>>, schema: Schema) -> Self {
+        RelationBuilder {
+            name: name.into(),
+            schema,
+            tuples: Vec::new(),
+            seen: None,
+        }
+    }
+
+    /// The schema tuples must conform to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples accepted so far.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether no tuple has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Appends a tuple (deduplicating unless this is a distinct builder).
+    #[inline]
+    pub fn push(&mut self, t: Tuple) {
+        debug_assert_eq!(
+            t.arity(),
+            self.schema.arity(),
+            "builder tuple arity must match the schema"
+        );
+        match &mut self.seen {
+            Some(seen) => {
+                instrument::record_dedup_inserts(1);
+                if seen.insert(t.clone()) {
+                    self.tuples.push(t);
+                }
+            }
+            None => self.tuples.push(t),
+        }
+    }
+
+    /// Finalizes the relation. A deduplicating builder donates its hash set
+    /// as the relation's membership set; a distinct builder leaves it to be
+    /// materialized lazily (never, on the probe-only serving path).
+    pub fn finish(self) -> Relation {
+        #[cfg(debug_assertions)]
+        if self.seen.is_none() {
+            let distinct: FxHashSet<&Tuple> = self.tuples.iter().collect();
+            debug_assert_eq!(
+                distinct.len(),
+                self.tuples.len(),
+                "distinct builder received duplicate tuples"
+            );
+        }
+        let seen_cell = OnceLock::new();
+        if let Some(seen) = self.seen {
+            let _ = seen_cell.set(seen);
+        }
+        Relation {
+            name: self.name,
+            schema: self.schema,
+            tuples: self.tuples,
+            seen: seen_cell,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn edges(name: &str, pairs: &[(u64, u64)]) -> Relation {
+    fn edges(name: &'static str, pairs: &[(u64, u64)]) -> Relation {
         Relation::binary(name, 0, 1, pairs.iter().copied())
     }
 
@@ -276,5 +449,56 @@ mod tests {
     fn stored_values() {
         let r = edges("R", &[(1, 2), (3, 4), (5, 6)]);
         assert_eq!(r.stored_values(), 6);
+    }
+
+    #[test]
+    fn distinct_builder_skips_the_dedup_set() {
+        let before = instrument::dedup_inserts();
+        let mut b = RelationBuilder::distinct("out", Schema::of([0, 1]));
+        for i in 0..100u64 {
+            b.push(Tuple::pair(i, i + 1));
+        }
+        let r = b.finish();
+        assert_eq!(r.len(), 100);
+        assert_eq!(
+            instrument::dedup_inserts(),
+            before,
+            "distinct builder must not touch the dedup machinery"
+        );
+        // Membership still works — the set materializes lazily (and is
+        // counted when it does).
+        assert!(r.contains(&Tuple::pair(7, 8)));
+        assert!(!r.contains(&Tuple::pair(8, 7)));
+        assert_eq!(instrument::dedup_inserts(), before + 100);
+    }
+
+    #[test]
+    fn dedup_builder_matches_insert_semantics() {
+        let mut b = RelationBuilder::new("out", Schema::of([0, 1]));
+        b.push(Tuple::pair(1, 2));
+        b.push(Tuple::pair(1, 2));
+        b.push(Tuple::pair(2, 3));
+        let r = b.finish();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&Tuple::pair(1, 2)));
+        let direct =
+            Relation::from_tuples("out", Schema::of([0, 1]), [Tuple::pair(1, 2), Tuple::pair(2, 3)])
+                .unwrap();
+        assert_eq!(r, direct);
+    }
+
+    #[test]
+    fn lazy_relations_interoperate_with_eager_ones() {
+        let mut b = RelationBuilder::distinct("lazy", Schema::of([0, 1]));
+        b.push(Tuple::pair(1, 2));
+        b.push(Tuple::pair(3, 4));
+        let lazy = b.finish();
+        let eager = edges("eager", &[(3, 4), (1, 2)]);
+        assert_eq!(lazy, eager);
+        // Inserting into a lazily-built relation still deduplicates.
+        let mut lazy = lazy;
+        assert!(!lazy.insert(Tuple::pair(1, 2)).unwrap());
+        assert!(lazy.insert(Tuple::pair(5, 6)).unwrap());
+        assert_eq!(lazy.len(), 3);
     }
 }

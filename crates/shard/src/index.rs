@@ -138,7 +138,8 @@ impl ShardedIndex {
         let (shard, sub) = parts.next().expect("split_request is never empty");
         let mut answer = self.shards[shard].answer(&sub)?;
         for (shard, sub) in parts {
-            answer = answer.union(&self.shards[shard].answer(&sub)?)?;
+            // Both sides are owned: move the larger, insert the smaller.
+            answer = answer.union_with(self.shards[shard].answer(&sub)?)?;
         }
         Ok(answer)
     }

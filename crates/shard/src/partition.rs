@@ -127,7 +127,7 @@ impl ShardSpec {
                     }
                     for (shard, bucket) in buckets.into_iter().enumerate() {
                         out[shard].add_relation(Relation::from_tuples(
-                            relation.name(),
+                            relation.name().to_string(),
                             relation.schema().clone(),
                             bucket,
                         )?)?;

@@ -10,8 +10,10 @@
 //!   that shard's cache and in-flight dedup;
 //! * a **multi-binding** request is split into per-shard sub-requests,
 //!   *scattered* as concurrent submissions across the shard runtimes, and
-//!   the per-shard answers are *gathered* and unioned in sub-request
-//!   (first-appearance) order.
+//!   the per-shard answers are *gathered* and unioned, visiting shards in
+//!   sub-request (first-appearance) order. Only the answer's *set
+//!   contents* are guaranteed — relations are sets, and the union's
+//!   internal tuple order depends on per-shard result sizes.
 //!
 //! Because the router is itself a `BatchAnswer`, the whole generic serving
 //! surface — a top-level [`ServeRuntime`] with its own global cache,

@@ -23,12 +23,22 @@
 //! elsewhere), which is what lets a disk-resident view sit behind the same
 //! `Sync` serving surface as the in-memory indexes.
 
+use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use cqap_common::{CqapError, FxHashMap, Result, Tuple, Val, VarSet};
 use cqap_relation::{Relation, Schema};
+
+thread_local! {
+    /// One segment read buffer per worker thread: probes resize it to the
+    /// segment length and decode out of it, so a warm serving worker reads
+    /// cold-tier segments without allocating. (Values scratch shares the
+    /// cell so a probe borrows both with one TLS access.)
+    static SEGMENT_SCRATCH: RefCell<(Vec<u8>, Vec<Val>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// `b"CQAPSVW1"` — the format tag checked at open.
 const MAGIC: u64 = u64::from_le_bytes(*b"CQAPSVW1");
@@ -178,8 +188,17 @@ impl<'a> Cursor<'a> {
         Some(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
     }
 
-    fn next_vals(&mut self, n: usize) -> Option<Vec<Val>> {
-        (0..n).map(|_| self.next()).collect()
+    /// Reads `n` values into the caller's scratch vector (cleared first);
+    /// `false` on a truncated buffer.
+    fn read_vals(&mut self, n: usize, out: &mut Vec<Val>) -> bool {
+        out.clear();
+        for _ in 0..n {
+            match self.next() {
+                Some(v) => out.push(v),
+                None => return false,
+            }
+        }
+        true
     }
 
     fn skip_vals(&mut self, n: usize) -> bool {
@@ -345,15 +364,31 @@ impl StoredView {
         self.fences.iter().map(|f| f.key.arity()).sum()
     }
 
-    /// All stored tuples whose link projection equals `key`: binary search
-    /// over the fences, one contiguous segment read, then a forward walk
-    /// that stops as soon as the sorted run passes the key.
+    /// All stored tuples whose link projection equals `key`, as a fresh
+    /// vector — a convenience wrapper over [`StoredView::probe_into`].
     ///
     /// # Errors
     /// Fails on I/O errors or if the segment bytes are malformed.
     pub fn probe(&self, key: &Tuple) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        self.probe_into(key, &mut out)?;
+        Ok(out)
+    }
+
+    /// The shared segment walk behind [`StoredView::probe_into`] and
+    /// [`StoredView::contains_key`]: fence search, one contiguous segment
+    /// read into this worker thread's reused buffer, then a forward walk
+    /// of the sorted records (with block-bounds validation) that stops as
+    /// soon as the run passes `key`. `on_match(cursor, count, vals)` runs
+    /// at most once, positioned at the matching record's tuple block;
+    /// `Ok(None)` means no record matched.
+    fn find_record<R>(
+        &self,
+        key: &Tuple,
+        on_match: impl FnOnce(&mut Cursor<'_>, usize, &mut Vec<Val>) -> Result<R>,
+    ) -> Result<Option<R>> {
         if key.arity() != self.link.len() {
-            return Ok(Vec::new());
+            return Ok(None);
         }
         // Last fence whose first key is <= the target; if even the first
         // fence is greater, the key precedes every record.
@@ -361,51 +396,84 @@ impl StoredView {
             .fences
             .partition_point(|f| f.key.as_slice() <= key.as_slice());
         if idx == 0 {
-            return Ok(Vec::new());
+            return Ok(None);
         }
         let start = self.fences[idx - 1].offset;
         let end = self
             .fences
             .get(idx)
             .map_or(self.file_bytes, |f| f.offset);
-        let mut buf = vec![0u8; (end - start) as usize];
-        self.file
-            .read_exact_at(&mut buf, start)
-            .map_err(|e| io_err(&self.path, "segment read", e))?;
+        SEGMENT_SCRATCH.with(|cell| {
+            let (buf, vals) = &mut *cell.borrow_mut();
+            let len = (end - start) as usize;
+            buf.resize(len, 0);
+            self.file
+                .read_exact_at(&mut buf[..len], start)
+                .map_err(|e| io_err(&self.path, "segment read", e))?;
 
-        let key_arity = self.link.len();
+            let key_arity = self.link.len();
+            let arity = self.schema.arity();
+            let mut cursor = Cursor::new(&buf[..len]);
+            while !cursor.at_end() {
+                if !cursor.read_vals(key_arity, vals) {
+                    return Err(corrupt(&self.path, "truncated key"));
+                }
+                let count = cursor
+                    .next()
+                    .ok_or_else(|| corrupt(&self.path, "truncated count"))?
+                    as usize;
+                let block_vals = count
+                    .checked_mul(arity)
+                    .filter(|&b| b <= cursor.remaining_vals())
+                    .ok_or_else(|| corrupt(&self.path, "block overruns segment"))?;
+                match vals.as_slice().cmp(key.as_slice()) {
+                    std::cmp::Ordering::Less => {
+                        if !cursor.skip_vals(block_vals) {
+                            return Err(corrupt(&self.path, "truncated block"));
+                        }
+                    }
+                    std::cmp::Ordering::Equal => {
+                        return on_match(&mut cursor, count, vals).map(Some)
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            Ok(None)
+        })
+    }
+
+    /// Appends all stored tuples whose link projection equals `key` to
+    /// `out`. A warm worker performs the whole probe without allocating
+    /// (beyond the output tuples it appends): the segment lands in the
+    /// thread's reused buffer and tuples decode through a reused values
+    /// scratch.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or if the segment bytes are malformed.
+    pub fn probe_into(&self, key: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
         let arity = self.schema.arity();
-        let mut cursor = Cursor::new(&buf);
-        while !cursor.at_end() {
-            let record_key = cursor
-                .next_vals(key_arity)
-                .ok_or_else(|| corrupt(&self.path, "truncated key"))?;
-            let count = cursor
-                .next()
-                .ok_or_else(|| corrupt(&self.path, "truncated count"))? as usize;
-            if count * arity > cursor.remaining_vals() {
-                return Err(corrupt(&self.path, "block overruns segment"));
-            }
-            match record_key.as_slice().cmp(key.as_slice()) {
-                std::cmp::Ordering::Less => {
-                    if !cursor.skip_vals(count * arity) {
-                        return Err(corrupt(&self.path, "truncated block"));
-                    }
+        let path = &self.path;
+        self.find_record(key, |cursor, count, vals| {
+            out.reserve(count);
+            for _ in 0..count {
+                if !cursor.read_vals(arity, vals) {
+                    return Err(corrupt(path, "truncated tuple"));
                 }
-                std::cmp::Ordering::Equal => {
-                    let mut out = Vec::with_capacity(count);
-                    for _ in 0..count {
-                        let vals = cursor
-                            .next_vals(arity)
-                            .ok_or_else(|| corrupt(&self.path, "truncated tuple"))?;
-                        out.push(Tuple::from_slice(&vals));
-                    }
-                    return Ok(out);
-                }
-                std::cmp::Ordering::Greater => break,
+                out.push(Tuple::from_slice(vals));
             }
-        }
-        Ok(Vec::new())
+            Ok(())
+        })
+        .map(|_| ())
+    }
+
+    /// Whether any stored tuple matches `key` on the link variables — the
+    /// key walk of [`StoredView::probe_into`] without decoding any tuple
+    /// block (a semijoin probe needs only existence).
+    ///
+    /// # Errors
+    /// Fails on I/O errors or if the segment bytes are malformed.
+    pub fn contains_key(&self, key: &Tuple) -> Result<bool> {
+        Ok(self.find_record(key, |_, _, _| Ok(()))?.is_some())
     }
 }
 
@@ -499,9 +567,15 @@ mod tests {
             let hit = view.probe(&Tuple::unary(3 * i + 1)).unwrap();
             assert_eq!(hit, vec![Tuple::pair(3 * i + 1, i)]);
             assert!(view.probe(&Tuple::unary(3 * i)).unwrap().is_empty());
+            // The decode-free semijoin check agrees with the full probe.
+            assert!(view.contains_key(&Tuple::unary(3 * i + 1)).unwrap());
+            assert!(!view.contains_key(&Tuple::unary(3 * i)).unwrap());
         }
         assert!(view.probe(&Tuple::unary(0)).unwrap().is_empty());
         assert!(view.probe(&Tuple::unary(9_999)).unwrap().is_empty());
+        assert!(!view.contains_key(&Tuple::unary(0)).unwrap());
+        assert!(!view.contains_key(&Tuple::unary(9_999)).unwrap());
+        assert!(!view.contains_key(&Tuple::pair(1, 2)).unwrap(), "wrong arity");
         cleanup(&path);
     }
 

@@ -114,8 +114,16 @@ impl SViewProbe for StoredViews {
         self.views.get(node).and_then(|v| v.as_ref()).map(StoredView::schema)
     }
 
-    fn probe(&self, node: usize, key: &Tuple) -> Result<Vec<Tuple>> {
-        self.view(node)?.probe(key)
+    /// Disk probes decode straight into the caller's buffer out of this
+    /// worker's reused segment buffer — no per-probe allocation.
+    fn probe_into(&self, node: usize, key: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        self.view(node)?.probe_into(key, out)
+    }
+
+    /// Semijoin probes walk the segment's keys only — no tuple block is
+    /// decoded, no output vector is built.
+    fn contains(&self, node: usize, key: &Tuple) -> Result<bool> {
+        self.view(node)?.contains_key(key)
     }
 }
 
@@ -127,6 +135,13 @@ pub struct StoredIndex {
     cqap: Cqap,
     db: Database,
     plans: Vec<(OnlineYannakakis, StoredViews)>,
+    /// The compiled pipelines, `Arc`-shared with the source index: the
+    /// disk backend executes the *same* compiled plans as the in-memory
+    /// one — only the probes behind `SViewProbe` change — and the
+    /// pre-built atom indexes inside them exist once per deployment, not
+    /// once per backend. (Like the retained database, they are `O(|D|)`
+    /// state outside the `space_used`/`resident_values` S-accounting.)
+    compiled: Vec<std::sync::Arc<cqap_panda::CompiledPmtd>>,
     // Declared last: removes the spill directory after the views above
     // have deleted their files.
     _dir: DirCleanup,
@@ -154,6 +169,7 @@ impl StoredIndex {
             cqap: index.cqap().clone(),
             db: index.database().clone(),
             plans,
+            compiled: index.compiled().cloned().collect(),
             _dir: DirCleanup(dir.to_path_buf()),
         })
     }
@@ -213,14 +229,31 @@ impl StoredIndex {
     }
 
     /// Online phase: identical to [`CqapIndex::answer`] — literally the
-    /// same driver loop ([`cqap_panda::answer_with_plans`]): the same
-    /// T-views, the same per-PMTD Online Yannakakis, the same union —
-    /// with every S-view probe served from disk.
+    /// same compiled driver loop ([`cqap_panda::answer_with_compiled`])
+    /// executing the same [`cqap_panda::CompiledPmtd`] pipelines — with
+    /// every S-view probe served from disk.
     ///
     /// # Errors
     /// The same validation failures as the in-memory driver, plus I/O
     /// errors from the cold tier.
     pub fn answer(&self, request: &AccessRequest) -> Result<Relation> {
+        cqap_panda::answer_with_compiled(
+            &self.cqap,
+            self.compiled
+                .iter()
+                .zip(&self.plans)
+                .map(|(compiled, (_, views))| (compiled.as_ref(), views)),
+            request,
+        )
+    }
+
+    /// The pre-compilation online phase over the disk backend — the
+    /// interpreted driver loop ([`cqap_panda::answer_with_plans`]), kept
+    /// as the reference the compiled disk path is tested against.
+    ///
+    /// # Errors
+    /// Same failure modes as [`StoredIndex::answer`].
+    pub fn answer_interpreted(&self, request: &AccessRequest) -> Result<Relation> {
         cqap_panda::answer_with_plans(
             &self.cqap,
             &self.db,

@@ -321,7 +321,8 @@ impl TieredShardedIndex {
 
     /// Answers an access request exactly like [`ShardedIndex::answer`]:
     /// split by routing hash, answer per shard (from whichever tier holds
-    /// it), union in first-appearance order.
+    /// it), union the per-shard answers (set contents guaranteed; tuple
+    /// order is an implementation detail of the size-directed union).
     ///
     /// # Errors
     /// Propagates the first failing shard's error.
@@ -330,7 +331,8 @@ impl TieredShardedIndex {
         let (shard, sub) = parts.next().expect("split_request is never empty");
         let mut answer = self.answer_shard(shard, &sub)?;
         for (shard, sub) in parts {
-            answer = answer.union(&self.answer_shard(shard, &sub)?)?;
+            // Both sides are owned: move the larger, insert the smaller.
+            answer = answer.union_with(self.answer_shard(shard, &sub)?)?;
         }
         Ok(answer)
     }

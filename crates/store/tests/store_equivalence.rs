@@ -44,13 +44,27 @@ proptest! {
             .collect();
 
         // Unsharded, fully disk-resident: same intrinsic S, same answers.
+        // The four-way check covers the compiled and the interpreted
+        // online path on *both* backends (hash probes in memory, fence +
+        // segment reads on disk): one equivalence class per request.
         let stored = StoredIndex::build_in_temp(&cqap, &db, &pmtds).unwrap();
         prop_assert_eq!(stored.space_used(), reference.space_used());
         for request in singles.iter().chain(&multis) {
+            let expected = reference.answer(request).unwrap();
             prop_assert_eq!(
                 stored.answer(request).unwrap(),
-                reference.answer(request).unwrap(),
-                "StoredIndex diverged"
+                expected.clone(),
+                "compiled StoredIndex diverged"
+            );
+            prop_assert_eq!(
+                stored.answer_interpreted(request).unwrap(),
+                expected.clone(),
+                "interpreted StoredIndex diverged"
+            );
+            prop_assert_eq!(
+                reference.answer_interpreted(request).unwrap(),
+                expected,
+                "interpreted CqapIndex diverged from its compiled path"
             );
         }
 

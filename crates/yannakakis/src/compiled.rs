@@ -1,0 +1,1003 @@
+//! Compiled probe plans: the online phase with all per-request bookkeeping
+//! hoisted to construction time.
+//!
+//! [`OnlineYannakakis::answer_with`] re-derives, on *every* request, facts
+//! that depend only on the PMTD and the view schemas: which edges are SS /
+//! ST / TT, which nodes survive into the top-down pass, where the link
+//! variables sit in each schema, what every join's output schema is. A
+//! [`CompiledPlan`] resolves all of it once — per (PMTD node, access
+//! pattern) — into a linear program of steps over pre-resolved column
+//! positions, leaving the per-request work as:
+//!
+//! 1. validating the request and T-view contents (cheap, per the contract
+//!    of the interpreted path);
+//! 2. executing the steps against reusable scratch buffers
+//!    ([`PlanScratch`], one arena per serving worker): tuples ping-pong
+//!    between two pooled vectors, probe results are memoized in a pooled
+//!    range table, and semijoin/projection dedup uses pooled hash sets;
+//! 3. materializing the single output [`Relation`] through the
+//!    duplicate-free [`RelationBuilder`] path — every intermediate the
+//!    plan produces is a subset, permutation or key-extension of a set,
+//!    so **no relation-level hash-dedup insert happens at all** (the
+//!    `cqap_relation::instrument` counter stays flat on the warm path).
+//!
+//! Answers are identical to the interpreted path by construction: the
+//! steps are the same semijoin-reduce and join passes, executed against
+//! the same [`SViewProbe`] backend, with the same validation failures.
+//! The equivalence proptest in `crates/yannakakis/tests` enforces this
+//! against both the interpreted path and the naive evaluator.
+
+use cqap_common::{CqapError, FxHashMap, FxHashSet, Result, Tuple, VarSet};
+use cqap_decomp::ViewKind;
+use cqap_query::AccessRequest;
+use cqap_relation::{is_identity, Relation, RelationBuilder, Schema};
+
+use crate::online::{OnlineYannakakis, SViewProbe};
+
+/// Positions and output schema of a probe-join `left ⋈ view(node)` keyed
+/// on the link variables, with matches additionally checked on the other
+/// shared variables.
+#[derive(Clone, Debug)]
+struct ProbeJoin {
+    /// Link-variable positions in the left schema (the probe key).
+    key_positions: Vec<usize>,
+    /// Positions of the non-link shared variables in the left schema.
+    left_extra: Vec<usize>,
+    /// The same variables' positions in the view schema.
+    rel_extra: Vec<usize>,
+    /// View positions of the columns appended to the output.
+    appended: Vec<usize>,
+    /// Schema of the join output (`left` columns, then appended columns).
+    out_schema: Schema,
+}
+
+/// Positions and output schema of a hash join `left ⋈ rel` on all shared
+/// variables (the T-view joins of the root and top-down steps).
+#[derive(Clone, Debug)]
+struct HashJoin {
+    /// Shared-variable positions in the left schema.
+    probe_key: Vec<usize>,
+    /// Shared-variable positions in the build (T-view) schema.
+    build_key: Vec<usize>,
+    /// Build-side positions of the columns appended to the output.
+    appended: Vec<usize>,
+    /// Schema of the join output.
+    out_schema: Schema,
+}
+
+/// A deduplicating projection with pre-resolved positions.
+#[derive(Clone, Debug)]
+struct Project {
+    positions: Vec<usize>,
+    schema: Schema,
+}
+
+/// One bottom-up semijoin-reduce action.
+#[derive(Clone, Debug)]
+enum BottomUpStep {
+    /// ST-edge: keep only parent T-view tuples whose link projection hits
+    /// the child S-view (one backend `contains` per distinct key).
+    ProbeSemi {
+        child: usize,
+        parent: usize,
+        key_positions: Vec<usize>,
+    },
+    /// TT-edge: ordinary hash semijoin of the parent by the child.
+    HashSemi {
+        child: usize,
+        parent: usize,
+        child_key: Vec<usize>,
+        parent_key: Vec<usize>,
+    },
+    /// A TT-child that stays in the tree is projected to its head
+    /// variables for the top-down pass.
+    ProjectChild { node: usize, project: Project },
+}
+
+/// The root reduction.
+#[derive(Clone, Debug)]
+enum RootStep {
+    /// S root: the fused semijoin+join probe of the request against the
+    /// root view (a request tuple with no match simply joins to nothing,
+    /// so the separate semijoin pass of the interpreted path is folded
+    /// into the join).
+    Probe { node: usize, join: ProbeJoin },
+    /// T root: project the reduced root view to its head variables and
+    /// join the request with it.
+    Join {
+        node: usize,
+        project: Project,
+        join: HashJoin,
+    },
+}
+
+/// One top-down join action.
+#[derive(Clone, Debug)]
+enum TopDownStep {
+    /// Join the accumulator with a kept S-view through the backend.
+    Probe { node: usize, join: ProbeJoin },
+    /// Join the accumulator with a kept (projected) T-view.
+    Join { node: usize, join: HashJoin },
+}
+
+/// Reusable per-worker scratch for [`CompiledPlan::answer_with`].
+///
+/// All buffers retain their capacity across requests, so a warm worker
+/// executes the S-only path of a plan without allocating: probe results
+/// land in one pooled tuple vector addressed by `(start, end)` ranges, the
+/// accumulator ping-pongs between two pooled vectors, and the memo /
+/// dedup tables are cleared, never dropped. One scratch per serving
+/// worker (the drivers keep it in a thread-local, so every pool thread
+/// owns exactly one arena).
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    /// Pooled probe results; `ranges` addresses slices of it.
+    pool: Vec<Tuple>,
+    /// Per-step memo: probe key → `(start, end)` range in `pool`.
+    ranges: FxHashMap<Tuple, (u32, u32)>,
+    /// Per-step memo for semijoin probes: key → hit.
+    semi: FxHashMap<Tuple, bool>,
+    /// Per-step dedup / key set.
+    keys: FxHashSet<Tuple>,
+    /// Reused key-projection buffer: memo tables are probed with this
+    /// slice (via `Tuple`'s `Borrow<[Val]>`), so an owned key tuple is
+    /// built only on the miss path.
+    key_vals: Vec<cqap_common::Val>,
+    /// Build side of the T-view hash joins.
+    groups: FxHashMap<Tuple, Vec<Tuple>>,
+    /// The two accumulator buffers.
+    acc_a: Vec<Tuple>,
+    acc_b: Vec<Tuple>,
+    /// Recycled vectors for owned T-view slots.
+    slot_pool: Vec<Vec<Tuple>>,
+}
+
+impl PlanScratch {
+    /// A fresh scratch arena (all buffers empty).
+    pub fn new() -> Self {
+        PlanScratch::default()
+    }
+
+    fn take_slot_vec(&mut self) -> Vec<Tuple> {
+        self.slot_pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_slot_vec(&mut self, mut v: Vec<Tuple>) {
+        v.clear();
+        self.slot_pool.push(v);
+    }
+}
+
+/// A T-view's tuples during plan execution: borrowed from the caller until
+/// a bottom-up step filters or projects it.
+enum Slot<'a> {
+    Empty,
+    Borrowed(&'a [Tuple]),
+    Owned(Vec<Tuple>),
+}
+
+impl Slot<'_> {
+    fn tuples(&self) -> &[Tuple] {
+        match self {
+            Slot::Empty => &[],
+            Slot::Borrowed(t) => t,
+            Slot::Owned(v) => v,
+        }
+    }
+
+    fn is_empty_slot(&self) -> bool {
+        matches!(self, Slot::Empty)
+    }
+}
+
+/// An Online-Yannakakis execution compiled for one PMTD, one access
+/// pattern and one fixed set of view schemas.
+///
+/// Built once per plan at index-construction time via
+/// [`OnlineYannakakis::compile`]; executed per request via
+/// [`CompiledPlan::answer_with`] against any [`SViewProbe`] backend whose
+/// view schemas match the compile-time ones (the in-memory and disk
+/// backends spill the *same* preprocessing output, so one compiled plan
+/// serves both).
+#[derive(Clone, Debug)]
+pub struct CompiledPlan {
+    access: VarSet,
+    num_nodes: usize,
+    materialized: Vec<bool>,
+    /// Expected schema per non-materialized node (compile-time T-view
+    /// column order; a request supplying the same varset in a different
+    /// order is reordered on a slow path).
+    t_schema: Vec<Option<Schema>>,
+    /// Expected varset per non-materialized node (for validation).
+    t_varset: Vec<Option<VarSet>>,
+    /// `(node, schema)` of every S-view the plan probes, validated against
+    /// the backend per request.
+    s_views: Vec<(usize, Schema)>,
+    bottom_up: Vec<BottomUpStep>,
+    root: RootStep,
+    top_down: Vec<TopDownStep>,
+    /// Final projection onto the head; `None` when it is the identity.
+    final_project: Option<Project>,
+    /// Schema of the accumulator after the last step (the output schema
+    /// when `final_project` is `None`).
+    final_schema: Schema,
+}
+
+fn compile_probe_join(left: &Schema, rel: &Schema, link: VarSet) -> Result<ProbeJoin> {
+    let out_schema = left.join(rel);
+    let key_positions = left.positions_of_set(link)?;
+    let shared = left.varset().intersect(rel.varset());
+    let extra = shared.difference(link);
+    let left_extra = left.positions_of_set(extra)?;
+    let rel_extra = rel.positions_of_set(extra)?;
+    let appended = out_schema.vars()[left.arity()..]
+        .iter()
+        .map(|&v| rel.position(v).expect("appended var"))
+        .collect();
+    Ok(ProbeJoin {
+        key_positions,
+        left_extra,
+        rel_extra,
+        appended,
+        out_schema,
+    })
+}
+
+fn compile_hash_join(left: &Schema, rel: &Schema) -> Result<HashJoin> {
+    let shared = left.varset().intersect(rel.varset());
+    let out_schema = left.join(rel);
+    let probe_key = left.positions_of_set(shared)?;
+    let build_key = rel.positions_of_set(shared)?;
+    let appended = out_schema.vars()[left.arity()..]
+        .iter()
+        .map(|&v| rel.position(v).expect("appended var"))
+        .collect();
+    Ok(HashJoin {
+        probe_key,
+        build_key,
+        appended,
+        out_schema,
+    })
+}
+
+fn compile_project(from: &Schema, keep: VarSet) -> Result<Project> {
+    let keep = keep.intersect(from.varset());
+    Ok(Project {
+        positions: from.positions_of_set(keep)?,
+        schema: Schema::of(keep.iter()),
+    })
+}
+
+impl OnlineYannakakis {
+    /// Compiles this evaluator's PMTD into a [`CompiledPlan`] against the
+    /// backend's S-view schemas and the supplied per-node T-view schemas
+    /// (the column orders the online driver will deliver — for the
+    /// framework driver these are fixed per CQAP and derived once at
+    /// build time).
+    ///
+    /// # Errors
+    /// Fails if a probed S-view is missing from the backend, a
+    /// non-materialized node has no schema in `t_schemas`, or a schema
+    /// does not cover its link variables — exactly the shapes the
+    /// interpreted path would reject per request.
+    pub fn compile<V: SViewProbe>(
+        &self,
+        views: &V,
+        t_schemas: &[(usize, Schema)],
+    ) -> Result<CompiledPlan> {
+        let pmtd = self.pmtd();
+        let td = pmtd.td();
+        let head = pmtd.head();
+        let num_nodes = td.num_nodes();
+
+        let materialized: Vec<bool> = (0..num_nodes).map(|t| pmtd.is_materialized(t)).collect();
+        let mut slot_schema: Vec<Option<Schema>> = vec![None; num_nodes];
+        for (node, schema) in t_schemas {
+            if *node >= num_nodes || materialized[*node] {
+                return Err(CqapError::InvalidPmtd(format!(
+                    "node {node} is materialized; its content belongs to preprocessing"
+                )));
+            }
+            let expected = pmtd.view_schema(*node);
+            if schema.varset() != expected {
+                return Err(CqapError::SchemaMismatch {
+                    expected: format!("ν({node}) = {expected}"),
+                    found: format!("{schema}"),
+                });
+            }
+            slot_schema[*node] = Some(schema.clone());
+        }
+        for t in 0..num_nodes {
+            if !materialized[t] && slot_schema[t].is_none() {
+                return Err(CqapError::InvalidPmtd(format!(
+                    "missing T-view schema for node {t}"
+                )));
+            }
+        }
+        let t_schema = slot_schema.clone();
+        let t_varset: Vec<Option<VarSet>> = t_schema
+            .iter()
+            .map(|s| s.as_ref().map(Schema::varset))
+            .collect();
+
+        let mut s_views: Vec<(usize, Schema)> = Vec::new();
+        let mut require_s_view = |node: usize| -> Result<Schema> {
+            let schema = views.schema(node).ok_or_else(|| {
+                CqapError::InvalidPmtd(format!("S-view {node} was not preprocessed"))
+            })?;
+            if !s_views.iter().any(|(n, _)| *n == node) {
+                s_views.push((node, schema.clone()));
+            }
+            Ok(schema.clone())
+        };
+
+        // Bottom-up pass over the edges, mirroring the interpreted path but
+        // recording position-resolved steps instead of executing them.
+        let mut bottom_up = Vec::new();
+        let mut kept = vec![true; num_nodes];
+        for t in td.bottom_up_order() {
+            let Some(p) = td.parent(t) else { continue };
+            match (pmtd.view(t).kind, pmtd.view(p).kind) {
+                (ViewKind::S, ViewKind::S) => {
+                    kept[t] = false;
+                }
+                (ViewKind::S, ViewKind::T) => {
+                    require_s_view(t)?;
+                    let link = self.link(t);
+                    let parent_schema = slot_schema[p].as_ref().expect("T slot schema");
+                    bottom_up.push(BottomUpStep::ProbeSemi {
+                        child: t,
+                        parent: p,
+                        key_positions: parent_schema.positions_of_set(link)?,
+                    });
+                    let child_head = pmtd.view_schema(t).intersect(head);
+                    if child_head.is_subset(pmtd.view_schema(p)) {
+                        kept[t] = false;
+                    }
+                }
+                (ViewKind::T, ViewKind::T) => {
+                    let child_schema = slot_schema[t].as_ref().expect("T slot schema");
+                    let parent_schema = slot_schema[p].as_ref().expect("T slot schema");
+                    let shared = child_schema.varset().intersect(parent_schema.varset());
+                    bottom_up.push(BottomUpStep::HashSemi {
+                        child: t,
+                        parent: p,
+                        child_key: child_schema.positions_of_set(shared)?,
+                        parent_key: parent_schema.positions_of_set(shared)?,
+                    });
+                    let child_head = pmtd.view_schema(t).intersect(head);
+                    if child_head.is_subset(pmtd.view_schema(p)) {
+                        kept[t] = false;
+                    } else {
+                        let project = compile_project(child_schema, child_head)?;
+                        slot_schema[t] = Some(project.schema.clone());
+                        bottom_up.push(BottomUpStep::ProjectChild { node: t, project });
+                    }
+                }
+                (ViewKind::T, ViewKind::S) => {
+                    unreachable!("materialization sets are subtree-closed")
+                }
+            }
+        }
+
+        // Root reduction, then the top-down joins over the kept nodes.
+        let access = pmtd.access();
+        let mut acc_schema = Schema::of(access.iter());
+        let root_node = td.root();
+        let root = match pmtd.view(root_node).kind {
+            ViewKind::S => {
+                let s_schema = require_s_view(root_node)?;
+                let join = compile_probe_join(&acc_schema, &s_schema, self.link(root_node))?;
+                acc_schema = join.out_schema.clone();
+                RootStep::Probe {
+                    node: root_node,
+                    join,
+                }
+            }
+            ViewKind::T => {
+                let root_schema = slot_schema[root_node].as_ref().expect("T slot schema");
+                let project =
+                    compile_project(root_schema, pmtd.view_schema(root_node).intersect(head))?;
+                let join = compile_hash_join(&acc_schema, &project.schema)?;
+                acc_schema = join.out_schema.clone();
+                RootStep::Join {
+                    node: root_node,
+                    project,
+                    join,
+                }
+            }
+        };
+        kept[root_node] = false;
+
+        let mut top_down = Vec::new();
+        for t in td.top_down_order() {
+            if !kept[t] {
+                continue;
+            }
+            match pmtd.view(t).kind {
+                ViewKind::S => {
+                    let s_schema = require_s_view(t)?;
+                    let join = compile_probe_join(&acc_schema, &s_schema, self.link(t))?;
+                    acc_schema = join.out_schema.clone();
+                    top_down.push(TopDownStep::Probe { node: t, join });
+                }
+                ViewKind::T => {
+                    let rel_schema = slot_schema[t].as_ref().expect("T slot schema");
+                    let join = compile_hash_join(&acc_schema, rel_schema)?;
+                    acc_schema = join.out_schema.clone();
+                    top_down.push(TopDownStep::Join { node: t, join });
+                }
+            }
+        }
+
+        let final_project = {
+            let project = compile_project(&acc_schema, head)?;
+            if is_identity(&project.positions, acc_schema.arity()) {
+                None
+            } else {
+                Some(project)
+            }
+        };
+        let final_schema = match &final_project {
+            Some(p) => p.schema.clone(),
+            None => acc_schema,
+        };
+
+        Ok(CompiledPlan {
+            access,
+            num_nodes,
+            materialized,
+            t_schema,
+            t_varset,
+            s_views,
+            bottom_up,
+            root,
+            top_down,
+            final_project,
+            final_schema,
+        })
+    }
+}
+
+impl CompiledPlan {
+    /// The access pattern this plan answers.
+    pub fn access(&self) -> VarSet {
+        self.access
+    }
+
+    /// The schema of the answers this plan produces.
+    pub fn output_schema(&self) -> &Schema {
+        &self.final_schema
+    }
+
+    /// Executes the plan: same inputs, same validation failures and same
+    /// answers as [`OnlineYannakakis::answer_with`], with every schema
+    /// lookup and traversal decision pre-resolved and all intermediate
+    /// state living in `scratch`.
+    ///
+    /// # Errors
+    /// The same validation failures as the interpreted path, plus whatever
+    /// storage-level errors the backend's probes surface.
+    pub fn answer_with<V: SViewProbe>(
+        &self,
+        views: &V,
+        t_views: &[(usize, &Relation)],
+        request: &AccessRequest,
+        scratch: &mut PlanScratch,
+    ) -> Result<Relation> {
+        if request.access() != self.access {
+            return Err(CqapError::AccessPatternMismatch {
+                expected_arity: self.access.len(),
+                found_arity: request.access().len(),
+            });
+        }
+        // The backend must expose exactly the views this plan was compiled
+        // against (a different backend spilled from the same preprocessing
+        // output passes by construction).
+        for (node, expected) in &self.s_views {
+            match views.schema(*node) {
+                None => {
+                    return Err(CqapError::InvalidPmtd(format!(
+                        "S-view {node} was not preprocessed"
+                    )))
+                }
+                Some(schema) if schema != expected => {
+                    return Err(CqapError::SchemaMismatch {
+                        expected: format!("{expected}"),
+                        found: format!("{schema}"),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+
+        // Load and validate the T-views; matching column orders are
+        // borrowed, mismatching ones reordered on a (rare) slow path.
+        let mut slots: Vec<Slot> = (0..self.num_nodes).map(|_| Slot::Empty).collect();
+        for (node, rel) in t_views {
+            if *node >= self.num_nodes || self.materialized[*node] {
+                return Err(CqapError::InvalidPmtd(format!(
+                    "node {node} is materialized; its content belongs to preprocessing"
+                )));
+            }
+            let expected_varset = self.t_varset[*node].expect("validated at compile");
+            if rel.varset() != expected_varset {
+                return Err(CqapError::SchemaMismatch {
+                    expected: format!("ν({node}) = {expected_varset}"),
+                    found: format!("{}", rel.schema()),
+                });
+            }
+            let expected = self.t_schema[*node].as_ref().expect("validated at compile");
+            if rel.schema() == expected {
+                slots[*node] = Slot::Borrowed(rel.tuples());
+            } else {
+                let positions = rel.schema().positions_of(expected.vars())?;
+                let mut owned = scratch.take_slot_vec();
+                owned.extend(rel.iter().map(|t| t.project(&positions)));
+                slots[*node] = Slot::Owned(owned);
+            }
+        }
+        for t in 0..self.num_nodes {
+            if !self.materialized[t] && slots[t].is_empty_slot() {
+                return Err(CqapError::InvalidPmtd(format!(
+                    "missing T-view for node {t}"
+                )));
+            }
+        }
+
+        let result = self.run(views, request, &mut slots, scratch);
+        for slot in slots {
+            if let Slot::Owned(v) = slot {
+                scratch.recycle_slot_vec(v);
+            }
+        }
+        result
+    }
+
+    fn run<V: SViewProbe>(
+        &self,
+        views: &V,
+        request: &AccessRequest,
+        slots: &mut [Slot],
+        scratch: &mut PlanScratch,
+    ) -> Result<Relation> {
+        // Bottom-up semijoin-reduce.
+        for step in &self.bottom_up {
+            match step {
+                BottomUpStep::ProbeSemi {
+                    child,
+                    parent,
+                    key_positions,
+                } => {
+                    scratch.semi.clear();
+                    let src = std::mem::replace(&mut slots[*parent], Slot::Empty);
+                    let mut filtered = scratch.take_slot_vec();
+                    for t in src.tuples() {
+                        t.project_into(key_positions, &mut scratch.key_vals);
+                        let hit = match scratch.semi.get(scratch.key_vals.as_slice()) {
+                            Some(&hit) => hit,
+                            None => {
+                                let key = Tuple::from_slice(&scratch.key_vals);
+                                let hit = views.contains(*child, &key)?;
+                                scratch.semi.insert(key, hit);
+                                hit
+                            }
+                        };
+                        if hit {
+                            filtered.push(t.clone());
+                        }
+                    }
+                    if let Slot::Owned(v) = src {
+                        scratch.recycle_slot_vec(v);
+                    }
+                    slots[*parent] = Slot::Owned(filtered);
+                }
+                BottomUpStep::HashSemi {
+                    child,
+                    parent,
+                    child_key,
+                    parent_key,
+                } => {
+                    scratch.keys.clear();
+                    for t in slots[*child].tuples() {
+                        scratch.keys.insert(t.project(child_key));
+                    }
+                    let src = std::mem::replace(&mut slots[*parent], Slot::Empty);
+                    let mut filtered = scratch.take_slot_vec();
+                    for t in src.tuples() {
+                        if scratch.keys.contains(&t.project(parent_key)) {
+                            filtered.push(t.clone());
+                        }
+                    }
+                    if let Slot::Owned(v) = src {
+                        scratch.recycle_slot_vec(v);
+                    }
+                    slots[*parent] = Slot::Owned(filtered);
+                }
+                BottomUpStep::ProjectChild { node, project } => {
+                    let src = std::mem::replace(&mut slots[*node], Slot::Empty);
+                    let mut projected = scratch.take_slot_vec();
+                    project_dedup(
+                        src.tuples(),
+                        &project.positions,
+                        &mut scratch.keys,
+                        &mut projected,
+                    );
+                    if let Slot::Owned(v) = src {
+                        scratch.recycle_slot_vec(v);
+                    }
+                    slots[*node] = Slot::Owned(projected);
+                }
+            }
+        }
+
+        // Seed the accumulator with the (deduplicated) request bindings.
+        let mut acc = std::mem::take(&mut scratch.acc_a);
+        let mut next = std::mem::take(&mut scratch.acc_b);
+        acc.clear();
+        next.clear();
+        if self.access.is_empty() {
+            if !request.is_empty() {
+                acc.push(Tuple::empty());
+            }
+        } else if request.len() <= 1 {
+            acc.extend_from_slice(request.tuples());
+        } else {
+            scratch.keys.clear();
+            for t in request.tuples() {
+                if !scratch.keys.contains(t) {
+                    scratch.keys.insert(t.clone());
+                    acc.push(t.clone());
+                }
+            }
+        }
+
+        // Root reduction.
+        match &self.root {
+            RootStep::Probe { node, join } => {
+                self.exec_probe_join(views, *node, join, &acc, &mut next, scratch)?;
+                std::mem::swap(&mut acc, &mut next);
+            }
+            RootStep::Join {
+                node,
+                project,
+                join,
+            } => {
+                let src = std::mem::replace(&mut slots[*node], Slot::Empty);
+                let mut reduced = scratch.take_slot_vec();
+                project_dedup(
+                    src.tuples(),
+                    &project.positions,
+                    &mut scratch.keys,
+                    &mut reduced,
+                );
+                if let Slot::Owned(v) = src {
+                    scratch.recycle_slot_vec(v);
+                }
+                exec_hash_join(join, &acc, &reduced, &mut next, &mut scratch.groups);
+                scratch.recycle_slot_vec(reduced);
+                std::mem::swap(&mut acc, &mut next);
+            }
+        }
+
+        // Top-down joins over the kept nodes.
+        for step in &self.top_down {
+            match step {
+                TopDownStep::Probe { node, join } => {
+                    self.exec_probe_join(views, *node, join, &acc, &mut next, scratch)?;
+                }
+                TopDownStep::Join { node, join } => {
+                    exec_hash_join(join, &acc, slots[*node].tuples(), &mut next, &mut scratch.groups);
+                }
+            }
+            std::mem::swap(&mut acc, &mut next);
+        }
+
+        // Materialize the answer; every path above preserves distinctness,
+        // so the builder never touches the dedup machinery.
+        let out = match &self.final_project {
+            None => {
+                let mut builder =
+                    RelationBuilder::distinct("Q_ans", self.final_schema.clone());
+                for t in &acc {
+                    builder.push(t.clone());
+                }
+                builder.finish()
+            }
+            Some(project) => {
+                project_dedup(&acc, &project.positions, &mut scratch.keys, &mut next);
+                let mut builder =
+                    RelationBuilder::distinct("Q_ans", project.schema.clone());
+                for t in next.drain(..) {
+                    builder.push(t);
+                }
+                builder.finish()
+            }
+        };
+        scratch.acc_a = acc;
+        scratch.acc_b = next;
+        Ok(out)
+    }
+
+    /// `acc_out = acc_in ⋈ view(node)` by probing the backend on the link
+    /// variables; one backend probe per distinct key, results pooled in
+    /// `scratch.pool` and shared across the accumulator via ranges.
+    fn exec_probe_join<V: SViewProbe>(
+        &self,
+        views: &V,
+        node: usize,
+        join: &ProbeJoin,
+        acc_in: &[Tuple],
+        acc_out: &mut Vec<Tuple>,
+        scratch: &mut PlanScratch,
+    ) -> Result<()> {
+        scratch.ranges.clear();
+        scratch.pool.clear();
+        acc_out.clear();
+        for lt in acc_in {
+            lt.project_into(&join.key_positions, &mut scratch.key_vals);
+            let (start, end) = match scratch.ranges.get(scratch.key_vals.as_slice()) {
+                Some(&range) => range,
+                None => {
+                    let key = Tuple::from_slice(&scratch.key_vals);
+                    let start = scratch.pool.len() as u32;
+                    views.probe_into(node, &key, &mut scratch.pool)?;
+                    let end = scratch.pool.len() as u32;
+                    scratch.ranges.insert(key, (start, end));
+                    (start, end)
+                }
+            };
+            let matches = &scratch.pool[start as usize..end as usize];
+            if join.left_extra.is_empty() {
+                for rt in matches {
+                    acc_out.push(lt.concat_projected(rt, &join.appended));
+                }
+            } else {
+                for rt in matches {
+                    if lt.projected_eq(&join.left_extra, rt, &join.rel_extra) {
+                        acc_out.push(lt.concat_projected(rt, &join.appended));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deduplicating projection of `src` onto `positions` into `out`, using
+/// `keys` as the (cleared) per-step membership set — the shape shared by
+/// the kept-child, reduced-root and final projections of a plan.
+fn project_dedup(
+    src: &[Tuple],
+    positions: &[usize],
+    keys: &mut FxHashSet<Tuple>,
+    out: &mut Vec<Tuple>,
+) {
+    keys.clear();
+    for t in src {
+        let p = t.project(positions);
+        if !keys.contains(&p) {
+            keys.insert(p.clone());
+            out.push(p);
+        }
+    }
+}
+
+/// `acc_out = acc_in ⋈ rel` on all shared variables: build a hash table
+/// over the (request-dependent, hence small) T-view side, probe with the
+/// accumulator.
+fn exec_hash_join(
+    join: &HashJoin,
+    acc_in: &[Tuple],
+    rel: &[Tuple],
+    acc_out: &mut Vec<Tuple>,
+    groups: &mut FxHashMap<Tuple, Vec<Tuple>>,
+) {
+    groups.clear();
+    for rt in rel {
+        groups
+            .entry(rt.project(&join.build_key))
+            .or_default()
+            .push(rt.clone());
+    }
+    acc_out.clear();
+    for lt in acc_in {
+        if let Some(bucket) = groups.get(&lt.project(&join.probe_key)) {
+            for rt in bucket {
+                acc_out.push(lt.concat_projected(rt, &join.appended));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::full_join;
+    use crate::online::PreprocessedViews;
+    use cqap_decomp::families as pmtd_families;
+    use cqap_decomp::Pmtd;
+    use cqap_query::workload::Graph;
+    use cqap_relation::Database;
+
+    fn views_for(
+        pmtd: &Pmtd,
+        cqap: &cqap_query::Cqap,
+        db: &Database,
+    ) -> (PreprocessedViews, Vec<(usize, Relation)>) {
+        let full = full_join(cqap, db).unwrap();
+        let oy = OnlineYannakakis::new(pmtd.clone());
+        let mut s_views = Vec::new();
+        let mut t_views = Vec::new();
+        for t in 0..pmtd.td().num_nodes() {
+            let rel = full.project_onto(pmtd.view_schema(t)).unwrap();
+            if pmtd.is_materialized(t) {
+                s_views.push((t, rel));
+            } else {
+                t_views.push((t, rel));
+            }
+        }
+        (oy.preprocess(&s_views).unwrap(), t_views)
+    }
+
+    fn t_schemas(t_views: &[(usize, Relation)]) -> Vec<(usize, Schema)> {
+        t_views
+            .iter()
+            .map(|(n, r)| (*n, r.schema().clone()))
+            .collect()
+    }
+
+    fn refs(t_views: &[(usize, Relation)]) -> Vec<(usize, &Relation)> {
+        t_views.iter().map(|(n, r)| (*n, r)).collect()
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_on_every_fig1_pmtd() {
+        let (cqap, pmtds) = pmtd_families::pmtds_3reach_fig1().unwrap();
+        let g = Graph::random(40, 160, 7);
+        let db = g.as_path_database(3);
+        let mut scratch = PlanScratch::new();
+        for pmtd in &pmtds {
+            let oy = OnlineYannakakis::new(pmtd.clone());
+            let (pre, t_views) = views_for(pmtd, &cqap, &db);
+            let plan = oy.compile(&pre, &t_schemas(&t_views)).unwrap();
+            for (a, b) in [(0u64, 1u64), (3, 7), (12, 4), (1, 1)] {
+                let req = AccessRequest::single(cqap.access(), &[a, b]).unwrap();
+                let interpreted = oy.answer(&pre, &t_views, &req).unwrap();
+                let compiled = plan.answer_with(&pre, &refs(&t_views), &req, &mut scratch).unwrap();
+                assert_eq!(compiled, interpreted, "{} on ({a},{b})", pmtd.summary());
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_validation_matches_interpreted() {
+        let (cqap, pmtds) = pmtd_families::pmtds_3reach_fig1().unwrap();
+        let middle = &pmtds[1];
+        let g = Graph::random(20, 60, 43);
+        let db = g.as_path_database(3);
+        let oy = OnlineYannakakis::new(middle.clone());
+        let (pre, t_views) = views_for(middle, &cqap, &db);
+        let plan = oy.compile(&pre, &t_schemas(&t_views)).unwrap();
+        let mut scratch = PlanScratch::new();
+
+        let req = AccessRequest::single(cqap.access(), &[0, 1]).unwrap();
+        // Missing T-view.
+        assert!(plan.answer_with(&pre, &[], &req, &mut scratch).is_err());
+        // Wrong access pattern.
+        let bad_req =
+            AccessRequest::single(cqap_common::vars![1, 2], &[0, 1]).unwrap();
+        assert!(plan
+            .answer_with(&pre, &refs(&t_views), &bad_req, &mut scratch)
+            .is_err());
+        // Supplying content for a materialized node.
+        let wrong_phase = vec![(
+            1usize,
+            Relation::from_tuples("x", Schema::of([0, 2]), std::iter::empty()).unwrap(),
+        )];
+        assert!(plan
+            .answer_with(&pre, &refs(&wrong_phase), &req, &mut scratch)
+            .is_err());
+    }
+
+    #[test]
+    fn reordered_t_views_are_normalized() {
+        let (cqap, pmtds) = pmtd_families::pmtds_3reach_fig1().unwrap();
+        let middle = &pmtds[1]; // (T134, S13)
+        let g = Graph::random(30, 120, 11);
+        let db = g.as_path_database(3);
+        let oy = OnlineYannakakis::new(middle.clone());
+        let (pre, t_views) = views_for(middle, &cqap, &db);
+        let plan = oy.compile(&pre, &t_schemas(&t_views)).unwrap();
+        let mut scratch = PlanScratch::new();
+
+        // Reverse every T-view's column order: answers must not change.
+        let reversed: Vec<(usize, Relation)> = t_views
+            .iter()
+            .map(|(n, r)| {
+                let mut vars: Vec<_> = r.schema().vars().to_vec();
+                vars.reverse();
+                (*n, r.reorder(&Schema::of(vars)).unwrap())
+            })
+            .collect();
+        let req = AccessRequest::single(cqap.access(), &[0, 1]).unwrap();
+        assert_eq!(
+            plan.answer_with(&pre, &refs(&reversed), &req, &mut scratch).unwrap(),
+            oy.answer(&pre, &t_views, &req).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_access_pattern_plan() {
+        let q = cqap_query::families::triangle_edge();
+        let single = cqap_decomp::TreeDecomposition::single(cqap_common::vars![1, 2, 3]);
+        let pmtd = Pmtd::for_cqap(single, [0], &q).unwrap();
+        let mut db = Database::new();
+        db.add_relation(Relation::binary(
+            "R",
+            0,
+            1,
+            [(1, 2), (2, 3), (3, 1), (3, 4)],
+        ))
+        .unwrap();
+        let oy = OnlineYannakakis::new(pmtd.clone());
+        let (pre, t_views) = views_for(&pmtd, &q, &db);
+        assert!(t_views.is_empty());
+        let plan = oy.compile(&pre, &[]).unwrap();
+        let mut scratch = PlanScratch::new();
+        let req = AccessRequest::new(VarSet::EMPTY, vec![Tuple::empty()]).unwrap();
+        let ans = plan.answer_with(&pre, &[], &req, &mut scratch).unwrap();
+        assert_eq!(ans, oy.answer(&pre, &[], &req).unwrap());
+        assert_eq!(ans.len(), 3);
+        // The empty request is the "false" binding: no answers.
+        let empty = AccessRequest::new(VarSet::EMPTY, vec![]).unwrap();
+        assert!(plan
+            .answer_with(&pre, &[], &empty, &mut scratch)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn warm_probe_only_plan_performs_zero_dedup_inserts() {
+        // The fully-materialized Figure 1 PMTD (S14): the plan is a pure
+        // probe — after a warm-up request, answering must not touch the
+        // relation-level dedup machinery at all.
+        let (cqap, pmtds) = pmtd_families::pmtds_3reach_fig1().unwrap();
+        let single = &pmtds[2];
+        let g = Graph::random(60, 300, 41);
+        let db = g.as_path_database(3);
+        let oy = OnlineYannakakis::new(single.clone());
+        let (pre, t_views) = views_for(single, &cqap, &db);
+        assert!(t_views.is_empty());
+        let plan = oy.compile(&pre, &[]).unwrap();
+        let mut scratch = PlanScratch::new();
+
+        let warmup = AccessRequest::single(cqap.access(), &[0, 1]).unwrap();
+        plan.answer_with(&pre, &[], &warmup, &mut scratch).unwrap();
+
+        // Expected answers computed up front: the interpreted reference
+        // (and relation equality itself) uses the dedup machinery, so it
+        // must stay outside the counted window.
+        let pairs = [(0u64, 1u64), (5, 9), (17, 3), (2, 2)];
+        let requests: Vec<AccessRequest> = pairs
+            .iter()
+            .map(|&(a, b)| AccessRequest::single(cqap.access(), &[a, b]).unwrap())
+            .collect();
+        let expected: Vec<Relation> = requests
+            .iter()
+            .map(|req| oy.answer(&pre, &[], req).unwrap())
+            .collect();
+
+        let before = cqap_relation::instrument::dedup_inserts();
+        let answers: Vec<Relation> = requests
+            .iter()
+            .map(|req| plan.answer_with(&pre, &[], req, &mut scratch).unwrap())
+            .collect();
+        assert_eq!(
+            cqap_relation::instrument::dedup_inserts(),
+            before,
+            "warm probe-only requests must perform zero relation-level dedup inserts"
+        );
+        assert_eq!(answers, expected);
+    }
+}

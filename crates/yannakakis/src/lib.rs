@@ -69,8 +69,10 @@
 //! }
 //! ```
 
+pub mod compiled;
 pub mod naive;
 pub mod online;
 
+pub use compiled::{CompiledPlan, PlanScratch};
 pub use naive::naive_answer;
 pub use online::{OnlineYannakakis, PreprocessedViews, SViewProbe};

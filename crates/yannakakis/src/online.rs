@@ -91,27 +91,45 @@ pub trait SViewProbe {
     /// no materialized view.
     fn schema(&self, node: usize) -> Option<&Schema>;
 
-    /// All stored tuples of `node`'s view whose link-variable projection
-    /// equals `key`.
+    /// Appends all stored tuples of `node`'s view whose link-variable
+    /// projection equals `key` to `out` (which is *not* cleared, so callers
+    /// can pool several probes in one buffer).
+    ///
+    /// This is the borrowing entry point of the storage seam: the caller
+    /// owns the destination, so a backend never allocates a fresh vector
+    /// per probe — the in-memory indexes copy out of their buckets, the
+    /// disk backend decodes out of a reused segment buffer.
     ///
     /// # Errors
     /// Fails if the node has no stored view, or on a storage-level fault
     /// (e.g. an I/O error in a disk backend).
-    fn probe(&self, node: usize, key: &Tuple) -> Result<Vec<Tuple>>;
+    fn probe_into(&self, node: usize, key: &Tuple, out: &mut Vec<Tuple>) -> Result<()>;
+
+    /// All stored tuples of `node`'s view whose link-variable projection
+    /// equals `key`, as a fresh vector. Convenience wrapper over
+    /// [`SViewProbe::probe_into`] for callers off the hot path.
+    ///
+    /// # Errors
+    /// Same failure modes as [`SViewProbe::probe_into`].
+    fn probe(&self, node: usize, key: &Tuple) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        self.probe_into(node, key, &mut out)?;
+        Ok(out)
+    }
 
     /// Whether any stored tuple of `node`'s view matches `key` on the link
     /// variables.
     ///
     /// # Errors
-    /// Same failure modes as [`SViewProbe::probe`].
+    /// Same failure modes as [`SViewProbe::probe_into`].
     fn contains(&self, node: usize, key: &Tuple) -> Result<bool> {
         Ok(!self.probe(node, key)?.is_empty())
     }
 }
 
-/// The in-memory backend: probes are O(1) hash lookups; `probe` clones the
-/// matching bucket (the generic online phase memoizes per distinct key, so
-/// each bucket is cloned at most once per pass).
+/// The in-memory backend: probes are O(1) hash lookups that copy the
+/// matching bucket into the caller's buffer — the bucket itself is never
+/// cloned into a fresh allocation.
 impl SViewProbe for PreprocessedViews {
     fn schema(&self, node: usize) -> Option<&Schema> {
         self.views
@@ -120,8 +138,9 @@ impl SViewProbe for PreprocessedViews {
             .map(|v| v.rel.schema())
     }
 
-    fn probe(&self, node: usize, key: &Tuple) -> Result<Vec<Tuple>> {
-        Ok(self.sview(node)?.index.probe(key).to_vec())
+    fn probe_into(&self, node: usize, key: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        out.extend_from_slice(self.sview(node)?.index.probe(key));
+        Ok(())
     }
 
     fn contains(&self, node: usize, key: &Tuple) -> Result<bool> {
@@ -148,7 +167,7 @@ impl OnlineYannakakis {
 
     /// The link variables of a node: the view variables shared with the
     /// parent's view (for the root, with the access pattern).
-    fn link(&self, node: usize) -> VarSet {
+    pub(crate) fn link(&self, node: usize) -> VarSet {
         let mine = self.pmtd.view_schema(node);
         match self.pmtd.td().parent(node) {
             Some(p) => mine.intersect(self.pmtd.td().bag(p)),
@@ -393,7 +412,9 @@ fn semijoin_probe<V: SViewProbe>(
         link,
         "probe side must contain the link variables"
     );
-    let mut out = Relation::new(format!("{}⋉", left.name()), left.schema().clone());
+    // Constant name: intermediate names are only read by tests and debug
+    // output, so the hot loop must not pay a `format!` for them.
+    let mut out = Relation::new("⋉S", left.schema().clone());
     let mut known: FxHashMap<Tuple, bool> = FxHashMap::default();
     for t in left.iter() {
         let key = t.project(&key_positions);
@@ -436,10 +457,8 @@ fn join_probe<V: SViewProbe>(
         .iter()
         .map(|&v| rel_schema.position(v).expect("appended var"))
         .collect();
-    let mut out = Relation::new(
-        format!("({} ⋈ S{})", left.name(), node),
-        out_schema,
-    );
+    // Constant name, as in `semijoin_probe`: never `format!` per request.
+    let mut out = Relation::new("⋈S", out_schema);
     let mut probes: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
     for lt in left.iter() {
         let key = lt.project(&key_positions);
@@ -448,9 +467,12 @@ fn join_probe<V: SViewProbe>(
             probes.insert(key.clone(), matched);
         }
         let matches = probes.get(&key).expect("just inserted");
+        // The left-side comparison key is invariant across the matches of
+        // one left tuple: project it once, not once per match.
+        let lt_extra = lt.project(&left_extra);
         for rt in matches {
-            if lt.project(&left_extra) == rt.project(&rel_extra) {
-                out.insert(lt.concat(&rt.project(&appended)))?;
+            if lt_extra == rt.project(&rel_extra) {
+                out.insert(lt.concat_projected(rt, &appended))?;
             }
         }
     }

@@ -1,0 +1,145 @@
+//! Property test: the compiled probe plans answer *exactly* like the
+//! interpreted Online Yannakakis and the naive from-scratch evaluator.
+//!
+//! Across randomized databases, every PMTD of several query families
+//! (covering different access patterns, S/T mixes and tree shapes),
+//! single-binding and multi-tuple requests, the three evaluation paths —
+//! naive join, the interpreted online phase, and the compiled plan with
+//! its reusable scratch arena — must be bit-for-bit identical. This is
+//! the acceptance bar for the zero-copy refactor: compiled plans are an
+//! *optimization*, never a semantics change.
+
+use cqap_common::Tuple;
+use cqap_decomp::{families as pmtd_families, Pmtd};
+use cqap_query::workload::{graph_pair_requests, zipf_multi_requests, Graph};
+use cqap_query::{AccessRequest, Cqap};
+use cqap_relation::{Database, Relation, Schema};
+use cqap_yannakakis::naive::{full_join, naive_answer};
+use cqap_yannakakis::{OnlineYannakakis, PlanScratch, PreprocessedViews};
+use proptest::prelude::*;
+
+/// Ideal view contents from the full join, as in the paper's
+/// preprocessing contract.
+fn views_from_full_join(
+    pmtd: &Pmtd,
+    cqap: &Cqap,
+    db: &Database,
+) -> (PreprocessedViews, Vec<(usize, Relation)>) {
+    let full = full_join(cqap, db).unwrap();
+    let oy = OnlineYannakakis::new(pmtd.clone());
+    let mut s_views = Vec::new();
+    let mut t_views = Vec::new();
+    for t in 0..pmtd.td().num_nodes() {
+        let rel = full.project_onto(pmtd.view_schema(t)).unwrap();
+        if pmtd.is_materialized(t) {
+            s_views.push((t, rel));
+        } else {
+            t_views.push((t, rel));
+        }
+    }
+    (oy.preprocess(&s_views).unwrap(), t_views)
+}
+
+/// Checks naive ≡ interpreted ≡ compiled for every PMTD of the family on
+/// every request.
+fn check_family(
+    cqap: &Cqap,
+    pmtds: &[Pmtd],
+    db: &Database,
+    requests: &[AccessRequest],
+    scratch: &mut PlanScratch,
+) {
+    for pmtd in pmtds {
+        let oy = OnlineYannakakis::new(pmtd.clone());
+        let (pre, t_views) = views_from_full_join(pmtd, cqap, db);
+        let t_schemas: Vec<(usize, Schema)> = t_views
+            .iter()
+            .map(|(n, r)| (*n, r.schema().clone()))
+            .collect();
+        let t_refs: Vec<(usize, &Relation)> =
+            t_views.iter().map(|(n, r)| (*n, r)).collect();
+        let plan = oy.compile(&pre, &t_schemas).unwrap();
+        for request in requests {
+            let naive = naive_answer(cqap, db, request).unwrap();
+            let interpreted = oy.answer(&pre, &t_views, request).unwrap();
+            let compiled = plan.answer_with(&pre, &t_refs, request, scratch).unwrap();
+            assert_eq!(
+                interpreted,
+                naive,
+                "interpreted diverged from naive on {}",
+                pmtd.summary()
+            );
+            assert_eq!(
+                compiled,
+                interpreted,
+                "compiled diverged from interpreted on {}",
+                pmtd.summary()
+            );
+        }
+    }
+}
+
+fn requests_for(cqap: &Cqap, graph: &Graph, seed: u64) -> Vec<AccessRequest> {
+    let mut requests: Vec<AccessRequest> = graph_pair_requests(graph, 8, seed)
+        .into_iter()
+        .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+        .collect();
+    for tuples in zipf_multi_requests(graph, 3, 5, 1.1, seed ^ 0xfeed) {
+        let tuples: Vec<Tuple> = tuples.into_iter().map(|(u, v)| Tuple::pair(u, v)).collect();
+        requests.push(AccessRequest::new(cqap.access(), tuples).unwrap());
+    }
+    // Duplicate bindings inside one request must dedup identically.
+    if let Some(first) = requests.first().cloned() {
+        let mut doubled = first.tuples().to_vec();
+        doubled.extend_from_slice(first.tuples());
+        requests.push(AccessRequest::new(cqap.access(), doubled).unwrap());
+    }
+    requests
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// All five 3-reachability PMTDs (pure-T, mixed ST and pure-S plans
+    /// over the access pattern (x1, x4)).
+    #[test]
+    fn three_reach_compiled_equivalence(seed in 0u64..10_000, edges in 50usize..220) {
+        let (cqap, pmtds) = pmtd_families::pmtds_3reach_all().unwrap();
+        let graph = Graph::random(35, edges, seed);
+        let db = graph.as_path_database(3);
+        let requests = requests_for(&cqap, &graph, seed ^ 0x51ed);
+        let mut scratch = PlanScratch::new();
+        check_family(&cqap, &pmtds, &db, &requests, &mut scratch);
+    }
+
+    /// 2-reachability: a different access pattern and bag structure.
+    #[test]
+    fn two_reach_compiled_equivalence(seed in 0u64..10_000, edges in 40usize..200) {
+        let (cqap, pmtds) = pmtd_families::pmtds_2reach().unwrap();
+        let graph = Graph::random(30, edges, seed);
+        let db = graph.as_path_database(2);
+        let requests = requests_for(&cqap, &graph, seed ^ 0x2bad);
+        let mut scratch = PlanScratch::new();
+        check_family(&cqap, &pmtds, &db, &requests, &mut scratch);
+    }
+
+    /// The square (cyclic) query: four atoms over one edge relation.
+    #[test]
+    fn square_compiled_equivalence(seed in 0u64..10_000, edges in 40usize..140) {
+        let (cqap, pmtds) = pmtd_families::pmtds_square().unwrap();
+        let graph = Graph::random(22, edges, seed);
+        let mut db = Database::new();
+        for i in 1..=4 {
+            db.add_relation(Relation::binary(
+                format!("R{i}"),
+                0,
+                1,
+                graph.edges.iter().copied(),
+            ))
+            .unwrap();
+        }
+        let requests = requests_for(&cqap, &graph, seed ^ 0x4u64);
+        let mut scratch = PlanScratch::new();
+        check_family(&cqap, &pmtds, &db, &requests, &mut scratch);
+    }
+}
