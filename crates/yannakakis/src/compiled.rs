@@ -705,6 +705,7 @@ impl CompiledPlan {
                 builder.finish()
             }
             Some(project) => {
+                assert!(next.is_empty(), "TEMP-REVIEW: stale next at final projection: {} tuples", next.len());
                 project_dedup(&acc, &project.positions, &mut scratch.keys, &mut next);
                 let mut builder =
                     RelationBuilder::distinct("Q_ans", project.schema.clone());
