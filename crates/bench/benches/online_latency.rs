@@ -12,8 +12,9 @@
 //! median**, cold and warm, for the three serving backends —
 //!
 //! * `driver_cold` / `driver_warm` — the framework driver (`CqapIndex`):
-//!   cold is a direct `answer` per request (no cache anywhere), warm is a
-//!   `ServeRuntime` whose LRU already holds every answer;
+//!   cold is a direct `answer` per request (no cache anywhere; since PR 5
+//!   this is the **columnar** path), warm is a `ServeRuntime` whose LRU
+//!   already holds every answer;
 //! * `driver_cold_interpreted` — the pre-refactor interpreted path, kept
 //!   answering the same stream so the before/after of the compiled plans
 //!   stays visible in every run;
@@ -22,10 +23,21 @@
 //! * `tiered_cold` — a 2-shard `TieredShardedIndex` with one shard
 //!   spilled to disk (half the probes pay fence + segment reads).
 //!
+//! The `columnar` group isolates the PR-5 change on both storage
+//! backends: the same request stream answered by the columnar path
+//! (struct-of-arrays scratch, batched key probing, column-direct cold
+//! decode) and by the retained PR-4 row-compiled path —
+//! `mem_columnar` / `mem_row_compiled` against the in-memory index,
+//! `disk_columnar` / `disk_row_compiled` against a fully disk-resident
+//! `StoredIndex` over the same preprocessing output. All four are
+//! scratch-warm per-request medians with no LRU in front.
+//!
 //! Like the other serving benches this always emits a JSON baseline
 //! (`BENCH_online_latency_<name>.json`, name from `BENCH_BASELINE`,
 //! default `local`); when the named file already exists, the criterion
-//! shim prints each benchmark's median delta against the saved run.
+//! shim prints each benchmark's median delta against the saved run — CI
+//! runs with `BENCH_BASELINE=pr4`, so the columnar-vs-PR-4 delta prints
+//! in every workflow log.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -38,7 +50,7 @@ use cqap_query::workload::{zipf_pair_requests, Graph};
 use cqap_query::AccessRequest;
 use cqap_serve::{BatchAnswer, ServeConfig, ServeRuntime};
 use cqap_shard::ShardedIndex;
-use cqap_store::{scratch_dir, PlacementPolicy, ShardTier, TieredShardedIndex};
+use cqap_store::{scratch_dir, PlacementPolicy, ShardTier, StoredIndex, TieredShardedIndex};
 
 fn bench_online_latency(c: &mut Criterion) {
     ensure_baseline_named();
@@ -140,6 +152,55 @@ fn bench_online_latency(c: &mut Criterion) {
             })
         },
     );
+    group.finish();
+
+    // Columnar vs row-compiled, same stream, both storage backends. The
+    // StoredIndex spills the *same* preprocessing output, so the two
+    // backends execute identical plans — only the probes differ (hash
+    // buckets scattered column-wise vs segments decoded column-directly).
+    let stored =
+        StoredIndex::spill(&index, scratch_dir("online-latency-columnar")).expect("spill");
+    for request in requests.iter().take(8) {
+        let expected = index.answer(request).expect("columnar answer");
+        assert_eq!(index.answer_rows(request).expect("row answer"), expected);
+        assert_eq!(stored.answer(request).expect("disk columnar"), expected);
+        assert_eq!(stored.answer_rows(request).expect("disk rows"), expected);
+    }
+    // Unlike the per-request sampling above, each iteration here answers
+    // the *whole* 256-request stream: every sample measures identical
+    // work, so the reported median is a stable 256-request aggregate
+    // (divide by 256 for the per-request figure) instead of depending on
+    // which zipf requests a sample window happens to hit.
+    let mut group = c.benchmark_group("columnar");
+    group.sample_size(30);
+    group.bench_function("mem_columnar", |b| {
+        b.iter(|| {
+            for request in &requests {
+                black_box(index.answer(request).expect("answer"));
+            }
+        })
+    });
+    group.bench_function("mem_row_compiled", |b| {
+        b.iter(|| {
+            for request in &requests {
+                black_box(index.answer_rows(request).expect("answer"));
+            }
+        })
+    });
+    group.bench_function("disk_columnar", |b| {
+        b.iter(|| {
+            for request in &requests {
+                black_box(stored.answer(request).expect("answer"));
+            }
+        })
+    });
+    group.bench_function("disk_row_compiled", |b| {
+        b.iter(|| {
+            for request in &requests {
+                black_box(stored.answer_rows(request).expect("answer"));
+            }
+        })
+    });
     group.finish();
 
     let space = tiered.space_used();

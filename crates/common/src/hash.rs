@@ -107,6 +107,19 @@ pub fn hash_pair(a: u64, b: u64) -> u64 {
     h.finish()
 }
 
+/// Hash a slice of `u64` values word-by-word — the key hash of the
+/// compiled online path's probe memos, computed **once** per key
+/// occurrence and then reused for lookup and insertion (a map keyed by
+/// the slice itself would re-hash it on every probe).
+#[inline]
+pub fn hash_vals(vals: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    for &v in vals {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

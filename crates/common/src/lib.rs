@@ -21,7 +21,7 @@ pub mod tuple;
 pub mod varset;
 
 pub use error::{CqapError, Result};
-pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use hash::{hash_vals, FxHashMap, FxHashSet, FxHasher};
 pub use rat::Rat;
 pub use tuple::{Tuple, Val};
 pub use varset::{Var, VarSet};

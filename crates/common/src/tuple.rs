@@ -14,6 +14,29 @@ pub type Val = u64;
 
 const INLINE: usize = 4;
 
+/// Counters for heap-allocating tuple representations, used by tests to
+/// prove that the columnar online path never boxes an intermediate tuple.
+pub mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        static HEAP_BOXINGS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Total tuples **this thread** has materialized in the heap
+    /// representation (arity above the inline limit). Monotone; callers
+    /// diff two readings around the code under test. Per-thread so
+    /// concurrent serving workers don't pollute each other's measurements.
+    pub fn heap_boxings() -> u64 {
+        HEAP_BOXINGS.with(Cell::get)
+    }
+
+    #[inline]
+    pub(super) fn record_heap_boxing() {
+        HEAP_BOXINGS.with(|c| c.set(c.get() + 1));
+    }
+}
+
 /// A relational tuple of fixed arity.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Tuple {
@@ -90,6 +113,7 @@ impl Tuple {
                 },
             }
         } else {
+            instrument::record_heap_boxing();
             Tuple {
                 repr: Repr::Heap(vals.to_vec().into_boxed_slice()),
             }
@@ -156,6 +180,7 @@ impl Tuple {
                 },
             }
         } else {
+            instrument::record_heap_boxing();
             Tuple {
                 repr: Repr::Heap(positions.iter().map(|&p| slice[p]).collect()),
             }
@@ -178,6 +203,7 @@ impl Tuple {
                 },
             }
         } else {
+            instrument::record_heap_boxing();
             let mut v = Vec::with_capacity(total);
             v.extend_from_slice(a);
             v.extend_from_slice(b);
@@ -224,12 +250,26 @@ impl Tuple {
                 },
             }
         } else {
+            instrument::record_heap_boxing();
             let mut v = Vec::with_capacity(total);
             v.extend_from_slice(a);
             v.extend(positions.iter().map(|&p| b[p]));
             Tuple {
                 repr: Repr::Heap(v.into_boxed_slice()),
             }
+        }
+    }
+
+    /// Scatters the tuple's values into per-column vectors: value `j` is
+    /// appended to `cols[j]`. The struct-of-arrays entry point of the
+    /// columnar execution path — a row crosses into column runs without
+    /// any intermediate allocation.
+    #[inline]
+    pub fn scatter_into(&self, cols: &mut [Vec<Val>]) {
+        let slice = self.as_slice();
+        debug_assert_eq!(slice.len(), cols.len());
+        for (col, &v) in cols.iter_mut().zip(slice) {
+            col.push(v);
         }
     }
 

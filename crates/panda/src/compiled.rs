@@ -27,11 +27,13 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use cqap_common::{CqapError, FxHashSet, Result, Tuple, VarSet};
+use cqap_common::{hash_vals, CqapError, FxHashSet, Result, Tuple, Val, VarSet};
 use cqap_query::{AccessRequest, Cqap};
 use cqap_relation::{Database, HashIndex, Relation, RelationBuilder, Schema};
 use cqap_yannakakis::naive::atom_relation;
-use cqap_yannakakis::{CompiledPlan, OnlineYannakakis, PlanScratch, SViewProbe};
+use cqap_yannakakis::{
+    ColumnRun, ColumnarScratch, CompiledPlan, KeyMemo, OnlineYannakakis, PlanScratch, SViewProbe,
+};
 
 thread_local! {
     /// One scratch arena per serving worker: the pool threads of
@@ -46,17 +48,28 @@ pub fn with_driver_scratch<R>(f: impl FnOnce(&mut DriverScratch) -> R) -> R {
 }
 
 /// The per-worker scratch of the full compiled driver: the plan-execution
-/// arena plus the buffers of the T-view programs, so neither half of a
-/// request allocates working state on a warm worker.
+/// arenas (row and columnar) plus the buffers of the T-view programs, so
+/// neither half of a request allocates working state on a warm worker.
 #[derive(Debug, Default)]
 pub struct DriverScratch {
-    /// The compiled-plan arena (handed to `CompiledPlan::answer_with`).
+    /// The row-plan arena (handed to `CompiledPlan::answer_with`).
     plan: PlanScratch,
-    /// Ping-pong accumulators of the dynamic T-view join chains.
+    /// The columnar-plan arena (handed to
+    /// `CompiledPlan::answer_from_columns`).
+    col: ColumnarScratch,
+    /// Ping-pong accumulators of the row-path dynamic T-view join chains.
     acc: Vec<Tuple>,
     next: Vec<Tuple>,
-    /// Seed-deduplication set for multi-tuple requests.
+    /// Seed-deduplication set for multi-tuple requests (row path).
     seen: FxHashSet<Tuple>,
+    /// Ping buffer of the columnar T-view join chains.
+    col_acc: ColumnRun,
+    /// Reused key-projection buffer of the columnar T-view programs.
+    key_vals: Vec<Val>,
+    /// Seed-deduplication memo for multi-tuple requests (columnar path).
+    seed_memo: KeyMemo<()>,
+    /// Pooled per-program output runs of the columnar path.
+    slot_runs: Vec<ColumnRun>,
 }
 
 impl DriverScratch {
@@ -178,6 +191,77 @@ impl TViewProgram {
             }
         }
     }
+
+    /// The columnar mirror of [`TViewProgram::exec`]: produces the T-view
+    /// directly as a [`ColumnRun`] in the compile-time column order, so
+    /// the view's tuples never exist in row form. Only called for
+    /// non-static programs (static content lives folded inside the plan).
+    fn exec_columns(
+        &self,
+        request: &AccessRequest,
+        out: &mut ColumnRun,
+        ping: &mut ColumnRun,
+        key_vals: &mut Vec<Val>,
+        seed_memo: &mut KeyMemo<()>,
+    ) -> Result<()> {
+        match &self.kind {
+            TViewKind::Static(_) => unreachable!("static T-views are folded into the plan"),
+            TViewKind::Dynamic {
+                start_positions,
+                joins,
+            } => {
+                // Seed: the request projected onto the bag's access
+                // variables, deduplicated, straight into columns.
+                out.reset(start_positions.len());
+                if request.len() <= 1 {
+                    for t in request.tuples() {
+                        t.project_into(start_positions, key_vals);
+                        out.push_row(key_vals);
+                    }
+                } else {
+                    seed_memo.clear();
+                    for t in request.tuples() {
+                        t.project_into(start_positions, key_vals);
+                        let hash = hash_vals(key_vals);
+                        if seed_memo.insert_if_absent(hash, key_vals) {
+                            out.push_row(key_vals);
+                        }
+                    }
+                }
+                // The pre-indexed join chain: probe the build-time index
+                // per row, append matches as column pushes (the key tuple
+                // is the only row-shaped value, and it stays inline).
+                for join in joins {
+                    ping.reset(out.width() + join.appended.len());
+                    for r in 0..out.rows() {
+                        out.project_row_into(r, &join.key_positions, key_vals);
+                        let key = Tuple::from_slice(key_vals);
+                        for rt in join.index.probe(&key) {
+                            ping.push_join_row(out, r, rt.as_slice(), &join.appended);
+                        }
+                    }
+                    std::mem::swap(out, ping);
+                }
+                Ok(())
+            }
+            TViewKind::Fallback { bag, full } => {
+                let restricted = if request.access().is_empty() {
+                    full.as_ref().clone()
+                } else {
+                    full.semijoin(&request.as_relation())?
+                };
+                let rel = restricted.project_onto(*bag)?;
+                debug_assert_eq!(rel.schema(), &self.schema);
+                out.reset(rel.schema().arity());
+                out.extend_from_tuples(rel.tuples());
+                Ok(())
+            }
+        }
+    }
+
+    fn is_static(&self) -> bool {
+        matches!(self.kind, TViewKind::Static(_))
+    }
 }
 
 /// One PMTD's full compiled answering pipeline: the T-view programs plus
@@ -190,6 +274,10 @@ impl TViewProgram {
 pub struct CompiledPmtd {
     access: VarSet,
     programs: Vec<TViewProgram>,
+    /// Indices into `programs` of the non-static (per-request) programs —
+    /// precomputed so the warm columnar path never re-partitions (or
+    /// allocates) per request.
+    dynamic: Vec<usize>,
     plan: CompiledPlan,
 }
 
@@ -321,22 +409,90 @@ impl CompiledPmtd {
             .iter()
             .map(|p| (p.node, p.schema.clone()))
             .collect();
-        let plan = evaluator.compile(views, &t_schemas)?;
+        // Static programs produce the same content on every request, so
+        // their reductions are hoisted out of the per-request plan: the
+        // plan folds static-only edges at compile time and prebuilds
+        // key sets / join indexes over the still-static sides.
+        let statics: Vec<(usize, &Relation)> = programs
+            .iter()
+            .filter_map(|p| match &p.kind {
+                TViewKind::Static(rel) => Some((p.node, rel.as_ref())),
+                _ => None,
+            })
+            .collect();
+        let plan = evaluator.compile_with_statics(views, &t_schemas, &statics)?;
+        let dynamic = (0..programs.len())
+            .filter(|&i| !programs[i].is_static())
+            .collect();
         Ok(CompiledPmtd {
             access,
             programs,
+            dynamic,
             plan,
         })
     }
 
-    /// Answers one request: runs the T-view programs, then the compiled
-    /// plan, against `views`. Static T-views are borrowed from the
-    /// compiled state — never cloned per request.
+    /// Answers one request through the **columnar** pipeline (the default
+    /// serving path): the T-view programs write their output directly as
+    /// column runs, the plan executes column-at-a-time, and rows become
+    /// tuples only at the final head projection. Static T-views were
+    /// folded into the plan at compile time and cost nothing per request.
     ///
     /// # Errors
     /// The same validation failures as the interpreted path, plus backend
     /// storage errors.
     pub fn answer<V: SViewProbe>(
+        &self,
+        views: &V,
+        request: &AccessRequest,
+        scratch: &mut DriverScratch,
+    ) -> Result<Relation> {
+        if request.access() != self.access {
+            return Err(CqapError::AccessPatternMismatch {
+                expected_arity: self.access.len(),
+                found_arity: request.access().len(),
+            });
+        }
+        let mut runs = std::mem::take(&mut scratch.slot_runs);
+        while runs.len() < self.dynamic.len() {
+            runs.push(ColumnRun::new());
+        }
+        let mut result = Ok(());
+        for (&i, run) in self.dynamic.iter().zip(runs.iter_mut()) {
+            result = self.programs[i].exec_columns(
+                request,
+                run,
+                &mut scratch.col_acc,
+                &mut scratch.key_vals,
+                &mut scratch.seed_memo,
+            );
+            if result.is_err() {
+                break;
+            }
+        }
+        let answer = result.and_then(|()| {
+            self.plan.answer_from_columns(
+                views,
+                self.dynamic
+                    .iter()
+                    .map(|&i| self.programs[i].node)
+                    .zip(runs.iter().map(|r| &*r)),
+                request,
+                &mut scratch.col,
+            )
+        });
+        scratch.slot_runs = runs;
+        answer
+    }
+
+    /// Answers one request through the row-compiled pipeline of PR 4 —
+    /// the tested fallback the columnar path is measured (and proptested)
+    /// against. Static T-views are folded into the plan exactly as on the
+    /// columnar path.
+    ///
+    /// # Errors
+    /// Same failure modes as [`CompiledPmtd::answer`].
+    pub fn answer_rows<V: SViewProbe>(
         &self,
         views: &V,
         request: &AccessRequest,
@@ -354,18 +510,10 @@ impl CompiledPmtd {
                 owned.push((program.node, rel));
             }
         }
-        let mut t_views: Vec<(usize, &Relation)> = Vec::with_capacity(self.programs.len());
-        let mut owned_iter = owned.iter();
-        for program in &self.programs {
-            match &program.kind {
-                TViewKind::Static(rel) => t_views.push((program.node, rel.as_ref())),
-                _ => {
-                    let (node, rel) = owned_iter.next().expect("program produced a view");
-                    debug_assert_eq!(*node, program.node);
-                    t_views.push((*node, rel));
-                }
-            }
-        }
+        // Static T-views are omitted: the plan folded their content at
+        // compile time and would ignore anything passed for them.
+        let t_views: Vec<(usize, &Relation)> =
+            owned.iter().map(|(node, rel)| (*node, rel)).collect();
         self.plan.answer_with(views, &t_views, request, &mut scratch.plan)
     }
 }
@@ -383,11 +531,11 @@ fn project_final(rel: Relation, target: VarSet) -> Result<Relation> {
 }
 
 /// The compiled driver loop over any S-view backend: runs every PMTD's
-/// compiled pipeline, unions the per-PMTD answers, and projects onto
-/// `declared_head ∪ access` — the compiled mirror of
-/// [`answer_with_plans`](crate::answer_with_plans), used by `CqapIndex`
-/// (in-memory views) and `cqap-store`'s `StoredIndex` (disk views), so
-/// the backends cannot silently diverge.
+/// **columnar** pipeline (the default serving path), unions the per-PMTD
+/// answers, and projects onto `declared_head ∪ access` — the compiled
+/// mirror of [`answer_with_plans`](crate::answer_with_plans), used by
+/// `CqapIndex` (in-memory views) and `cqap-store`'s `StoredIndex` (disk
+/// views), so the backends cannot silently diverge.
 ///
 /// # Errors
 /// Fails for an empty plan set, and propagates evaluation errors.
@@ -408,6 +556,37 @@ where
                 None => part,
                 // Both sides are owned: the larger moves, the smaller's
                 // tuples are inserted — no relation clone.
+                Some(prev) => prev.union_with(part)?,
+            });
+        }
+        let result = acc.ok_or_else(|| {
+            CqapError::InvalidQuery("the framework needs at least one PMTD".into())
+        })?;
+        project_final(result, cqap.declared_head().union(cqap.access()))
+    })
+}
+
+/// [`answer_with_compiled`] over the **row-compiled** pipelines of PR 4 —
+/// the tested fallback the columnar default is benchmarked and proptested
+/// against.
+///
+/// # Errors
+/// Same failure modes as [`answer_with_compiled`].
+pub fn answer_with_compiled_rows<'a, V, I>(
+    cqap: &Cqap,
+    plans: I,
+    request: &AccessRequest,
+) -> Result<Relation>
+where
+    V: SViewProbe + 'a,
+    I: IntoIterator<Item = (&'a CompiledPmtd, &'a V)>,
+{
+    with_driver_scratch(|scratch| {
+        let mut acc: Option<Relation> = None;
+        for (plan, views) in plans {
+            let part = plan.answer_rows(views, request, scratch)?;
+            acc = Some(match acc {
+                None => part,
                 Some(prev) => prev.union_with(part)?,
             });
         }
@@ -467,6 +646,70 @@ mod tests {
     }
 
     #[test]
+    fn access_free_bags_are_hoisted_and_answers_stay_exact() {
+        // A 2-path CQAP whose access pattern is only {x1}: the bag
+        // {x2,x3} contains no access variable, so its T-view program is
+        // static and every reduction over it must be hoisted into the
+        // plan (prebuilt key set, folded projection, top-down static
+        // join). A Boolean variant (empty access pattern) folds the whole
+        // tree: the root join and the top-down join probe compile-time
+        // indexes, and the per-request work is output-sensitive.
+        use cqap_common::{vars, VarSet};
+        use cqap_decomp::{Pmtd, TreeDecomposition};
+        use cqap_query::{Atom, ConjunctiveQuery};
+
+        let atoms = || {
+            vec![
+                Atom::new("R1", vec![0, 1]).unwrap(),
+                Atom::new("R2", vec![1, 2]).unwrap(),
+            ]
+        };
+        let g = Graph::random(30, 140, 19);
+        let db = g.as_path_database(2);
+        let full_head = VarSet::from_iter([0, 1, 2]);
+
+        let check = |cqap: &Cqap, pmtds: &[Pmtd], requests: &[AccessRequest]| {
+            let index = CqapIndex::build(cqap, &db, pmtds).unwrap();
+            for request in requests {
+                let expected = index.answer_from_scratch(request).unwrap();
+                assert_eq!(index.answer(request).unwrap(), expected, "columnar");
+                assert_eq!(index.answer_rows(request).unwrap(), expected, "rows");
+                assert_eq!(
+                    index.answer_interpreted(request).unwrap(),
+                    expected,
+                    "interpreted"
+                );
+            }
+        };
+
+        let cq = ConjunctiveQuery::new("p2", 3, atoms(), full_head).unwrap();
+        let cqap = Cqap::new(cq, VarSet::from_iter([0])).unwrap();
+        let td = TreeDecomposition::path(vec![vars![1, 2], vars![2, 3]]).unwrap();
+        let pmtds = vec![Pmtd::for_cqap(td, [], &cqap).unwrap()];
+        let requests: Vec<AccessRequest> = graph_pair_requests(&g, 20, 23)
+            .into_iter()
+            .map(|(u, _)| AccessRequest::single(cqap.access(), &[u]).unwrap())
+            .collect();
+        check(&cqap, &pmtds, &requests);
+
+        // Boolean variant: empty access pattern, everything static.
+        let cq = ConjunctiveQuery::new("p2b", 3, atoms(), full_head).unwrap();
+        let bool_cqap = Cqap::new(cq, VarSet::EMPTY).unwrap();
+        let td = TreeDecomposition::path(vec![vars![1, 2], vars![2, 3]]).unwrap();
+        let pmtds = vec![Pmtd::for_cqap(td, [], &bool_cqap).unwrap()];
+        let truthy = AccessRequest::new(VarSet::EMPTY, vec![Tuple::empty()]).unwrap();
+        check(&bool_cqap, &pmtds, &[truthy]);
+        // The empty request is the "false" binding: no answers on any
+        // online path (the naive evaluator has no falsy form, so it is
+        // not a reference here).
+        let falsy = AccessRequest::new(VarSet::EMPTY, vec![]).unwrap();
+        let index = CqapIndex::build(&bool_cqap, &db, &pmtds).unwrap();
+        assert!(index.answer(&falsy).unwrap().is_empty());
+        assert!(index.answer_rows(&falsy).unwrap().is_empty());
+        assert!(index.answer_interpreted(&falsy).unwrap().is_empty());
+    }
+
+    #[test]
     fn warm_single_request_driver_path_performs_zero_dedup_inserts() {
         // The fully-materialized plan (S14): after one warm-up request,
         // the complete driver path — T-view programs, compiled plan,
@@ -489,13 +732,19 @@ mod tests {
             .collect();
         index.answer(&requests[0]).unwrap(); // warm the scratch arena
 
-        let before = cqap_relation::instrument::dedup_inserts();
+        let dedup_before = cqap_relation::instrument::dedup_inserts();
+        let boxes_before = cqap_common::tuple::instrument::heap_boxings();
         let answers: Vec<Relation> =
             requests.iter().map(|r| index.answer(r).unwrap()).collect();
         assert_eq!(
             cqap_relation::instrument::dedup_inserts(),
-            before,
+            dedup_before,
             "warm single-request serving must perform zero relation-level dedup inserts"
+        );
+        assert_eq!(
+            cqap_common::tuple::instrument::heap_boxings(),
+            boxes_before,
+            "the warm columnar request path must perform zero tuple heap boxings"
         );
         assert_eq!(answers, expected);
     }

@@ -23,7 +23,7 @@ use cqap_relation::{Database, Relation};
 use cqap_yannakakis::naive::{atom_relation, full_join};
 use cqap_yannakakis::{naive_answer, OnlineYannakakis, PreprocessedViews, SViewProbe};
 
-use crate::compiled::{answer_with_compiled, AtomIndexCache, CompiledPmtd};
+use crate::compiled::{answer_with_compiled, answer_with_compiled_rows, AtomIndexCache, CompiledPmtd};
 
 /// A materialized CQAP index over a set of PMTDs.
 pub struct CqapIndex {
@@ -140,13 +140,28 @@ impl CqapIndex {
     /// for every PMTD and unioning the per-PMTD answers (Section 4.3),
     /// projected onto the CQAP's declared head.
     ///
-    /// Requests run through the **compiled** pipeline: per-request work is
-    /// plan execution against pre-resolved positions and pre-built atom
-    /// indexes, with all intermediate state in a per-worker scratch arena.
-    /// Answers are identical to [`CqapIndex::answer_interpreted`]
+    /// Requests run through the **compiled columnar** pipeline: per-request
+    /// work is column-at-a-time plan execution against pre-resolved
+    /// positions, pre-built atom indexes and hoisted static-side
+    /// reductions, with all intermediate state in a per-worker
+    /// struct-of-arrays scratch arena. Answers are identical to
+    /// [`CqapIndex::answer_rows`] and [`CqapIndex::answer_interpreted`]
     /// (proptest-enforced in `crates/yannakakis/tests`).
     pub fn answer(&self, request: &AccessRequest) -> Result<Relation> {
         answer_with_compiled(
+            &self.cqap,
+            self.plans
+                .iter()
+                .map(|p| (p.compiled.as_ref(), &p.preprocessed)),
+            request,
+        )
+    }
+
+    /// The row-compiled online phase of PR 4 (tuple ping-pong instead of
+    /// column runs) — kept as the tested fallback and as the columnar
+    /// path's baseline in the `online_latency` bench.
+    pub fn answer_rows(&self, request: &AccessRequest) -> Result<Relation> {
+        answer_with_compiled_rows(
             &self.cqap,
             self.plans
                 .iter()

@@ -67,6 +67,9 @@ pub mod driver;
 pub mod rules;
 
 pub use analysis::{figure4a_curve, figure4b_curve, goldstein_baseline, table1_3reach, RuleReport};
-pub use compiled::{answer_with_compiled, with_driver_scratch, CompiledPmtd, DriverScratch};
+pub use compiled::{
+    answer_with_compiled, answer_with_compiled_rows, with_driver_scratch, CompiledPmtd,
+    DriverScratch,
+};
 pub use driver::{answer_with_plans, online_t_views, CqapIndex};
 pub use rules::{generate_rules, prune_rules, rule_of_choice, TwoPhaseRule};

@@ -329,6 +329,15 @@ impl RelationBuilder {
         self.tuples.is_empty()
     }
 
+    /// Appends one row given as a value slice — the column-to-row exit of
+    /// the columnar execution path: the row crosses into a [`Tuple`] here
+    /// (inline for arity ≤ 4, so narrow answers never touch the heap) and
+    /// nowhere earlier.
+    #[inline]
+    pub fn push_row(&mut self, vals: &[Val]) {
+        self.push(Tuple::from_slice(vals));
+    }
+
     /// Appends a tuple (deduplicating unless this is a distinct builder).
     #[inline]
     pub fn push(&mut self, t: Tuple) {

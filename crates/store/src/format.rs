@@ -30,6 +30,7 @@ use std::path::{Path, PathBuf};
 
 use cqap_common::{CqapError, FxHashMap, Result, Tuple, Val, VarSet};
 use cqap_relation::{Relation, Schema};
+use cqap_yannakakis::ColumnRun;
 
 thread_local! {
     /// One segment read buffer per worker thread: probes resize it to the
@@ -198,6 +199,32 @@ impl<'a> Cursor<'a> {
                 None => return false,
             }
         }
+        true
+    }
+
+    /// Decodes a row-major block of `count × width` little-endian values
+    /// straight into the columns of `out`, advancing past the block;
+    /// `false` on a truncated buffer. The column-direct path of the cold
+    /// tier: each output column is filled by one strided walk over the
+    /// segment bytes, and no intermediate row (or `Tuple`) ever exists.
+    fn read_columns(&mut self, count: usize, width: usize, out: &mut ColumnRun) -> bool {
+        let bytes = count * width * 8;
+        if self.pos + bytes > self.buf.len() {
+            return false;
+        }
+        let buf = self.buf;
+        let base = self.pos;
+        out.append_columns(count, |j, col| {
+            col.reserve(count);
+            let mut p = base + j * 8;
+            for _ in 0..count {
+                col.push(u64::from_le_bytes(
+                    buf[p..p + 8].try_into().expect("8 bytes"),
+                ));
+                p += width * 8;
+            }
+        });
+        self.pos += bytes;
         true
     }
 
@@ -460,6 +487,28 @@ impl StoredView {
                     return Err(corrupt(path, "truncated tuple"));
                 }
                 out.push(Tuple::from_slice(vals));
+            }
+            Ok(())
+        })
+        .map(|_| ())
+    }
+
+    /// Appends all stored tuples whose link projection equals `key` to the
+    /// columns of `out` (which must be reset to the view's arity). The
+    /// matching record's block is decoded **column-directly** out of the
+    /// segment buffer — one strided walk per column, no `Tuple` boxing, no
+    /// values scratch — which is how the cold tier feeds the columnar
+    /// execution path.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or if the segment bytes are malformed.
+    pub fn probe_columns(&self, key: &Tuple, out: &mut ColumnRun) -> Result<()> {
+        debug_assert_eq!(out.width(), self.schema.arity());
+        let arity = self.schema.arity();
+        let path = &self.path;
+        self.find_record(key, |cursor, count, _vals| {
+            if !cursor.read_columns(count, arity, out) {
+                return Err(corrupt(path, "truncated tuple"));
             }
             Ok(())
         })

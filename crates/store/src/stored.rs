@@ -120,6 +120,18 @@ impl SViewProbe for StoredViews {
         self.view(node)?.probe_into(key, out)
     }
 
+    /// Columnar probes decode the matching segment block straight into the
+    /// caller's column runs — the cold tier's bytes reach the columnar
+    /// executor without any intermediate `Tuple` boxing.
+    fn probe_columns(
+        &self,
+        node: usize,
+        key: &Tuple,
+        out: &mut cqap_yannakakis::ColumnRun,
+    ) -> Result<()> {
+        self.view(node)?.probe_columns(key, out)
+    }
+
     /// Semijoin probes walk the segment's keys only — no tuple block is
     /// decoded, no output vector is built.
     fn contains(&self, node: usize, key: &Tuple) -> Result<bool> {
@@ -229,15 +241,33 @@ impl StoredIndex {
     }
 
     /// Online phase: identical to [`CqapIndex::answer`] — literally the
-    /// same compiled driver loop ([`cqap_panda::answer_with_compiled`])
-    /// executing the same [`cqap_panda::CompiledPmtd`] pipelines — with
-    /// every S-view probe served from disk.
+    /// same compiled columnar driver loop
+    /// ([`cqap_panda::answer_with_compiled`]) executing the same
+    /// [`cqap_panda::CompiledPmtd`] pipelines — with every S-view probe
+    /// served from disk, decoded column-directly out of the segment reads.
     ///
     /// # Errors
     /// The same validation failures as the in-memory driver, plus I/O
     /// errors from the cold tier.
     pub fn answer(&self, request: &AccessRequest) -> Result<Relation> {
         cqap_panda::answer_with_compiled(
+            &self.cqap,
+            self.compiled
+                .iter()
+                .zip(&self.plans)
+                .map(|(compiled, (_, views))| (compiled.as_ref(), views)),
+            request,
+        )
+    }
+
+    /// The row-compiled online phase of PR 4 over the disk backend — the
+    /// tested fallback and the columnar path's bench baseline, mirroring
+    /// [`CqapIndex::answer_rows`].
+    ///
+    /// # Errors
+    /// Same failure modes as [`StoredIndex::answer`].
+    pub fn answer_rows(&self, request: &AccessRequest) -> Result<Relation> {
+        cqap_panda::answer_with_compiled_rows(
             &self.cqap,
             self.compiled
                 .iter()

@@ -44,9 +44,10 @@ proptest! {
             .collect();
 
         // Unsharded, fully disk-resident: same intrinsic S, same answers.
-        // The four-way check covers the compiled and the interpreted
-        // online path on *both* backends (hash probes in memory, fence +
-        // segment reads on disk): one equivalence class per request.
+        // The six-way check covers the columnar (default), row-compiled
+        // and interpreted online paths on *both* backends (hash probes in
+        // memory, fence + segment reads with column-direct decode on
+        // disk): one equivalence class per request.
         let stored = StoredIndex::build_in_temp(&cqap, &db, &pmtds).unwrap();
         prop_assert_eq!(stored.space_used(), reference.space_used());
         for request in singles.iter().chain(&multis) {
@@ -54,12 +55,22 @@ proptest! {
             prop_assert_eq!(
                 stored.answer(request).unwrap(),
                 expected.clone(),
-                "compiled StoredIndex diverged"
+                "columnar StoredIndex diverged"
+            );
+            prop_assert_eq!(
+                stored.answer_rows(request).unwrap(),
+                expected.clone(),
+                "row-compiled StoredIndex diverged"
             );
             prop_assert_eq!(
                 stored.answer_interpreted(request).unwrap(),
                 expected.clone(),
                 "interpreted StoredIndex diverged"
+            );
+            prop_assert_eq!(
+                reference.answer_rows(request).unwrap(),
+                expected.clone(),
+                "row-compiled CqapIndex diverged from its columnar path"
             );
             prop_assert_eq!(
                 reference.answer_interpreted(request).unwrap(),

@@ -27,54 +27,65 @@
 //! The equivalence proptest in `crates/yannakakis/tests` enforces this
 //! against both the interpreted path and the naive evaluator.
 
-use cqap_common::{CqapError, FxHashMap, FxHashSet, Result, Tuple, VarSet};
+use std::sync::Arc;
+
+use cqap_common::{hash_vals, CqapError, FxHashMap, FxHashSet, Result, Tuple, VarSet};
 use cqap_decomp::ViewKind;
 use cqap_query::AccessRequest;
 use cqap_relation::{is_identity, Relation, RelationBuilder, Schema};
 
+use crate::columnar::KeyMemo;
 use crate::online::{OnlineYannakakis, SViewProbe};
+
+/// A prebuilt hash grouping of request-independent tuples by a key
+/// projection — the static side of a hoisted semijoin or join. Probed by
+/// borrowed `&[Val]` key slices (via `Tuple`'s `Borrow<[Val]>`), so warm
+/// requests never materialize a key tuple to use one.
+pub(crate) type StaticGroups = FxHashMap<Tuple, Vec<Tuple>>;
 
 /// Positions and output schema of a probe-join `left ⋈ view(node)` keyed
 /// on the link variables, with matches additionally checked on the other
 /// shared variables.
 #[derive(Clone, Debug)]
-struct ProbeJoin {
+pub(crate) struct ProbeJoin {
     /// Link-variable positions in the left schema (the probe key).
-    key_positions: Vec<usize>,
+    pub(crate) key_positions: Vec<usize>,
     /// Positions of the non-link shared variables in the left schema.
-    left_extra: Vec<usize>,
+    pub(crate) left_extra: Vec<usize>,
     /// The same variables' positions in the view schema.
-    rel_extra: Vec<usize>,
+    pub(crate) rel_extra: Vec<usize>,
     /// View positions of the columns appended to the output.
-    appended: Vec<usize>,
+    pub(crate) appended: Vec<usize>,
+    /// Arity of the probed view (the width of columnar probe results).
+    pub(crate) rel_arity: usize,
     /// Schema of the join output (`left` columns, then appended columns).
-    out_schema: Schema,
+    pub(crate) out_schema: Schema,
 }
 
 /// Positions and output schema of a hash join `left ⋈ rel` on all shared
 /// variables (the T-view joins of the root and top-down steps).
 #[derive(Clone, Debug)]
-struct HashJoin {
+pub(crate) struct HashJoin {
     /// Shared-variable positions in the left schema.
-    probe_key: Vec<usize>,
+    pub(crate) probe_key: Vec<usize>,
     /// Shared-variable positions in the build (T-view) schema.
-    build_key: Vec<usize>,
+    pub(crate) build_key: Vec<usize>,
     /// Build-side positions of the columns appended to the output.
-    appended: Vec<usize>,
+    pub(crate) appended: Vec<usize>,
     /// Schema of the join output.
-    out_schema: Schema,
+    pub(crate) out_schema: Schema,
 }
 
 /// A deduplicating projection with pre-resolved positions.
 #[derive(Clone, Debug)]
-struct Project {
-    positions: Vec<usize>,
-    schema: Schema,
+pub(crate) struct Project {
+    pub(crate) positions: Vec<usize>,
+    pub(crate) schema: Schema,
 }
 
 /// One bottom-up semijoin-reduce action.
 #[derive(Clone, Debug)]
-enum BottomUpStep {
+pub(crate) enum BottomUpStep {
     /// ST-edge: keep only parent T-view tuples whose link projection hits
     /// the child S-view (one backend `contains` per distinct key).
     ProbeSemi {
@@ -89,6 +100,26 @@ enum BottomUpStep {
         child_key: Vec<usize>,
         parent_key: Vec<usize>,
     },
+    /// TT-edge whose child T-view is request-independent: the child's key
+    /// set was built once at compile time, so the per-request cost is one
+    /// set lookup per parent tuple — never a scan of the static side.
+    HashSemiStaticChild {
+        parent: usize,
+        parent_key: Vec<usize>,
+        keys: Arc<FxHashSet<Tuple>>,
+    },
+    /// TT-edge whose parent T-view is request-independent: a hash index
+    /// over the (large, static) parent was built once at compile time and
+    /// is probed with the small request-dependent child keys, making the
+    /// reduction output-sensitive instead of `O(|D|)` per request.
+    HashSemiStaticParent {
+        child: usize,
+        parent: usize,
+        child_key: Vec<usize>,
+        /// Arity of the parent slot (the width of the filtered output).
+        parent_arity: usize,
+        index: Arc<StaticGroups>,
+    },
     /// A TT-child that stays in the tree is projected to its head
     /// variables for the top-down pass.
     ProjectChild { node: usize, project: Project },
@@ -96,7 +127,7 @@ enum BottomUpStep {
 
 /// The root reduction.
 #[derive(Clone, Debug)]
-enum RootStep {
+pub(crate) enum RootStep {
     /// S root: the fused semijoin+join probe of the request against the
     /// root view (a request tuple with no match simply joins to nothing,
     /// so the separate semijoin pass of the interpreted path is folded
@@ -109,15 +140,28 @@ enum RootStep {
         project: Project,
         join: HashJoin,
     },
+    /// Static T root: the projected root view and its join index were
+    /// built at compile time; the request probes them directly.
+    JoinStatic {
+        join: HashJoin,
+        groups: Arc<StaticGroups>,
+    },
 }
 
 /// One top-down join action.
 #[derive(Clone, Debug)]
-enum TopDownStep {
+pub(crate) enum TopDownStep {
     /// Join the accumulator with a kept S-view through the backend.
     Probe { node: usize, join: ProbeJoin },
     /// Join the accumulator with a kept (projected) T-view.
     Join { node: usize, join: HashJoin },
+    /// Join the accumulator with a kept *static* T-view whose hash index
+    /// was built at compile time: the request-dependent accumulator
+    /// probes the static side, never the other way around.
+    JoinStatic {
+        join: HashJoin,
+        groups: Arc<StaticGroups>,
+    },
 }
 
 /// Reusable per-worker scratch for [`CompiledPlan::answer_with`].
@@ -133,10 +177,14 @@ enum TopDownStep {
 pub struct PlanScratch {
     /// Pooled probe results; `ranges` addresses slices of it.
     pool: Vec<Tuple>,
-    /// Per-step memo: probe key → `(start, end)` range in `pool`.
-    ranges: FxHashMap<Tuple, (u32, u32)>,
-    /// Per-step memo for semijoin probes: key → hit.
-    semi: FxHashMap<Tuple, bool>,
+    /// Per-step memo: probe key → `(start, end)` range in `pool`. Keyed by
+    /// a precomputed 64-bit key hash plus a slice check, so each key
+    /// occurrence is hashed exactly once (lookup and insertion reuse the
+    /// same hash instead of re-hashing the projected slice).
+    ranges: KeyMemo<(u32, u32)>,
+    /// Per-step memo for semijoin probes: key → hit (hash-cached like
+    /// `ranges`).
+    semi: KeyMemo<bool>,
     /// Per-step dedup / key set.
     keys: FxHashSet<Tuple>,
     /// Reused key-projection buffer: memo tables are probed with this
@@ -201,26 +249,31 @@ impl Slot<'_> {
 /// serves both).
 #[derive(Clone, Debug)]
 pub struct CompiledPlan {
-    access: VarSet,
-    num_nodes: usize,
-    materialized: Vec<bool>,
+    pub(crate) access: VarSet,
+    pub(crate) num_nodes: usize,
+    pub(crate) materialized: Vec<bool>,
     /// Expected schema per non-materialized node (compile-time T-view
     /// column order; a request supplying the same varset in a different
     /// order is reordered on a slow path).
-    t_schema: Vec<Option<Schema>>,
+    pub(crate) t_schema: Vec<Option<Schema>>,
     /// Expected varset per non-materialized node (for validation).
-    t_varset: Vec<Option<VarSet>>,
+    pub(crate) t_varset: Vec<Option<VarSet>>,
+    /// Nodes whose T-view content is request-independent and was folded
+    /// into the plan at compile time (hoisted reductions, prebuilt join
+    /// indexes): callers may omit them per request, and any content they
+    /// do pass is validated but not read.
+    pub(crate) static_node: Vec<bool>,
     /// `(node, schema)` of every S-view the plan probes, validated against
     /// the backend per request.
-    s_views: Vec<(usize, Schema)>,
-    bottom_up: Vec<BottomUpStep>,
-    root: RootStep,
-    top_down: Vec<TopDownStep>,
+    pub(crate) s_views: Vec<(usize, Schema)>,
+    pub(crate) bottom_up: Vec<BottomUpStep>,
+    pub(crate) root: RootStep,
+    pub(crate) top_down: Vec<TopDownStep>,
     /// Final projection onto the head; `None` when it is the identity.
-    final_project: Option<Project>,
+    pub(crate) final_project: Option<Project>,
     /// Schema of the accumulator after the last step (the output schema
     /// when `final_project` is `None`).
-    final_schema: Schema,
+    pub(crate) final_schema: Schema,
 }
 
 fn compile_probe_join(left: &Schema, rel: &Schema, link: VarSet) -> Result<ProbeJoin> {
@@ -239,8 +292,19 @@ fn compile_probe_join(left: &Schema, rel: &Schema, link: VarSet) -> Result<Probe
         left_extra,
         rel_extra,
         appended,
+        rel_arity: rel.arity(),
         out_schema,
     })
+}
+
+/// Groups `tuples` by their projection onto `key` — the compile-time
+/// build of every hoisted static-side index.
+fn group_by(tuples: &[Tuple], key: &[usize]) -> StaticGroups {
+    let mut groups = StaticGroups::default();
+    for t in tuples {
+        groups.entry(t.project(key)).or_default().push(t.clone());
+    }
+    groups
 }
 
 fn compile_hash_join(left: &Schema, rel: &Schema) -> Result<HashJoin> {
@@ -285,6 +349,41 @@ impl OnlineYannakakis {
         views: &V,
         t_schemas: &[(usize, Schema)],
     ) -> Result<CompiledPlan> {
+        self.compile_with_statics(views, t_schemas, &[])
+    }
+
+    /// [`OnlineYannakakis::compile`] with the contents of the
+    /// *request-independent* T-views supplied up front, so every reduction
+    /// that touches only static state is hoisted out of the per-request
+    /// plan:
+    ///
+    /// * static-only edges (both sides request-independent, or a static
+    ///   parent under an S-child) are **folded**: the semijoin runs once,
+    ///   now, against `statics` and `views`;
+    /// * an edge with one static side gets a **prebuilt** key set / hash
+    ///   index over that side, so the per-request pass probes the static
+    ///   side with the small request-dependent side instead of scanning
+    ///   its `O(|D|)` tuples;
+    /// * root and top-down joins against still-static views probe a
+    ///   compile-time join index (the accumulator is the probe side).
+    ///
+    /// Each `(node, relation)` of `statics` must match the node's entry in
+    /// `t_schemas` exactly (same column order). The caller promises that
+    /// every future request would supply the same content for these nodes
+    /// — the compiled drivers guarantee it by construction (an access-free
+    /// bag's T-view cannot depend on the request) — and may then omit them
+    /// from the per-request T-views entirely; content passed anyway is
+    /// validated but not read.
+    ///
+    /// # Errors
+    /// The failure modes of [`OnlineYannakakis::compile`], plus a schema
+    /// mismatch between `statics` and `t_schemas`.
+    pub fn compile_with_statics<V: SViewProbe>(
+        &self,
+        views: &V,
+        t_schemas: &[(usize, Schema)],
+        statics: &[(usize, &Relation)],
+    ) -> Result<CompiledPlan> {
         let pmtd = self.pmtd();
         let td = pmtd.td();
         let head = pmtd.head();
@@ -320,6 +419,28 @@ impl OnlineYannakakis {
             .map(|s| s.as_ref().map(Schema::varset))
             .collect();
 
+        // Request-independent T-view contents, tracked through the
+        // bottom-up pass: a `Some` entry means the slot's content at this
+        // point of the step program is known at compile time, so any
+        // reduction over it can be hoisted out of the per-request plan.
+        let mut static_rows: Vec<Option<Vec<Tuple>>> = vec![None; num_nodes];
+        for (node, rel) in statics {
+            if *node >= num_nodes || materialized[*node] {
+                return Err(CqapError::InvalidPmtd(format!(
+                    "static content supplied for node {node}, which is not a T-view"
+                )));
+            }
+            let expected = slot_schema[*node].as_ref().expect("validated above");
+            if rel.schema() != expected {
+                return Err(CqapError::SchemaMismatch {
+                    expected: format!("{expected}"),
+                    found: format!("{}", rel.schema()),
+                });
+            }
+            static_rows[*node] = Some(rel.tuples().to_vec());
+        }
+        let static_node: Vec<bool> = static_rows.iter().map(Option::is_some).collect();
+
         let mut s_views: Vec<(usize, Schema)> = Vec::new();
         let mut require_s_view = |node: usize| -> Result<Schema> {
             let schema = views.schema(node).ok_or_else(|| {
@@ -332,7 +453,9 @@ impl OnlineYannakakis {
         };
 
         // Bottom-up pass over the edges, mirroring the interpreted path but
-        // recording position-resolved steps instead of executing them.
+        // recording position-resolved steps instead of executing them —
+        // except where a side is static, in which case the reduction is
+        // folded (both sides static) or its static side is pre-indexed.
         let mut bottom_up = Vec::new();
         let mut kept = vec![true; num_nodes];
         for t in td.bottom_up_order() {
@@ -345,11 +468,34 @@ impl OnlineYannakakis {
                     require_s_view(t)?;
                     let link = self.link(t);
                     let parent_schema = slot_schema[p].as_ref().expect("T slot schema");
-                    bottom_up.push(BottomUpStep::ProbeSemi {
-                        child: t,
-                        parent: p,
-                        key_positions: parent_schema.positions_of_set(link)?,
-                    });
+                    let key_positions = parent_schema.positions_of_set(link)?;
+                    if let Some(rows) = static_rows[p].take() {
+                        // Fold: the reduction is request-independent; run
+                        // it once against the backend, now.
+                        let mut known: FxHashMap<Tuple, bool> = FxHashMap::default();
+                        let mut filtered = Vec::with_capacity(rows.len());
+                        for tup in rows {
+                            let key = tup.project(&key_positions);
+                            let hit = match known.get(&key) {
+                                Some(&hit) => hit,
+                                None => {
+                                    let hit = views.contains(t, &key)?;
+                                    known.insert(key, hit);
+                                    hit
+                                }
+                            };
+                            if hit {
+                                filtered.push(tup);
+                            }
+                        }
+                        static_rows[p] = Some(filtered);
+                    } else {
+                        bottom_up.push(BottomUpStep::ProbeSemi {
+                            child: t,
+                            parent: p,
+                            key_positions,
+                        });
+                    }
                     let child_head = pmtd.view_schema(t).intersect(head);
                     if child_head.is_subset(pmtd.view_schema(p)) {
                         kept[t] = false;
@@ -359,19 +505,79 @@ impl OnlineYannakakis {
                     let child_schema = slot_schema[t].as_ref().expect("T slot schema");
                     let parent_schema = slot_schema[p].as_ref().expect("T slot schema");
                     let shared = child_schema.varset().intersect(parent_schema.varset());
-                    bottom_up.push(BottomUpStep::HashSemi {
-                        child: t,
-                        parent: p,
-                        child_key: child_schema.positions_of_set(shared)?,
-                        parent_key: parent_schema.positions_of_set(shared)?,
-                    });
+                    let child_key = child_schema.positions_of_set(shared)?;
+                    let parent_key = parent_schema.positions_of_set(shared)?;
+                    let parent_arity = parent_schema.arity();
+                    match (static_rows[t].is_some(), static_rows[p].is_some()) {
+                        // Both sides static: fold the whole semijoin.
+                        (true, true) => {
+                            let keys: FxHashSet<Tuple> = static_rows[t]
+                                .as_ref()
+                                .expect("static child")
+                                .iter()
+                                .map(|c| c.project(&child_key))
+                                .collect();
+                            let rows = static_rows[p].take().expect("static parent");
+                            static_rows[p] = Some(
+                                rows.into_iter()
+                                    .filter(|pt| keys.contains(&pt.project(&parent_key)))
+                                    .collect(),
+                            );
+                        }
+                        // Static child: prebuild its key set.
+                        (true, false) => {
+                            let keys: FxHashSet<Tuple> = static_rows[t]
+                                .as_ref()
+                                .expect("static child")
+                                .iter()
+                                .map(|c| c.project(&child_key))
+                                .collect();
+                            bottom_up.push(BottomUpStep::HashSemiStaticChild {
+                                parent: p,
+                                parent_key,
+                                keys: Arc::new(keys),
+                            });
+                        }
+                        // Static parent: prebuild an index over it, probed
+                        // with the dynamic child's keys; the parent slot
+                        // becomes request-dependent from here on.
+                        (false, true) => {
+                            let rows = static_rows[p].take().expect("static parent");
+                            bottom_up.push(BottomUpStep::HashSemiStaticParent {
+                                child: t,
+                                parent: p,
+                                child_key,
+                                parent_arity,
+                                index: Arc::new(group_by(&rows, &parent_key)),
+                            });
+                        }
+                        (false, false) => {
+                            bottom_up.push(BottomUpStep::HashSemi {
+                                child: t,
+                                parent: p,
+                                child_key,
+                                parent_key,
+                            });
+                        }
+                    }
                     let child_head = pmtd.view_schema(t).intersect(head);
                     if child_head.is_subset(pmtd.view_schema(p)) {
                         kept[t] = false;
                     } else {
-                        let project = compile_project(child_schema, child_head)?;
+                        let project =
+                            compile_project(slot_schema[t].as_ref().expect("T slot schema"), child_head)?;
+                        if let Some(rows) = static_rows[t].take() {
+                            let mut keys = FxHashSet::default();
+                            let mut projected = Vec::new();
+                            project_dedup(&rows, &project.positions, &mut keys, &mut projected);
+                            static_rows[t] = Some(projected);
+                        } else {
+                            bottom_up.push(BottomUpStep::ProjectChild {
+                                node: t,
+                                project: project.clone(),
+                            });
+                        }
                         slot_schema[t] = Some(project.schema.clone());
-                        bottom_up.push(BottomUpStep::ProjectChild { node: t, project });
                     }
                 }
                 (ViewKind::T, ViewKind::S) => {
@@ -400,10 +606,22 @@ impl OnlineYannakakis {
                     compile_project(root_schema, pmtd.view_schema(root_node).intersect(head))?;
                 let join = compile_hash_join(&acc_schema, &project.schema)?;
                 acc_schema = join.out_schema.clone();
-                RootStep::Join {
-                    node: root_node,
-                    project,
-                    join,
+                if let Some(rows) = static_rows[root_node].take() {
+                    // Static root: the projected root view and its join
+                    // index are built once, now.
+                    let mut keys = FxHashSet::default();
+                    let mut reduced = Vec::new();
+                    project_dedup(&rows, &project.positions, &mut keys, &mut reduced);
+                    RootStep::JoinStatic {
+                        groups: Arc::new(group_by(&reduced, &join.build_key)),
+                        join,
+                    }
+                } else {
+                    RootStep::Join {
+                        node: root_node,
+                        project,
+                        join,
+                    }
                 }
             }
         };
@@ -425,7 +643,14 @@ impl OnlineYannakakis {
                     let rel_schema = slot_schema[t].as_ref().expect("T slot schema");
                     let join = compile_hash_join(&acc_schema, rel_schema)?;
                     acc_schema = join.out_schema.clone();
-                    top_down.push(TopDownStep::Join { node: t, join });
+                    if let Some(rows) = static_rows[t].take() {
+                        top_down.push(TopDownStep::JoinStatic {
+                            groups: Arc::new(group_by(&rows, &join.build_key)),
+                            join,
+                        });
+                    } else {
+                        top_down.push(TopDownStep::Join { node: t, join });
+                    }
                 }
             }
         }
@@ -449,6 +674,7 @@ impl OnlineYannakakis {
             materialized,
             t_schema,
             t_varset,
+            static_node,
             s_views,
             bottom_up,
             root,
@@ -485,15 +711,62 @@ impl CompiledPlan {
         request: &AccessRequest,
         scratch: &mut PlanScratch,
     ) -> Result<Relation> {
+        self.check_access(request)?;
+        self.check_backend(views)?;
+
+        // Load and validate the T-views; matching column orders are
+        // borrowed, mismatching ones reordered on a (rare) slow path.
+        // Static nodes are validated but never read — their (folded)
+        // content lives inside the plan.
+        let mut slots: Vec<Slot> = (0..self.num_nodes).map(|_| Slot::Empty).collect();
+        for (node, rel) in t_views {
+            self.check_t_view(*node, rel)?;
+            if self.static_node[*node] {
+                continue;
+            }
+            let expected = self.t_schema[*node].as_ref().expect("validated at compile");
+            if rel.schema() == expected {
+                slots[*node] = Slot::Borrowed(rel.tuples());
+            } else {
+                let positions = rel.schema().positions_of(expected.vars())?;
+                let mut owned = scratch.take_slot_vec();
+                owned.extend(rel.iter().map(|t| t.project(&positions)));
+                slots[*node] = Slot::Owned(owned);
+            }
+        }
+        for t in 0..self.num_nodes {
+            if !self.materialized[t] && !self.static_node[t] && slots[t].is_empty_slot() {
+                return Err(CqapError::InvalidPmtd(format!(
+                    "missing T-view for node {t}"
+                )));
+            }
+        }
+
+        let result = self.run(views, request, &mut slots, scratch);
+        for slot in slots {
+            if let Slot::Owned(v) = slot {
+                scratch.recycle_slot_vec(v);
+            }
+        }
+        result
+    }
+
+    /// Rejects a request whose access pattern differs from the compiled
+    /// one.
+    pub(crate) fn check_access(&self, request: &AccessRequest) -> Result<()> {
         if request.access() != self.access {
             return Err(CqapError::AccessPatternMismatch {
                 expected_arity: self.access.len(),
                 found_arity: request.access().len(),
             });
         }
-        // The backend must expose exactly the views this plan was compiled
-        // against (a different backend spilled from the same preprocessing
-        // output passes by construction).
+        Ok(())
+    }
+
+    /// The backend must expose exactly the views this plan was compiled
+    /// against (a different backend spilled from the same preprocessing
+    /// output passes by construction).
+    pub(crate) fn check_backend<V: SViewProbe>(&self, views: &V) -> Result<()> {
         for (node, expected) in &self.s_views {
             match views.schema(*node) {
                 None => {
@@ -510,48 +783,25 @@ impl CompiledPlan {
                 Some(_) => {}
             }
         }
+        Ok(())
+    }
 
-        // Load and validate the T-views; matching column orders are
-        // borrowed, mismatching ones reordered on a (rare) slow path.
-        let mut slots: Vec<Slot> = (0..self.num_nodes).map(|_| Slot::Empty).collect();
-        for (node, rel) in t_views {
-            if *node >= self.num_nodes || self.materialized[*node] {
-                return Err(CqapError::InvalidPmtd(format!(
-                    "node {node} is materialized; its content belongs to preprocessing"
-                )));
-            }
-            let expected_varset = self.t_varset[*node].expect("validated at compile");
-            if rel.varset() != expected_varset {
-                return Err(CqapError::SchemaMismatch {
-                    expected: format!("ν({node}) = {expected_varset}"),
-                    found: format!("{}", rel.schema()),
-                });
-            }
-            let expected = self.t_schema[*node].as_ref().expect("validated at compile");
-            if rel.schema() == expected {
-                slots[*node] = Slot::Borrowed(rel.tuples());
-            } else {
-                let positions = rel.schema().positions_of(expected.vars())?;
-                let mut owned = scratch.take_slot_vec();
-                owned.extend(rel.iter().map(|t| t.project(&positions)));
-                slots[*node] = Slot::Owned(owned);
-            }
+    /// Validates one supplied T-view against the compile-time node set and
+    /// varset.
+    pub(crate) fn check_t_view(&self, node: usize, rel: &Relation) -> Result<()> {
+        if node >= self.num_nodes || self.materialized[node] {
+            return Err(CqapError::InvalidPmtd(format!(
+                "node {node} is materialized; its content belongs to preprocessing"
+            )));
         }
-        for t in 0..self.num_nodes {
-            if !self.materialized[t] && slots[t].is_empty_slot() {
-                return Err(CqapError::InvalidPmtd(format!(
-                    "missing T-view for node {t}"
-                )));
-            }
+        let expected_varset = self.t_varset[node].expect("validated at compile");
+        if rel.varset() != expected_varset {
+            return Err(CqapError::SchemaMismatch {
+                expected: format!("ν({node}) = {expected_varset}"),
+                found: format!("{}", rel.schema()),
+            });
         }
-
-        let result = self.run(views, request, &mut slots, scratch);
-        for slot in slots {
-            if let Slot::Owned(v) = slot {
-                scratch.recycle_slot_vec(v);
-            }
-        }
-        result
+        Ok(())
     }
 
     fn run<V: SViewProbe>(
@@ -574,12 +824,13 @@ impl CompiledPlan {
                     let mut filtered = scratch.take_slot_vec();
                     for t in src.tuples() {
                         t.project_into(key_positions, &mut scratch.key_vals);
-                        let hit = match scratch.semi.get(scratch.key_vals.as_slice()) {
+                        let hash = hash_vals(&scratch.key_vals);
+                        let hit = match scratch.semi.get(hash, &scratch.key_vals) {
                             Some(&hit) => hit,
                             None => {
                                 let key = Tuple::from_slice(&scratch.key_vals);
                                 let hit = views.contains(*child, &key)?;
-                                scratch.semi.insert(key, hit);
+                                scratch.semi.insert(hash, &scratch.key_vals, hit);
                                 hit
                             }
                         };
@@ -605,7 +856,8 @@ impl CompiledPlan {
                     let src = std::mem::replace(&mut slots[*parent], Slot::Empty);
                     let mut filtered = scratch.take_slot_vec();
                     for t in src.tuples() {
-                        if scratch.keys.contains(&t.project(parent_key)) {
+                        t.project_into(parent_key, &mut scratch.key_vals);
+                        if scratch.keys.contains(scratch.key_vals.as_slice()) {
                             filtered.push(t.clone());
                         }
                     }
@@ -613,6 +865,50 @@ impl CompiledPlan {
                         scratch.recycle_slot_vec(v);
                     }
                     slots[*parent] = Slot::Owned(filtered);
+                }
+                BottomUpStep::HashSemiStaticChild {
+                    parent,
+                    parent_key,
+                    keys,
+                } => {
+                    let src = std::mem::replace(&mut slots[*parent], Slot::Empty);
+                    let mut filtered = scratch.take_slot_vec();
+                    for t in src.tuples() {
+                        t.project_into(parent_key, &mut scratch.key_vals);
+                        if keys.contains(scratch.key_vals.as_slice()) {
+                            filtered.push(t.clone());
+                        }
+                    }
+                    if let Slot::Owned(v) = src {
+                        scratch.recycle_slot_vec(v);
+                    }
+                    slots[*parent] = Slot::Owned(filtered);
+                }
+                BottomUpStep::HashSemiStaticParent {
+                    child,
+                    parent,
+                    child_key,
+                    index,
+                    ..
+                } => {
+                    // Probe the prebuilt static-parent index with each
+                    // distinct key of the (small) dynamic child.
+                    scratch.keys.clear();
+                    let mut filtered = scratch.take_slot_vec();
+                    for t in slots[*child].tuples() {
+                        t.project_into(child_key, &mut scratch.key_vals);
+                        if scratch.keys.contains(scratch.key_vals.as_slice()) {
+                            continue;
+                        }
+                        scratch.keys.insert(Tuple::from_slice(&scratch.key_vals));
+                        if let Some(bucket) = index.get(scratch.key_vals.as_slice()) {
+                            filtered.extend(bucket.iter().cloned());
+                        }
+                    }
+                    let old = std::mem::replace(&mut slots[*parent], Slot::Owned(filtered));
+                    if let Slot::Owned(v) = old {
+                        scratch.recycle_slot_vec(v);
+                    }
                 }
                 BottomUpStep::ProjectChild { node, project } => {
                     let src = std::mem::replace(&mut slots[*node], Slot::Empty);
@@ -678,6 +974,10 @@ impl CompiledPlan {
                 scratch.recycle_slot_vec(reduced);
                 std::mem::swap(&mut acc, &mut next);
             }
+            RootStep::JoinStatic { join, groups } => {
+                exec_static_join(join, groups, &acc, &mut next, &mut scratch.key_vals);
+                std::mem::swap(&mut acc, &mut next);
+            }
         }
 
         // Top-down joins over the kept nodes.
@@ -688,6 +988,9 @@ impl CompiledPlan {
                 }
                 TopDownStep::Join { node, join } => {
                     exec_hash_join(join, &acc, slots[*node].tuples(), &mut next, &mut scratch.groups);
+                }
+                TopDownStep::JoinStatic { join, groups } => {
+                    exec_static_join(join, groups, &acc, &mut next, &mut scratch.key_vals);
                 }
             }
             std::mem::swap(&mut acc, &mut next);
@@ -705,7 +1008,9 @@ impl CompiledPlan {
                 builder.finish()
             }
             Some(project) => {
-                assert!(next.is_empty(), "TEMP-REVIEW: stale next at final projection: {} tuples", next.len());
+                // `next` holds the previous step's (stale) accumulator
+                // after the last swap — drop it before reusing the buffer.
+                next.clear();
                 project_dedup(&acc, &project.positions, &mut scratch.keys, &mut next);
                 let mut builder =
                     RelationBuilder::distinct("Q_ans", project.schema.clone());
@@ -737,14 +1042,15 @@ impl CompiledPlan {
         acc_out.clear();
         for lt in acc_in {
             lt.project_into(&join.key_positions, &mut scratch.key_vals);
-            let (start, end) = match scratch.ranges.get(scratch.key_vals.as_slice()) {
+            let hash = hash_vals(&scratch.key_vals);
+            let (start, end) = match scratch.ranges.get(hash, &scratch.key_vals) {
                 Some(&range) => range,
                 None => {
                     let key = Tuple::from_slice(&scratch.key_vals);
                     let start = scratch.pool.len() as u32;
                     views.probe_into(node, &key, &mut scratch.pool)?;
                     let end = scratch.pool.len() as u32;
-                    scratch.ranges.insert(key, (start, end));
+                    scratch.ranges.insert(hash, &scratch.key_vals, (start, end));
                     (start, end)
                 }
             };
@@ -784,6 +1090,28 @@ fn project_dedup(
     }
 }
 
+/// `acc_out = acc_in ⋈ static side` through a compile-time join index:
+/// the request-dependent accumulator probes the prebuilt groups with a
+/// borrowed key slice — the static side is never scanned, and no build
+/// work happens per request.
+fn exec_static_join(
+    join: &HashJoin,
+    groups: &StaticGroups,
+    acc_in: &[Tuple],
+    acc_out: &mut Vec<Tuple>,
+    key_vals: &mut Vec<cqap_common::Val>,
+) {
+    acc_out.clear();
+    for lt in acc_in {
+        lt.project_into(&join.probe_key, key_vals);
+        if let Some(bucket) = groups.get(key_vals.as_slice()) {
+            for rt in bucket {
+                acc_out.push(lt.concat_projected(rt, &join.appended));
+            }
+        }
+    }
+}
+
 /// `acc_out = acc_in ⋈ rel` on all shared variables: build a hash table
 /// over the (request-dependent, hence small) T-view side, probe with the
 /// accumulator.
@@ -814,6 +1142,7 @@ fn exec_hash_join(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::columnar::ColumnarScratch;
     use crate::naive::full_join;
     use crate::online::PreprocessedViews;
     use cqap_decomp::families as pmtd_families;
@@ -858,6 +1187,7 @@ mod tests {
         let g = Graph::random(40, 160, 7);
         let db = g.as_path_database(3);
         let mut scratch = PlanScratch::new();
+        let mut col = ColumnarScratch::new();
         for pmtd in &pmtds {
             let oy = OnlineYannakakis::new(pmtd.clone());
             let (pre, t_views) = views_for(pmtd, &cqap, &db);
@@ -867,8 +1197,112 @@ mod tests {
                 let interpreted = oy.answer(&pre, &t_views, &req).unwrap();
                 let compiled = plan.answer_with(&pre, &refs(&t_views), &req, &mut scratch).unwrap();
                 assert_eq!(compiled, interpreted, "{} on ({a},{b})", pmtd.summary());
+                let columnar = plan
+                    .answer_columnar(&pre, &refs(&t_views), &req, &mut col)
+                    .unwrap();
+                assert_eq!(columnar, interpreted, "columnar {} on ({a},{b})", pmtd.summary());
             }
         }
+    }
+
+    #[test]
+    fn static_t_views_fold_into_the_plan() {
+        // Declaring every T-view static must hoist all reductions over
+        // them (folded semijoins, prebuilt key sets / join indexes, a
+        // static root join) without changing a single answer — and the
+        // folded plan must accept requests that omit the static content
+        // entirely.
+        let (cqap, pmtds) = pmtd_families::pmtds_3reach_fig1().unwrap();
+        let g = Graph::random(30, 130, 9);
+        let db = g.as_path_database(3);
+        let mut scratch = PlanScratch::new();
+        let mut col = ColumnarScratch::new();
+        for pmtd in &pmtds[..2] {
+            let oy = OnlineYannakakis::new(pmtd.clone());
+            let (pre, t_views) = views_for(pmtd, &cqap, &db);
+            assert!(!t_views.is_empty());
+            let plain = oy.compile(&pre, &t_schemas(&t_views)).unwrap();
+            let folded = oy
+                .compile_with_statics(&pre, &t_schemas(&t_views), &refs(&t_views))
+                .unwrap();
+            for (a, b) in [(0u64, 1u64), (3, 7), (12, 4), (1, 1)] {
+                let req = AccessRequest::single(cqap.access(), &[a, b]).unwrap();
+                let expected = plain
+                    .answer_with(&pre, &refs(&t_views), &req, &mut scratch)
+                    .unwrap();
+                // Static T-views may be omitted per request...
+                assert_eq!(
+                    folded.answer_with(&pre, &[], &req, &mut scratch).unwrap(),
+                    expected,
+                    "folded rows {} on ({a},{b})",
+                    pmtd.summary()
+                );
+                // ...or passed anyway (validated, not read), on both
+                // execution paths.
+                assert_eq!(
+                    folded
+                        .answer_with(&pre, &refs(&t_views), &req, &mut scratch)
+                        .unwrap(),
+                    expected
+                );
+                assert_eq!(
+                    folded.answer_columnar(&pre, &[], &req, &mut col).unwrap(),
+                    expected,
+                    "folded columnar {} on ({a},{b})",
+                    pmtd.summary()
+                );
+            }
+        }
+        // Partially static: only the root T-view declared static on the
+        // pure-T chain PMTD. Its dynamic child semijoin-reduces it per
+        // request, so the plan prebuilds an index over the static parent
+        // and probes it with the (small) child keys.
+        let pmtd = &pmtds[0]; // (T134, T123): node 0 = root T134
+        let oy = OnlineYannakakis::new(pmtd.clone());
+        let (pre, t_views) = views_for(pmtd, &cqap, &db);
+        let root_node = pmtd.td().root();
+        let root_static: Vec<(usize, &Relation)> = t_views
+            .iter()
+            .filter(|(n, _)| *n == root_node)
+            .map(|(n, r)| (*n, r))
+            .collect();
+        assert_eq!(root_static.len(), 1);
+        let leaf_views: Vec<(usize, &Relation)> = t_views
+            .iter()
+            .filter(|(n, _)| *n != root_node)
+            .map(|(n, r)| (*n, r))
+            .collect();
+        let plain = oy.compile(&pre, &t_schemas(&t_views)).unwrap();
+        let folded = oy
+            .compile_with_statics(&pre, &t_schemas(&t_views), &root_static)
+            .unwrap();
+        for (a, b) in [(0u64, 1u64), (3, 7), (12, 4)] {
+            let req = AccessRequest::single(cqap.access(), &[a, b]).unwrap();
+            let expected = plain
+                .answer_with(&pre, &refs(&t_views), &req, &mut scratch)
+                .unwrap();
+            assert_eq!(
+                folded
+                    .answer_with(&pre, &leaf_views, &req, &mut scratch)
+                    .unwrap(),
+                expected,
+                "static-parent rows on ({a},{b})"
+            );
+            assert_eq!(
+                folded
+                    .answer_columnar(&pre, &leaf_views, &req, &mut col)
+                    .unwrap(),
+                expected,
+                "static-parent columnar on ({a},{b})"
+            );
+        }
+
+        // Static content with the wrong schema is rejected at compile.
+        let bad = Relation::binary("bad", 0, 1, [(1, 2)]);
+        let statics = vec![(t_views[0].0, &bad)];
+        assert!(oy
+            .compile_with_statics(&pre, &t_schemas(&t_views), &statics)
+            .is_err());
     }
 
     #[test]
@@ -912,7 +1346,8 @@ mod tests {
         let plan = oy.compile(&pre, &t_schemas(&t_views)).unwrap();
         let mut scratch = PlanScratch::new();
 
-        // Reverse every T-view's column order: answers must not change.
+        // Reverse every T-view's column order: answers must not change,
+        // on the row and the columnar path alike.
         let reversed: Vec<(usize, Relation)> = t_views
             .iter()
             .map(|(n, r)| {
@@ -922,9 +1357,16 @@ mod tests {
             })
             .collect();
         let req = AccessRequest::single(cqap.access(), &[0, 1]).unwrap();
+        let expected = oy.answer(&pre, &t_views, &req).unwrap();
         assert_eq!(
             plan.answer_with(&pre, &refs(&reversed), &req, &mut scratch).unwrap(),
-            oy.answer(&pre, &t_views, &req).unwrap()
+            expected
+        );
+        let mut col = ColumnarScratch::new();
+        assert_eq!(
+            plan.answer_columnar(&pre, &refs(&reversed), &req, &mut col)
+                .unwrap(),
+            expected
         );
     }
 
@@ -950,10 +1392,16 @@ mod tests {
         let ans = plan.answer_with(&pre, &[], &req, &mut scratch).unwrap();
         assert_eq!(ans, oy.answer(&pre, &[], &req).unwrap());
         assert_eq!(ans.len(), 3);
+        let mut col = ColumnarScratch::new();
+        assert_eq!(plan.answer_columnar(&pre, &[], &req, &mut col).unwrap(), ans);
         // The empty request is the "false" binding: no answers.
         let empty = AccessRequest::new(VarSet::EMPTY, vec![]).unwrap();
         assert!(plan
             .answer_with(&pre, &[], &empty, &mut scratch)
+            .unwrap()
+            .is_empty());
+        assert!(plan
+            .answer_columnar(&pre, &[], &empty, &mut col)
             .unwrap()
             .is_empty());
     }
@@ -998,6 +1446,28 @@ mod tests {
             cqap_relation::instrument::dedup_inserts(),
             before,
             "warm probe-only requests must perform zero relation-level dedup inserts"
+        );
+        assert_eq!(answers, expected);
+
+        // The columnar path additionally never boxes a tuple: rows live in
+        // column runs until the final (inline-width) head projection.
+        let mut col = ColumnarScratch::new();
+        plan.answer_columnar(&pre, &[], &warmup, &mut col).unwrap();
+        let dedup_before = cqap_relation::instrument::dedup_inserts();
+        let boxes_before = cqap_common::tuple::instrument::heap_boxings();
+        let answers: Vec<Relation> = requests
+            .iter()
+            .map(|req| plan.answer_columnar(&pre, &[], req, &mut col).unwrap())
+            .collect();
+        assert_eq!(
+            cqap_relation::instrument::dedup_inserts(),
+            dedup_before,
+            "warm columnar requests must perform zero relation-level dedup inserts"
+        );
+        assert_eq!(
+            cqap_common::tuple::instrument::heap_boxings(),
+            boxes_before,
+            "warm columnar requests must perform zero tuple heap boxings"
         );
         assert_eq!(answers, expected);
     }

@@ -69,10 +69,12 @@
 //! }
 //! ```
 
+pub mod columnar;
 pub mod compiled;
 pub mod naive;
 pub mod online;
 
+pub use columnar::{ColumnRun, ColumnarScratch, KeyMemo};
 pub use compiled::{CompiledPlan, PlanScratch};
 pub use naive::naive_answer;
 pub use online::{OnlineYannakakis, PreprocessedViews, SViewProbe};

@@ -105,6 +105,34 @@ pub trait SViewProbe {
     /// (e.g. an I/O error in a disk backend).
     fn probe_into(&self, node: usize, key: &Tuple, out: &mut Vec<Tuple>) -> Result<()>;
 
+    /// Appends all stored tuples of `node`'s view whose link-variable
+    /// projection equals `key` to the columns of `out` (which must already
+    /// be reset to the view's arity and is *not* cleared, so the columnar
+    /// execution path pools several probes in one run).
+    ///
+    /// This is the column-writing entry point of the storage seam: the
+    /// in-memory indexes scatter their bucket slices column-wise, the disk
+    /// backend decodes its little-endian segments straight into the
+    /// columns — in both cases probe results reach the columnar executor
+    /// without ever materializing a row [`Tuple`]. The default
+    /// implementation is a row-based fallback over
+    /// [`SViewProbe::probe_into`] for backends that have not been
+    /// columnarized.
+    ///
+    /// # Errors
+    /// Same failure modes as [`SViewProbe::probe_into`].
+    fn probe_columns(
+        &self,
+        node: usize,
+        key: &Tuple,
+        out: &mut crate::columnar::ColumnRun,
+    ) -> Result<()> {
+        let mut rows = Vec::new();
+        self.probe_into(node, key, &mut rows)?;
+        out.extend_from_tuples(&rows);
+        Ok(())
+    }
+
     /// All stored tuples of `node`'s view whose link-variable projection
     /// equals `key`, as a fresh vector. Convenience wrapper over
     /// [`SViewProbe::probe_into`] for callers off the hot path.
@@ -140,6 +168,18 @@ impl SViewProbe for PreprocessedViews {
 
     fn probe_into(&self, node: usize, key: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
         out.extend_from_slice(self.sview(node)?.index.probe(key));
+        Ok(())
+    }
+
+    /// The matching bucket slice is scattered column-wise — no row tuple
+    /// is built or cloned.
+    fn probe_columns(
+        &self,
+        node: usize,
+        key: &Tuple,
+        out: &mut crate::columnar::ColumnRun,
+    ) -> Result<()> {
+        out.extend_from_tuples(self.sview(node)?.index.probe(key));
         Ok(())
     }
 

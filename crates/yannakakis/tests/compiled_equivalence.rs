@@ -3,11 +3,12 @@
 //!
 //! Across randomized databases, every PMTD of several query families
 //! (covering different access patterns, S/T mixes and tree shapes),
-//! single-binding and multi-tuple requests, the three evaluation paths —
-//! naive join, the interpreted online phase, and the compiled plan with
-//! its reusable scratch arena — must be bit-for-bit identical. This is
-//! the acceptance bar for the zero-copy refactor: compiled plans are an
-//! *optimization*, never a semantics change.
+//! single-binding and multi-tuple requests, the four evaluation paths —
+//! naive join, the interpreted online phase, the row-compiled plan, and
+//! the **columnar** plan over struct-of-arrays scratch — must be
+//! bit-for-bit identical. This is the acceptance bar for the zero-copy
+//! and columnar refactors: compiled plans are an *optimization*, never a
+//! semantics change.
 
 use cqap_common::Tuple;
 use cqap_decomp::{families as pmtd_families, Pmtd};
@@ -15,7 +16,7 @@ use cqap_query::workload::{graph_pair_requests, zipf_multi_requests, Graph};
 use cqap_query::{AccessRequest, Cqap};
 use cqap_relation::{Database, Relation, Schema};
 use cqap_yannakakis::naive::{full_join, naive_answer};
-use cqap_yannakakis::{OnlineYannakakis, PlanScratch, PreprocessedViews};
+use cqap_yannakakis::{ColumnarScratch, OnlineYannakakis, PlanScratch, PreprocessedViews};
 use proptest::prelude::*;
 
 /// Ideal view contents from the full join, as in the paper's
@@ -40,14 +41,15 @@ fn views_from_full_join(
     (oy.preprocess(&s_views).unwrap(), t_views)
 }
 
-/// Checks naive ≡ interpreted ≡ compiled for every PMTD of the family on
-/// every request.
+/// Checks naive ≡ interpreted ≡ row-compiled ≡ columnar for every PMTD of
+/// the family on every request.
 fn check_family(
     cqap: &Cqap,
     pmtds: &[Pmtd],
     db: &Database,
     requests: &[AccessRequest],
     scratch: &mut PlanScratch,
+    columnar: &mut ColumnarScratch,
 ) {
     for pmtd in pmtds {
         let oy = OnlineYannakakis::new(pmtd.clone());
@@ -63,6 +65,9 @@ fn check_family(
             let naive = naive_answer(cqap, db, request).unwrap();
             let interpreted = oy.answer(&pre, &t_views, request).unwrap();
             let compiled = plan.answer_with(&pre, &t_refs, request, scratch).unwrap();
+            let columnar_ans = plan
+                .answer_columnar(&pre, &t_refs, request, columnar)
+                .unwrap();
             assert_eq!(
                 interpreted,
                 naive,
@@ -73,6 +78,12 @@ fn check_family(
                 compiled,
                 interpreted,
                 "compiled diverged from interpreted on {}",
+                pmtd.summary()
+            );
+            assert_eq!(
+                columnar_ans,
+                interpreted,
+                "columnar diverged from interpreted on {}",
                 pmtd.summary()
             );
         }
@@ -109,7 +120,8 @@ proptest! {
         let db = graph.as_path_database(3);
         let requests = requests_for(&cqap, &graph, seed ^ 0x51ed);
         let mut scratch = PlanScratch::new();
-        check_family(&cqap, &pmtds, &db, &requests, &mut scratch);
+        let mut columnar = ColumnarScratch::new();
+        check_family(&cqap, &pmtds, &db, &requests, &mut scratch, &mut columnar);
     }
 
     /// 2-reachability: a different access pattern and bag structure.
@@ -120,7 +132,8 @@ proptest! {
         let db = graph.as_path_database(2);
         let requests = requests_for(&cqap, &graph, seed ^ 0x2bad);
         let mut scratch = PlanScratch::new();
-        check_family(&cqap, &pmtds, &db, &requests, &mut scratch);
+        let mut columnar = ColumnarScratch::new();
+        check_family(&cqap, &pmtds, &db, &requests, &mut scratch, &mut columnar);
     }
 
     /// The square (cyclic) query: four atoms over one edge relation.
@@ -140,6 +153,7 @@ proptest! {
         }
         let requests = requests_for(&cqap, &graph, seed ^ 0x4u64);
         let mut scratch = PlanScratch::new();
-        check_family(&cqap, &pmtds, &db, &requests, &mut scratch);
+        let mut columnar = ColumnarScratch::new();
+        check_family(&cqap, &pmtds, &db, &requests, &mut scratch, &mut columnar);
     }
 }
