@@ -432,6 +432,17 @@ impl CompiledPmtd {
         })
     }
 
+    /// Whether some bag of this plan uses the fallback T-view path (and
+    /// therefore retains the full join): recompiles after a delta must
+    /// recompute the full join exactly when this is true. Fallback-ness
+    /// is decided purely from schemas, so it is stable across recompiles
+    /// over the same CQAP and PMTD.
+    pub(crate) fn needs_full(&self) -> bool {
+        self.programs
+            .iter()
+            .any(|p| matches!(p.kind, TViewKind::Fallback { .. }))
+    }
+
     /// Answers one request through the **columnar** pipeline (the default
     /// serving path): the T-view programs write their output directly as
     /// column runs, the plan executes column-at-a-time, and rows become
@@ -747,6 +758,91 @@ mod tests {
             "the warm columnar request path must perform zero tuple heap boxings"
         );
         assert_eq!(answers, expected);
+    }
+
+    #[test]
+    fn warm_path_after_deltas_stays_zero_dedup_and_zero_boxing() {
+        // The maintenance seam must not erode the paper's probe-only
+        // online phase: an empty [`DeltaBatch`] short-circuits without
+        // touching the compiled plans, so a warm serving loop that
+        // absorbs it stays allocation-free; and after a *real* delta
+        // (which recompiles the plans) a single re-warming request
+        // restores the zero-dedup / zero-boxing steady state.
+        use cqap_delta::{ApplyDelta, DeltaBatch};
+
+        let (cqap, pmtds) = pf::pmtds_3reach_fig1().unwrap();
+        let g = Graph::random(50, 260, 13);
+        let db = g.as_path_database(3);
+        let mut index = CqapIndex::build(&cqap, &db, &pmtds[2..3]).unwrap();
+        let requests: Vec<AccessRequest> = graph_pair_requests(&g, 6, 17)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        let expected: Vec<Relation> = requests
+            .iter()
+            .map(|r| index.answer_interpreted(r).unwrap())
+            .collect();
+        index.answer(&requests[0]).unwrap(); // warm the scratch arena
+
+        // Counted window 1: empty batch + warm answering.
+        let dedup_before = cqap_relation::instrument::dedup_inserts();
+        let boxes_before = cqap_common::tuple::instrument::heap_boxings();
+        let stats = index.apply_delta(&DeltaBatch::new()).unwrap();
+        assert!(stats.is_noop(), "an empty batch must be a net no-op");
+        let answers: Vec<Relation> =
+            requests.iter().map(|r| index.answer(r).unwrap()).collect();
+        assert_eq!(
+            cqap_relation::instrument::dedup_inserts(),
+            dedup_before,
+            "an empty delta batch must leave the zero-dedup warm path intact"
+        );
+        assert_eq!(
+            cqap_common::tuple::instrument::heap_boxings(),
+            boxes_before,
+            "an empty delta batch must leave the zero-boxing warm path intact"
+        );
+        assert_eq!(answers, expected);
+
+        // A real delta: plans recompile, answers change where the new
+        // chain completes, and one re-warming request restores the
+        // allocation-free steady state.
+        let batch = DeltaBatch::new()
+            .insert("R1", vec![Tuple::pair(90_000, 90_001)])
+            .insert("R2", vec![Tuple::pair(90_001, 90_002)])
+            .insert("R3", vec![Tuple::pair(90_002, 90_003)]);
+        assert!(!index.apply_delta(&batch).unwrap().is_noop());
+        let mut post_requests = requests.clone();
+        post_requests
+            .push(AccessRequest::single(cqap.access(), &[90_000, 90_003]).unwrap());
+        let post_expected: Vec<Relation> = post_requests
+            .iter()
+            .map(|r| index.answer_interpreted(r).unwrap())
+            .collect();
+        assert_eq!(
+            post_expected.last().unwrap().len(),
+            1,
+            "the inserted chain must produce the new answer"
+        );
+        index.answer(&post_requests[0]).unwrap(); // re-warm after recompile
+
+        // Counted window 2: warm answering over the maintained index.
+        let dedup_before = cqap_relation::instrument::dedup_inserts();
+        let boxes_before = cqap_common::tuple::instrument::heap_boxings();
+        let post_answers: Vec<Relation> = post_requests
+            .iter()
+            .map(|r| index.answer(r).unwrap())
+            .collect();
+        assert_eq!(
+            cqap_relation::instrument::dedup_inserts(),
+            dedup_before,
+            "warm serving after a delta must perform zero relation-level dedup inserts"
+        );
+        assert_eq!(
+            cqap_common::tuple::instrument::heap_boxings(),
+            boxes_before,
+            "warm serving after a delta must perform zero tuple heap boxings"
+        );
+        assert_eq!(post_answers, post_expected);
     }
 
     #[test]

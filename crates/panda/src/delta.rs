@@ -1,0 +1,384 @@
+//! Compiled delta plans: incremental maintenance of the S-views.
+//!
+//! The paper's preprocessing phase materializes, per PMTD, the S-views as
+//! semijoin-reduced projections of the full join `J = ⋈_F R_F`. Because
+//! the SS-edge semijoin-reduce is a no-op on that *ideal* content (every
+//! parent tuple is the projection of some J-row, which also projects into
+//! the child), each S-view is **exactly** `π_{ν(t)}(J)` — so maintaining
+//! the views under database updates reduces to maintaining projections of
+//! J with support counts, semi-naive style:
+//!
+//! * `ΔJ⁻ = ⋃_a (ΔR⁻ renamed to atom a) ⋈ (all other atoms over the
+//!   pre-delta database)` — the J-rows that disappear;
+//! * `ΔJ⁺ = ⋃_a (ΔR⁺ renamed to atom a) ⋈ (all other atoms over the
+//!   post-delta database)` — the J-rows that appear.
+//!
+//! (Net deltas are disjoint from / contained in the stored relations, so
+//! both unions are exact — no overcounting across atoms beyond the set
+//! union.) A support count per (plan, materialized node, view tuple)
+//! tracks how many J-rows project onto it; a view tuple leaves its S-view
+//! when its count reaches zero and enters when it departs from zero.
+//!
+//! The per-atom join chains are **compiled once at build time** (schemas,
+//! key positions, appended columns — the same pre-resolved shape as the
+//! T-view programs of `compiled.rs`) and execute by probing the shared
+//! `AtomIndexCache`, so delta application reuses the build's `O(|D|)`
+//! atom indexes instead of re-deriving them, evicting only the indexes
+//! over relations the batch touched.
+
+use std::sync::Arc;
+
+use cqap_common::{FxHashMap, FxHashSet, Result, Tuple, VarSet};
+use cqap_decomp::Pmtd;
+use cqap_delta::{net_effect, DeltaBatch, DeltaStats, RelationDelta};
+use cqap_query::Cqap;
+use cqap_relation::{Database, HashIndex, Relation, RelationBuilder, Schema};
+use cqap_yannakakis::naive::{atom_relation, full_join};
+use cqap_yannakakis::{OnlineYannakakis, SViewProbe};
+
+use crate::compiled::{AtomIndexCache, CompiledPmtd};
+
+/// One pre-resolved join step of a delta plan: joining the accumulated
+/// ΔJ-prefix with one other atom of the query, probing that atom's
+/// build-time hash index on the (statically known) shared variables.
+#[derive(Clone, Debug)]
+struct DeltaStep {
+    /// Index of the joined atom in `cqap.cq().atoms()`.
+    atom: usize,
+    /// Variables shared between the chain schema so far and the atom.
+    shared: VarSet,
+    /// Positions of `shared` in the chain schema at this step.
+    key_positions: Vec<usize>,
+    /// Atom-side positions of the columns appended to the chain.
+    appended: Vec<usize>,
+}
+
+/// The compiled delta plan of one atom: how a batch of that atom's tuple
+/// deltas expands to full-join row deltas. Compiled once per atom at
+/// index build time; the join order is connectivity-greedy so each step
+/// keys on a non-empty shared variable set whenever the query allows it.
+#[derive(Clone, Debug)]
+struct DeltaProgram {
+    /// The delta tuples renamed to the atom's variables.
+    schema: Schema,
+    steps: Vec<DeltaStep>,
+}
+
+impl DeltaProgram {
+    fn compile(cqap: &Cqap, a: usize) -> Result<DeltaProgram> {
+        let atoms = cqap.cq().atoms();
+        let schema = Schema::new(atoms[a].vars.clone())?;
+        let mut chain = schema.clone();
+        let mut remaining: Vec<usize> = (0..atoms.len()).filter(|&b| b != a).collect();
+        let mut steps = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let pick = remaining
+                .iter()
+                .position(|&b| {
+                    !Schema::new(atoms[b].vars.clone())
+                        .map(|s| s.varset().intersect(chain.varset()).is_empty())
+                        .unwrap_or(true)
+                })
+                .unwrap_or(0);
+            let b = remaining.remove(pick);
+            let b_schema = Schema::new(atoms[b].vars.clone())?;
+            let shared = chain.varset().intersect(b_schema.varset());
+            let out = chain.join(&b_schema);
+            let appended = out.vars()[chain.arity()..]
+                .iter()
+                .map(|&v| b_schema.position(v).expect("appended var"))
+                .collect();
+            steps.push(DeltaStep {
+                atom: b,
+                shared,
+                key_positions: chain.positions_of_set(shared)?,
+                appended,
+            });
+            chain = out;
+        }
+        Ok(DeltaProgram { schema, steps })
+    }
+
+    /// Expands this atom's tuple delta into full-join row deltas by
+    /// running the compiled chain against `db`, probing (and lazily
+    /// rebuilding) the shared atom-index cache.
+    fn exec(
+        &self,
+        tuples: &[Tuple],
+        cqap: &Cqap,
+        db: &Database,
+        cache: &mut AtomIndexCache,
+    ) -> Result<Relation> {
+        let atoms = cqap.cq().atoms();
+        let mut acc =
+            Relation::from_tuples("ΔR", self.schema.clone(), tuples.iter().cloned())?;
+        for step in &self.steps {
+            let atom = &atoms[step.atom];
+            let cache_key = (atom.relation.clone(), atom.vars.clone(), step.shared.0);
+            let index = match cache.get(&cache_key) {
+                Some(index) => Arc::clone(index),
+                None => {
+                    let rel = atom_relation(db, atom)?;
+                    let index = Arc::new(HashIndex::build(&rel, step.shared)?);
+                    cache.insert(cache_key, Arc::clone(&index));
+                    index
+                }
+            };
+            let out_schema = acc.schema().join(index.schema());
+            // A join of two sets is duplicate-free by construction (the
+            // probed tuple is determined by the key plus the appended
+            // columns), so the builder skips the dedup set.
+            let mut out = RelationBuilder::distinct("ΔJ", out_schema);
+            for lt in acc.iter() {
+                let key = lt.project(&step.key_positions);
+                for rt in index.probe(&key) {
+                    out.push(lt.concat_projected(rt, &step.appended));
+                }
+            }
+            acc = out.finish();
+        }
+        Ok(acc)
+    }
+}
+
+/// Support counts for one materialized node of one plan: how many
+/// full-join rows project onto each stored view tuple.
+#[derive(Clone, Debug)]
+struct ViewCounts {
+    node: usize,
+    vars: VarSet,
+    counts: FxHashMap<Tuple, u64>,
+}
+
+/// Which side of a net delta to expand through the delta plans.
+#[derive(Clone, Copy)]
+enum Side {
+    Inserts,
+    Deletes,
+}
+
+/// The per-plan ΔS-views of one applied batch plus what it changed.
+#[derive(Debug, Default)]
+pub struct DeltaOutcome {
+    /// Net database-level changes (see [`DeltaStats`]).
+    pub stats: DeltaStats,
+    /// Per plan (index-aligned with the PMTDs the maintenance was built
+    /// over), per materialized node: `(node, inserts, deletes)` — the net
+    /// view tuples to add and remove from that S-view.
+    pub views: Vec<Vec<(usize, Vec<Tuple>, Vec<Tuple>)>>,
+    /// Names of the stored relations the batch actually changed; empty
+    /// exactly when the batch was a net no-op.
+    pub touched: Vec<String>,
+}
+
+/// Build-once maintenance state for a set of PMTD plans over one
+/// database: compiled per-atom delta plans, per-view support counts, the
+/// shared atom-index cache, and whether recompiles need the full join.
+///
+/// Cloneable so a second backend over the same preprocessing output (the
+/// disk spill in `cqap-store`) carries its own maintenance lineage; the
+/// cached atom indexes are `Arc`-shared until a delta diverges them.
+#[derive(Clone, Debug)]
+pub struct DeltaMaintenance {
+    programs: Vec<DeltaProgram>,
+    plans: Vec<Vec<ViewCounts>>,
+    atom_indexes: AtomIndexCache,
+    needs_full: bool,
+}
+
+impl DeltaMaintenance {
+    /// Compiles the delta plans and initializes the support counts from
+    /// the build-time full join. `atom_indexes` is the build's memo (the
+    /// delta plans keep reusing it); `needs_full` records whether any
+    /// compiled plan uses the fallback T-view path, in which case
+    /// recompiles after a delta must recompute the full join.
+    pub fn build(
+        cqap: &Cqap,
+        pmtds: &[Pmtd],
+        full: &Relation,
+        atom_indexes: AtomIndexCache,
+        needs_full: bool,
+    ) -> Result<Self> {
+        let num_atoms = cqap.cq().atoms().len();
+        let mut programs = Vec::with_capacity(num_atoms);
+        for a in 0..num_atoms {
+            programs.push(DeltaProgram::compile(cqap, a)?);
+        }
+        let mut plans = Vec::with_capacity(pmtds.len());
+        for pmtd in pmtds {
+            let mut views = Vec::new();
+            for node in pmtd.materialization_set() {
+                let vars = pmtd.view_schema(node);
+                let positions = full.schema().positions_of_set(vars)?;
+                let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
+                for t in full.iter() {
+                    *counts.entry(t.project(&positions)).or_insert(0) += 1;
+                }
+                views.push(ViewCounts { node, vars, counts });
+            }
+            plans.push(views);
+        }
+        Ok(DeltaMaintenance {
+            programs,
+            plans,
+            atom_indexes,
+            needs_full,
+        })
+    }
+
+    /// Whether recompiled pipelines need the (recomputed) full join —
+    /// true only if some bag of some plan uses the fallback T-view path.
+    pub fn needs_full(&self) -> bool {
+        self.needs_full
+    }
+
+    /// The full join to feed [`DeltaMaintenance::recompile`]: recomputed
+    /// from `db` only when some plan actually retains it (fallback bags);
+    /// otherwise a cheap empty placeholder, which is sound because
+    /// fallback-ness is decided purely from schemas and so cannot change
+    /// between builds over the same CQAP and PMTDs.
+    pub fn full_for_recompile(&self, cqap: &Cqap, db: &Database) -> Result<Relation> {
+        if self.needs_full {
+            full_join(cqap, db)
+        } else {
+            Ok(Relation::new("J∅", Schema::empty()))
+        }
+    }
+
+    /// Recompiles one plan's answering pipeline against `views` after the
+    /// backing database and S-views absorbed a delta, reusing the shared
+    /// atom-index cache (indexes over touched relations were evicted by
+    /// [`DeltaMaintenance::apply`] and rebuild lazily from `db`).
+    pub fn recompile<V: SViewProbe>(
+        &mut self,
+        cqap: &Cqap,
+        db: &Database,
+        evaluator: &OnlineYannakakis,
+        views: &V,
+        full: &Relation,
+    ) -> Result<CompiledPmtd> {
+        CompiledPmtd::compile_cached(cqap, db, evaluator, views, full, &mut self.atom_indexes)
+    }
+
+    /// Applies one batch: computes `ΔJ⁻` against the pre-delta `db`,
+    /// mutates `db` to the post-delta state, computes `ΔJ⁺`, updates the
+    /// support counts, and returns the per-plan net ΔS-views for the
+    /// caller's backend to absorb. Evicts cached atom indexes over the
+    /// touched relations so subsequent plan executions and recompiles see
+    /// post-delta content.
+    ///
+    /// A batch whose net effect is empty short-circuits: `db`, the
+    /// counts and the index cache are left untouched and the outcome
+    /// carries no view deltas.
+    pub fn apply(
+        &mut self,
+        cqap: &Cqap,
+        db: &mut Database,
+        batch: &DeltaBatch,
+    ) -> Result<DeltaOutcome> {
+        let deltas = net_effect(db, batch)?;
+        if deltas.is_empty() {
+            return Ok(DeltaOutcome::default());
+        }
+        // ΔJ⁻ over the pre-delta database.
+        let minus = self.delta_join(cqap, db, &deltas, Side::Deletes)?;
+        // Net effect into the stored relations.
+        let mut stats = DeltaStats::default();
+        for delta in &deltas {
+            let rel = db.relation_mut(&delta.relation)?;
+            let gone: FxHashSet<Tuple> = delta.deletes.iter().cloned().collect();
+            stats.deleted += rel.remove_all(&gone);
+            for t in &delta.inserts {
+                if rel.insert(t.clone())? {
+                    stats.inserted += 1;
+                }
+            }
+        }
+        // Indexes over touched relations are stale from here on; evict
+        // them so ΔJ⁺ (and later recompiles) rebuild from the new content.
+        let touched: Vec<String> = deltas.iter().map(|d| d.relation.clone()).collect();
+        self.atom_indexes
+            .retain(|(name, _, _), _| !touched.iter().any(|t| t == name));
+        // ΔJ⁺ over the post-delta database.
+        let plus = self.delta_join(cqap, db, &deltas, Side::Inserts)?;
+        // Support-count transitions → net ΔS-views per plan and node.
+        let mut views = Vec::with_capacity(self.plans.len());
+        for plan in &mut self.plans {
+            let mut per_plan = Vec::with_capacity(plan.len());
+            for vc in plan.iter_mut() {
+                let mut shifts: FxHashMap<Tuple, i64> = FxHashMap::default();
+                if let Some(minus) = &minus {
+                    let positions = minus.schema().positions_of_set(vc.vars)?;
+                    for t in minus.iter() {
+                        *shifts.entry(t.project(&positions)).or_insert(0) -= 1;
+                    }
+                }
+                if let Some(plus) = &plus {
+                    let positions = plus.schema().positions_of_set(vc.vars)?;
+                    for t in plus.iter() {
+                        *shifts.entry(t.project(&positions)).or_insert(0) += 1;
+                    }
+                }
+                let mut ins = Vec::new();
+                let mut del = Vec::new();
+                for (key, shift) in shifts {
+                    if shift == 0 {
+                        continue;
+                    }
+                    let old = vc.counts.get(&key).copied().unwrap_or(0);
+                    let new = old as i64 + shift;
+                    debug_assert!(new >= 0, "view support count went negative");
+                    let new = new.max(0) as u64;
+                    if old > 0 && new == 0 {
+                        vc.counts.remove(&key);
+                        del.push(key);
+                    } else if old == 0 && new > 0 {
+                        vc.counts.insert(key.clone(), new);
+                        ins.push(key);
+                    } else if new != old {
+                        vc.counts.insert(key, new);
+                    }
+                }
+                per_plan.push((vc.node, ins, del));
+            }
+            views.push(per_plan);
+        }
+        Ok(DeltaOutcome {
+            stats,
+            views,
+            touched,
+        })
+    }
+
+    /// `⋃_a ΔR_a ⋈ (other atoms over db)` for one side of the net deltas:
+    /// the exact set of full-join rows the batch removes (`Deletes`, run
+    /// against the pre-delta database) or adds (`Inserts`, post-delta).
+    fn delta_join(
+        &mut self,
+        cqap: &Cqap,
+        db: &Database,
+        deltas: &[RelationDelta],
+        side: Side,
+    ) -> Result<Option<Relation>> {
+        let atoms = cqap.cq().atoms();
+        let mut acc: Option<Relation> = None;
+        for (a, atom) in atoms.iter().enumerate() {
+            let Some(delta) = deltas.iter().find(|d| d.relation == atom.relation) else {
+                continue;
+            };
+            let tuples = match side {
+                Side::Inserts => &delta.inserts,
+                Side::Deletes => &delta.deletes,
+            };
+            if tuples.is_empty() {
+                continue;
+            }
+            let part = self.programs[a].exec(tuples, cqap, db, &mut self.atom_indexes)?;
+            acc = Some(match acc {
+                None => part,
+                Some(prev) => prev.union_with(part)?,
+            });
+        }
+        Ok(acc)
+    }
+}

@@ -18,18 +18,21 @@
 
 use cqap_common::{CqapError, Result};
 use cqap_decomp::Pmtd;
+use cqap_delta::{ApplyDelta, DeltaBatch, DeltaStats};
 use cqap_query::{AccessRequest, Cqap};
 use cqap_relation::{Database, Relation};
 use cqap_yannakakis::naive::{atom_relation, full_join};
 use cqap_yannakakis::{naive_answer, OnlineYannakakis, PreprocessedViews, SViewProbe};
 
 use crate::compiled::{answer_with_compiled, answer_with_compiled_rows, AtomIndexCache, CompiledPmtd};
+use crate::delta::DeltaMaintenance;
 
 /// A materialized CQAP index over a set of PMTDs.
 pub struct CqapIndex {
     cqap: Cqap,
     db: Database,
     plans: Vec<Plan>,
+    maintenance: DeltaMaintenance,
 }
 
 struct Plan {
@@ -88,10 +91,18 @@ impl CqapIndex {
                 compiled: std::sync::Arc::new(compiled),
             });
         }
+        // Delta-maintenance state rides along from day one: the compiled
+        // per-atom delta plans, the per-view support counts (initialized
+        // from the same full join the S-views were projected from), and
+        // the atom-index memo, retained so incremental applies and
+        // recompiles keep sharing the build's indexes.
+        let needs_full = plans.iter().any(|p| p.compiled.needs_full());
+        let maintenance = DeltaMaintenance::build(cqap, pmtds, &full, atom_indexes, needs_full)?;
         Ok(CqapIndex {
             cqap: cqap.clone(),
             db: db.clone(),
             plans,
+            maintenance,
         })
     }
 
@@ -183,6 +194,49 @@ impl CqapIndex {
     pub fn answer_from_scratch(&self, request: &AccessRequest) -> Result<Relation> {
         let ans = naive_answer(&self.cqap, &self.db, request)?;
         ans.project_onto(self.cqap.declared_head().union(self.cqap.access()))
+    }
+
+    /// The delta-maintenance state (compiled delta plans, support counts,
+    /// atom-index memo). A second backend over the same preprocessing
+    /// output (the disk spill in `cqap-store`) clones this to maintain
+    /// its own lineage of the views.
+    pub fn maintenance(&self) -> &DeltaMaintenance {
+        &self.maintenance
+    }
+}
+
+/// In-place incremental maintenance: the net effect flows through the
+/// compiled delta plans into ΔS-views applied to every plan's hash-backed
+/// [`PreprocessedViews`], then each plan's compiled pipeline is refreshed
+/// (its precomputed static bags and pre-built atom indexes fold database
+/// content, so they must re-fold the post-delta relations — the retained
+/// atom-index memo makes that incremental too: only indexes over touched
+/// relations rebuild).
+impl ApplyDelta for CqapIndex {
+    fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<DeltaStats> {
+        let outcome = self.maintenance.apply(&self.cqap, &mut self.db, batch)?;
+        if outcome.touched.is_empty() {
+            // Net no-op: views, plans and scratch state are untouched, so
+            // the warm answering path stays warm.
+            return Ok(outcome.stats);
+        }
+        for (plan, view_deltas) in self.plans.iter_mut().zip(&outcome.views) {
+            for (node, ins, del) in view_deltas {
+                plan.preprocessed.apply_delta(*node, ins, del)?;
+            }
+        }
+        let full = self.maintenance.full_for_recompile(&self.cqap, &self.db)?;
+        for plan in &mut self.plans {
+            let compiled = self.maintenance.recompile(
+                &self.cqap,
+                &self.db,
+                &plan.evaluator,
+                &plan.preprocessed,
+                &full,
+            )?;
+            plan.compiled = std::sync::Arc::new(compiled);
+        }
+        Ok(outcome.stats)
     }
 }
 

@@ -63,6 +63,7 @@
 
 pub mod analysis;
 pub mod compiled;
+pub mod delta;
 pub mod driver;
 pub mod rules;
 
@@ -71,5 +72,6 @@ pub use compiled::{
     answer_with_compiled, answer_with_compiled_rows, with_driver_scratch, CompiledPmtd,
     DriverScratch,
 };
+pub use delta::{DeltaMaintenance, DeltaOutcome};
 pub use driver::{answer_with_plans, online_t_views, CqapIndex};
 pub use rules::{generate_rules, prune_rules, rule_of_choice, TwoPhaseRule};

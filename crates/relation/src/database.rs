@@ -64,6 +64,22 @@ impl Database {
             .ok_or_else(|| CqapError::Other(format!("relation {name} not found")))
     }
 
+    /// Mutable lookup of a relation by name, for in-place delta
+    /// maintenance.
+    ///
+    /// The constraint set is *not* refreshed: the cardinality constraint
+    /// recorded at [`Database::add_relation`] time describes the relation
+    /// as loaded. Constraints only feed analysis-time plan selection
+    /// (entropy bounds, heavy/light splits), never answer correctness, so
+    /// a maintained database keeps its build-time constraints until the
+    /// next full rebuild.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .iter_mut()
+            .find(|r| r.name() == name)
+            .ok_or_else(|| CqapError::Other(format!("relation {name} not found")))
+    }
+
     /// All relations.
     pub fn relations(&self) -> &[Relation] {
         &self.relations

@@ -106,6 +106,54 @@ impl HashIndex {
     pub fn stored_values(&self) -> usize {
         self.entries * self.schema.arity()
     }
+
+    /// Inserts tuples incrementally, keeping the index consistent with a
+    /// relation that just accepted the same tuples.
+    ///
+    /// The caller guarantees the tuples are not already indexed (the
+    /// owning relation deduplicates before forwarding its net inserts);
+    /// a duplicate would inflate [`HashIndex::len`] and degree counts.
+    pub fn insert_all(&mut self, tuples: &[Tuple]) -> Result<()> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        let key_positions = self.schema.positions_of_set(self.key_vars)?;
+        for t in tuples {
+            self.buckets
+                .entry(t.project(&key_positions))
+                .or_default()
+                .push(t.clone());
+            self.entries += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes tuples incrementally, returning how many were found.
+    ///
+    /// Buckets left empty are dropped so [`HashIndex::contains_key`] (the
+    /// semijoin probe) stays exact — a lingering empty bucket would make
+    /// a deleted key look present.
+    pub fn remove_all(&mut self, tuples: &[Tuple]) -> Result<usize> {
+        if tuples.is_empty() {
+            return Ok(0);
+        }
+        let key_positions = self.schema.positions_of_set(self.key_vars)?;
+        let mut removed = 0;
+        for t in tuples {
+            let key = t.project(&key_positions);
+            if let Some(bucket) = self.buckets.get_mut(&key) {
+                if let Some(pos) = bucket.iter().position(|b| b == t) {
+                    bucket.swap_remove(pos);
+                    self.entries -= 1;
+                    removed += 1;
+                    if bucket.is_empty() {
+                        self.buckets.remove(&key);
+                    }
+                }
+            }
+        }
+        Ok(removed)
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +218,28 @@ mod tests {
         let r = sample();
         let idx = HashIndex::build(&r, vars![1]).unwrap();
         assert_eq!(idx.stored_values(), 10);
+    }
+
+    #[test]
+    fn incremental_insert_and_remove() {
+        let r = sample();
+        let mut idx = HashIndex::build(&r, vars![1]).unwrap();
+        idx.insert_all(&[Tuple::pair(9, 90)]).unwrap();
+        assert_eq!(idx.len(), 6);
+        assert!(idx.contains_key(&Tuple::unary(9)));
+        assert_eq!(
+            idx.remove_all(&[Tuple::pair(9, 90), Tuple::pair(1, 10)])
+                .unwrap(),
+            2
+        );
+        assert_eq!(idx.len(), 4);
+        assert!(
+            !idx.contains_key(&Tuple::unary(9)),
+            "empty buckets must be dropped so semijoin probes stay exact"
+        );
+        assert_eq!(idx.degree(&Tuple::unary(1)), 1);
+        // Removing an absent tuple is a no-op.
+        assert_eq!(idx.remove_all(&[Tuple::pair(9, 90)]).unwrap(), 0);
+        assert_eq!(idx.len(), 4);
     }
 }

@@ -234,6 +234,28 @@ impl Relation {
         Ok(groups.values().map(|s| s.len()).max().unwrap_or(0))
     }
 
+    /// Removes every tuple in `gone` from the relation, returning how many
+    /// were actually present (and hence removed).
+    ///
+    /// One retain pass over the tuple vector. The lazy membership set is
+    /// updated only if it has already been materialized — removal never
+    /// forces it into existence, so the delta-maintenance path stays off
+    /// the counted dedup machinery for relations built distinct.
+    pub fn remove_all(&mut self, gone: &FxHashSet<Tuple>) -> usize {
+        if gone.is_empty() {
+            return 0;
+        }
+        let before = self.tuples.len();
+        self.tuples.retain(|t| !gone.contains(t));
+        let removed = before - self.tuples.len();
+        if removed > 0 {
+            if let Some(seen) = self.seen.get_mut() {
+                seen.retain(|t| !gone.contains(t));
+            }
+        }
+        removed
+    }
+
     /// An estimate of the memory footprint in *stored values* (arity ×
     /// cardinality). Benches report this as the machine-independent space
     /// measure.
@@ -494,6 +516,38 @@ mod tests {
             Relation::from_tuples("out", Schema::of([0, 1]), [Tuple::pair(1, 2), Tuple::pair(2, 3)])
                 .unwrap();
         assert_eq!(r, direct);
+    }
+
+    #[test]
+    fn remove_all_updates_membership() {
+        let mut r = edges("R", &[(1, 2), (3, 4), (5, 6)]);
+        assert!(r.contains(&Tuple::pair(1, 2))); // forces the seen set
+        let gone: FxHashSet<Tuple> =
+            [Tuple::pair(1, 2), Tuple::pair(9, 9)].into_iter().collect();
+        assert_eq!(r.remove_all(&gone), 1);
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&Tuple::pair(1, 2)));
+        // A removed tuple can be re-inserted (delete-then-reinsert).
+        assert!(r.insert(Tuple::pair(1, 2)).unwrap());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn remove_all_does_not_force_the_membership_set() {
+        let mut b = RelationBuilder::distinct("out", Schema::of([0, 1]));
+        for i in 0..10u64 {
+            b.push(Tuple::pair(i, i + 1));
+        }
+        let mut r = b.finish();
+        let before = instrument::dedup_inserts();
+        let gone: FxHashSet<Tuple> = [Tuple::pair(0, 1)].into_iter().collect();
+        assert_eq!(r.remove_all(&gone), 1);
+        assert_eq!(
+            instrument::dedup_inserts(),
+            before,
+            "removal must not materialize the lazy membership set"
+        );
+        assert_eq!(r.len(), 9);
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub struct ServeStats {
     /// Index probes that returned an error (counted once per probe; every
     /// waiter joined to the probe receives a clone of the error).
     pub errors: u64,
+    /// Delta batches applied through [`ServeRuntime::apply_delta`]
+    /// (including net no-ops, which leave the cache warm).
+    pub deltas_applied: u64,
 }
 
 impl ServeStats {
@@ -96,6 +99,7 @@ impl ServeStats {
             coalesced: self.coalesced + other.coalesced,
             cache_misses: self.cache_misses + other.cache_misses,
             errors: self.errors + other.errors,
+            deltas_applied: self.deltas_applied + other.deltas_applied,
         }
     }
 }
@@ -109,6 +113,7 @@ struct StatsCells {
     coalesced: AtomicU64,
     cache_misses: AtomicU64,
     errors: AtomicU64,
+    deltas_applied: AtomicU64,
 }
 
 impl StatsCells {
@@ -121,6 +126,7 @@ impl StatsCells {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
         }
     }
 }
@@ -270,6 +276,42 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
     /// Counters since construction.
     pub fn stats(&self) -> ServeStats {
         self.stats.snapshot()
+    }
+
+    /// Applies one delta batch to the served index in place, through the
+    /// index's own [`ApplyDelta`](cqap_delta::ApplyDelta) implementation.
+    ///
+    /// The cache-invalidation rule: cached answers are dropped exactly
+    /// when the batch had a **net effect** — a no-op batch (empty, or
+    /// fully cancelling) leaves the LRU warm, because the index contents
+    /// it reflects did not change. In-flight probes are unaffected either
+    /// way: requiring exclusive access to the index (below) means none can
+    /// be running during an apply.
+    ///
+    /// # Errors
+    /// Fails if the index `Arc` is shared outside this runtime or a probe
+    /// is still in flight (exclusive access is required to mutate), and
+    /// propagates the index's own apply errors.
+    pub fn apply_delta(
+        &mut self,
+        batch: &cqap_delta::DeltaBatch,
+    ) -> Result<cqap_delta::DeltaStats>
+    where
+        I: cqap_delta::ApplyDelta,
+    {
+        let index = Arc::get_mut(&mut self.index).ok_or_else(|| {
+            CqapError::Other(
+                "cannot apply a delta: the served index is shared (another \
+                 handle or an in-flight probe holds it)"
+                    .into(),
+            )
+        })?;
+        let stats = index.apply_delta(batch)?;
+        self.stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+        if !stats.is_noop() {
+            self.state.lock().expect("state lock").cache.clear();
+        }
+        Ok(stats)
     }
 
     /// Atomically consults the cache and the pending map for `request`,

@@ -12,6 +12,7 @@ use std::sync::{mpsc, Arc};
 
 use cqap_common::{CqapError, Result};
 use cqap_decomp::Pmtd;
+use cqap_delta::{ApplyDelta, DeltaBatch, DeltaStats};
 use cqap_panda::CqapIndex;
 use cqap_query::{AccessRequest, Cqap};
 use cqap_relation::{Database, Relation};
@@ -142,6 +143,39 @@ impl ShardedIndex {
             answer = answer.union_with(self.shards[shard].answer(&sub)?)?;
         }
         Ok(answer)
+    }
+}
+
+/// Incremental maintenance of a sharded deployment: the batch is routed
+/// through [`ShardSpec::partition_delta`] — delta tuples partition (or
+/// replicate) exactly like the base data did — and each shard absorbs its
+/// per-shard batch through its own [`ApplyDelta`] seam, keeping the
+/// partition invariants (and hence exact sharded answering) intact.
+///
+/// The returned [`DeltaStats`] sum the **shard-local** net effects: a
+/// routed relation's changes count once in total, while a replicated
+/// relation's changes count once per shard (each shard really did mutate
+/// its replica). Callers comparing against an unsharded maintainer should
+/// compare answers, not raw counts, whenever replicated relations are in
+/// play.
+impl ApplyDelta for ShardedIndex {
+    fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<DeltaStats> {
+        let parts = {
+            let db = self.shards[0].database();
+            self.spec.partition_delta(batch, db)?
+        };
+        let mut stats = DeltaStats::default();
+        for (shard, part) in self.shards.iter_mut().zip(parts) {
+            let index = Arc::get_mut(shard).ok_or_else(|| {
+                CqapError::Other(
+                    "cannot apply a delta: a shard index is shared (serving \
+                     handles must be dropped before mutating)"
+                        .into(),
+                )
+            })?;
+            stats.merge(index.apply_delta(&part)?);
+        }
+        Ok(stats)
     }
 }
 

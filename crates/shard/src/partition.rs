@@ -27,6 +27,7 @@
 //! is exactly the unsharded answer for those bindings.
 
 use cqap_common::{CqapError, Result, Tuple, Val, Var};
+use cqap_delta::DeltaBatch;
 use cqap_query::workload::shard_of_key;
 use cqap_query::{AccessRequest, Cqap};
 use cqap_relation::{Database, Relation};
@@ -136,6 +137,61 @@ impl ShardSpec {
                 None => {
                     for shard in &mut out {
                         shard.add_relation(relation.clone())?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Routes a delta batch under the **same data-placement invariant** as
+    /// [`ShardSpec::partition_database`]: an operation on a relation that
+    /// mentions the routing variable is split by the hash of each tuple's
+    /// routing column, while operations on every other relation are
+    /// replicated to all shards. Operation order is preserved within each
+    /// per-shard batch, so per-shard net effects replay exactly like the
+    /// global batch would — applying the routed batches to the shard
+    /// partitions yields precisely the partitions of the post-delta
+    /// database (invariant 3 keeps holding under updates).
+    ///
+    /// `db` supplies the relation schemas; any shard's partition works,
+    /// since schemas are identical across shards. Empty per-shard tuple
+    /// lists are omitted, so untouched shards receive an empty batch.
+    ///
+    /// # Errors
+    /// Fails if an operation names a relation `db` does not store, or
+    /// carries a tuple whose arity differs from the relation's schema.
+    pub fn partition_delta(&self, batch: &DeltaBatch, db: &Database) -> Result<Vec<DeltaBatch>> {
+        let mut out: Vec<DeltaBatch> = (0..self.shards).map(|_| DeltaBatch::new()).collect();
+        for (name, op, tuples) in batch.ops() {
+            let relation = db.relation_or_err(name)?;
+            let arity = relation.schema().arity();
+            if let Some(bad) = tuples.iter().find(|t| t.arity() != arity) {
+                return Err(CqapError::SchemaMismatch {
+                    expected: format!("arity {arity} for relation {name}"),
+                    found: format!("delta tuple of arity {}", bad.arity()),
+                });
+            }
+            let split_pos = self
+                .routing_var
+                .filter(|_| self.shards > 1)
+                .and_then(|r| relation.schema().position(r));
+            match split_pos {
+                Some(position) => {
+                    let mut buckets: Vec<Vec<Tuple>> =
+                        (0..self.shards).map(|_| Vec::new()).collect();
+                    for tuple in tuples {
+                        buckets[self.shard_of_value(tuple.get(position))].push(tuple.clone());
+                    }
+                    for (shard, bucket) in buckets.into_iter().enumerate() {
+                        if !bucket.is_empty() {
+                            out[shard].push(name.clone(), *op, bucket);
+                        }
+                    }
+                }
+                None => {
+                    for shard in &mut out {
+                        shard.push(name.clone(), *op, tuples.clone());
                     }
                 }
             }

@@ -8,10 +8,11 @@
 
 use cqap_common::Tuple;
 use cqap_decomp::families::pmtds_3reach_fig1;
+use cqap_delta::{ApplyDelta, DeltaBatch};
 use cqap_panda::CqapIndex;
 use cqap_query::workload::{graph_pair_requests, zipf_multi_requests, Graph};
 use cqap_query::AccessRequest;
-use cqap_shard::ShardedIndex;
+use cqap_shard::{ShardSpec, ShardedIndex};
 use proptest::prelude::*;
 
 proptest! {
@@ -52,5 +53,119 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Deltas routed through the [`ShardSpec`] contract: for every shard
+    /// count the incrementally maintained sharded deployment answers
+    /// identically to an incrementally maintained unsharded index (which
+    /// `delta_equivalence.rs` separately pins to a full rebuild).
+    #[test]
+    fn sharded_deltas_match_unsharded_incremental(seed in 0u64..10_000, edges in 60usize..180) {
+        let (cqap, pmtds) = pmtds_3reach_fig1().unwrap();
+        let graph = Graph::random(40, edges, seed);
+        let db = graph.as_path_database(3);
+
+        let base = 30_000 + (seed % 83) * 10;
+        let mut requests: Vec<AccessRequest> = graph_pair_requests(&graph, 10, seed ^ 0xabc)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        // Crosses the inserted chain — only answerable after the delta.
+        requests.push(
+            AccessRequest::single(cqap.access(), &[base, base + db.num_relations() as u64])
+                .unwrap(),
+        );
+
+        // One batch: a fresh chain through every relation plus scattered
+        // deletes, exactly the round-0 shape of the delta proptests.
+        let mut batch = DeltaBatch::new();
+        for (i, rel) in db.relations().iter().enumerate() {
+            let i = i as u64;
+            batch = batch.insert(rel.name(), vec![Tuple::pair(base + i, base + i + 1)]);
+            let victims: Vec<Tuple> = rel
+                .tuples()
+                .iter()
+                .skip(seed as usize % 3)
+                .step_by(7)
+                .take(3)
+                .cloned()
+                .collect();
+            batch = batch.delete(rel.name(), victims);
+        }
+
+        let mut reference = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+        reference.apply_delta(&batch).unwrap();
+
+        for k in [1usize, 2, 3, 7] {
+            let mut sharded = ShardedIndex::build(&cqap, &db, &pmtds, k).unwrap();
+            sharded.apply_delta(&batch).unwrap();
+            for request in &requests {
+                prop_assert_eq!(
+                    sharded.answer(request).unwrap(),
+                    reference.answer(request).unwrap(),
+                    "k = {}", k
+                );
+            }
+        }
+    }
+
+    /// The delta-routing contract itself: tuples of a relation that
+    /// mentions the routing variable land on exactly their hash shard,
+    /// while ops on replicated relations appear verbatim in *every*
+    /// per-shard batch.
+    #[test]
+    fn partition_delta_routes_and_replicates(seed in 0u64..10_000, edges in 40usize..120) {
+        let (cqap, _) = pmtds_3reach_fig1().unwrap();
+        let graph = Graph::random(30, edges, seed);
+        let db = graph.as_path_database(3);
+        let routed = db.relations()[0].name().to_string();
+        let replicated = db.relations()[1].name().to_string();
+
+        let inserts: Vec<Tuple> = (0..12u64)
+            .map(|i| Tuple::pair(40_000 + seed + i, 40_000 + seed + i + 1))
+            .collect();
+        let deletes: Vec<Tuple> = db.relations()[1].tuples().iter().take(4).cloned().collect();
+        let batch = DeltaBatch::new()
+            .insert(routed.clone(), inserts.clone())
+            .delete(replicated.clone(), deletes.clone());
+
+        for k in [2usize, 3, 7] {
+            let spec = ShardSpec::new(&cqap, k).unwrap();
+            let parts = spec.partition_delta(&batch, &db).unwrap();
+            prop_assert_eq!(parts.len(), k);
+
+            for t in &inserts {
+                let home = spec.shard_of_value(t.get(0));
+                for (shard, part) in parts.iter().enumerate() {
+                    let present = part.ops().iter().any(|(name, _, tuples)| {
+                        name == &routed && tuples.contains(t)
+                    });
+                    prop_assert_eq!(
+                        present,
+                        shard == home,
+                        "k = {}: routed tuple {:?} misplaced on shard {}", k, t, shard
+                    );
+                }
+            }
+            for part in &parts {
+                let replica: Vec<&Tuple> = part
+                    .ops()
+                    .iter()
+                    .filter(|(name, _, _)| name == &replicated)
+                    .flat_map(|(_, _, tuples)| tuples)
+                    .collect();
+                prop_assert_eq!(
+                    &replica,
+                    &deletes.iter().collect::<Vec<_>>(),
+                    "k = {}: replicated op not mirrored on every shard", k
+                );
+            }
+        }
+
+        // `k = 1` degenerates to replication everywhere: one shard, every op.
+        let spec = ShardSpec::new(&cqap, 1).unwrap();
+        let parts = spec.partition_delta(&batch, &db).unwrap();
+        prop_assert_eq!(parts.len(), 1);
+        prop_assert_eq!(parts[0].num_tuples(), batch.num_tuples());
     }
 }

@@ -28,7 +28,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
-use cqap_common::{CqapError, FxHashMap, Result, Tuple, Val, VarSet};
+use cqap_common::{CqapError, FxHashMap, FxHashSet, Result, Tuple, Val, VarSet};
 use cqap_relation::{Relation, Schema};
 use cqap_yannakakis::ColumnRun;
 
@@ -105,6 +105,37 @@ struct Fence {
     offset: u64,
 }
 
+/// The in-memory delta overlay of one stored view — the LSM-style delta
+/// segment consulted at probe time on top of the immutable base run.
+///
+/// Inserts land in `added` (grouped by probe key, so a probe extends its
+/// base result with one bucket lookup); deletes of base tuples become
+/// tombstones in `deleted`, while deletes of overlay tuples cancel in
+/// place. The invariants `added ∩ base = ∅` and `deleted ⊆ base` hold
+/// because the maintenance layer feeds the overlay *net* view deltas, so
+/// `base − deleted + added` is exactly the maintained view content.
+#[derive(Default)]
+struct Overlay {
+    /// Inserted tuples, grouped by their link-key projection.
+    added: FxHashMap<Tuple, Vec<Tuple>>,
+    /// Total tuples across the `added` buckets.
+    added_len: usize,
+    /// Base-run tuples deleted since the run was written.
+    deleted: FxHashSet<Tuple>,
+}
+
+impl Overlay {
+    fn is_empty(&self) -> bool {
+        self.added_len == 0 && self.deleted.is_empty()
+    }
+
+    /// Buffered delta tuples (inserts plus tombstones) — the compaction
+    /// trigger's size measure.
+    fn len(&self) -> usize {
+        self.added_len + self.deleted.len()
+    }
+}
+
 /// A disk-resident S-view: a sorted run on disk plus the in-memory fence
 /// index. Probing never scans the file — a binary search over the fences
 /// narrows the key to one segment, which is fetched in a single contiguous
@@ -119,6 +150,22 @@ pub struct StoredView {
     num_records: usize,
     file_bytes: u64,
     delete_on_drop: bool,
+    overlay: Overlay,
+}
+
+/// Validates the freshly written run at `tmp` (magic, counts, offsets —
+/// the full [`StoredView::open`] check) before renaming it over `base`.
+/// A torn or truncated temp file is removed and rejected, leaving the
+/// base run untouched, so a crash mid-compaction can never replace a
+/// valid run with garbage.
+fn validate_and_swap(base: &Path, tmp: &Path) -> Result<()> {
+    match StoredView::open(tmp) {
+        Ok(_) => std::fs::rename(tmp, base).map_err(|e| io_err(base, "swap compacted run", e)),
+        Err(error) => {
+            let _ = std::fs::remove_file(tmp);
+            Err(error)
+        }
+    }
 }
 
 /// Serializes `rel`, grouped and sorted by its projection onto `link`, to
@@ -339,6 +386,7 @@ impl StoredView {
             num_records,
             file_bytes,
             delete_on_drop: false,
+            overlay: Overlay::default(),
         })
     }
 
@@ -358,26 +406,34 @@ impl StoredView {
         self.link
     }
 
-    /// Number of stored tuples.
+    /// Number of stored tuples: the base run net of tombstones, plus the
+    /// overlay's inserts — exactly the maintained view size.
     pub fn len(&self) -> usize {
-        self.num_tuples
+        self.num_tuples - self.overlay.deleted.len() + self.overlay.added_len
     }
 
     /// Whether the view stores no tuples.
     pub fn is_empty(&self) -> bool {
-        self.num_tuples == 0
+        self.len() == 0
     }
 
-    /// Number of distinct keys (records).
+    /// Number of distinct keys in the base run (records).
     pub fn num_keys(&self) -> usize {
         self.num_records
     }
 
-    /// Stored values on disk — the same machine-independent space measure
-    /// as [`cqap_relation::Relation::stored_values`], so disk-resident and
-    /// in-memory views report comparable `S`.
+    /// Stored values — the same machine-independent space measure as
+    /// [`cqap_relation::Relation::stored_values`], so disk-resident and
+    /// in-memory views report comparable `S`. Overlay-aware: a maintained
+    /// view reports the same `S` as a fresh rebuild.
     pub fn stored_values(&self) -> usize {
-        self.num_tuples * self.schema.arity()
+        self.len() * self.schema.arity()
+    }
+
+    /// Delta tuples buffered in the overlay (inserts plus tombstones);
+    /// zero once [`StoredView::compact`] has folded them into the run.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
     }
 
     /// Size of the backing file in bytes.
@@ -385,10 +441,11 @@ impl StoredView {
         self.file_bytes
     }
 
-    /// Values held resident in memory by the fence index (the per-view RAM
-    /// cost of the cold tier).
+    /// Values held resident in memory: the fence index plus any buffered
+    /// overlay tuples (the per-view RAM cost of the cold tier).
     pub fn resident_values(&self) -> usize {
-        self.fences.iter().map(|f| f.key.arity()).sum()
+        let fences: usize = self.fences.iter().map(|f| f.key.arity()).sum();
+        fences + self.overlay.len() * self.schema.arity()
     }
 
     /// All stored tuples whose link projection equals `key`, as a fresh
@@ -470,27 +527,37 @@ impl StoredView {
     }
 
     /// Appends all stored tuples whose link projection equals `key` to
-    /// `out`. A warm worker performs the whole probe without allocating
-    /// (beyond the output tuples it appends): the segment lands in the
-    /// thread's reused buffer and tuples decode through a reused values
-    /// scratch.
+    /// `out`, merging the base run with the delta overlay: base tuples are
+    /// filtered through the tombstone set (a no-op while it is empty) and
+    /// the overlay's insert bucket for the key is appended after. A warm
+    /// worker with a clean overlay performs the whole probe without
+    /// allocating (beyond the output tuples it appends): the segment lands
+    /// in the thread's reused buffer and tuples decode through a reused
+    /// values scratch.
     ///
     /// # Errors
     /// Fails on I/O errors or if the segment bytes are malformed.
     pub fn probe_into(&self, key: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
         let arity = self.schema.arity();
         let path = &self.path;
+        let deleted = &self.overlay.deleted;
         self.find_record(key, |cursor, count, vals| {
             out.reserve(count);
             for _ in 0..count {
                 if !cursor.read_vals(arity, vals) {
                     return Err(corrupt(path, "truncated tuple"));
                 }
-                out.push(Tuple::from_slice(vals));
+                let t = Tuple::from_slice(vals);
+                if deleted.is_empty() || !deleted.contains(&t) {
+                    out.push(t);
+                }
             }
             Ok(())
-        })
-        .map(|_| ())
+        })?;
+        if let Some(bucket) = self.overlay.added.get(key) {
+            out.extend(bucket.iter().cloned());
+        }
+        Ok(())
     }
 
     /// Appends all stored tuples whose link projection equals `key` to the
@@ -506,23 +573,174 @@ impl StoredView {
         debug_assert_eq!(out.width(), self.schema.arity());
         let arity = self.schema.arity();
         let path = &self.path;
-        self.find_record(key, |cursor, count, _vals| {
-            if !cursor.read_columns(count, arity, out) {
-                return Err(corrupt(path, "truncated tuple"));
+        if self.overlay.is_empty() {
+            return self
+                .find_record(key, |cursor, count, _vals| {
+                    if !cursor.read_columns(count, arity, out) {
+                        return Err(corrupt(path, "truncated tuple"));
+                    }
+                    Ok(())
+                })
+                .map(|_| ());
+        }
+        // Overlay pending: merge through the row path, then transpose. The
+        // column-direct decode resumes once compaction folds the overlay
+        // back into a single sorted run.
+        let mut rows = Vec::new();
+        self.probe_into(key, &mut rows)?;
+        out.append_columns(rows.len(), |j, col| {
+            col.reserve(rows.len());
+            for t in &rows {
+                col.push(t.get(j));
             }
-            Ok(())
-        })
-        .map(|_| ())
+        });
+        Ok(())
     }
 
     /// Whether any stored tuple matches `key` on the link variables — the
     /// key walk of [`StoredView::probe_into`] without decoding any tuple
-    /// block (a semijoin probe needs only existence).
+    /// block (a semijoin probe needs only existence), unless tombstones
+    /// are pending, in which case the matching block is decoded to check
+    /// that some tuple survives them.
     ///
     /// # Errors
     /// Fails on I/O errors or if the segment bytes are malformed.
     pub fn contains_key(&self, key: &Tuple) -> Result<bool> {
-        Ok(self.find_record(key, |_, _, _| Ok(()))?.is_some())
+        if self.overlay.added.get(key).is_some_and(|b| !b.is_empty()) {
+            return Ok(true);
+        }
+        if self.overlay.deleted.is_empty() {
+            return Ok(self.find_record(key, |_, _, _| Ok(()))?.is_some());
+        }
+        let arity = self.schema.arity();
+        let path = &self.path;
+        let deleted = &self.overlay.deleted;
+        Ok(self
+            .find_record(key, |cursor, count, vals| {
+                for _ in 0..count {
+                    if !cursor.read_vals(arity, vals) {
+                        return Err(corrupt(path, "truncated tuple"));
+                    }
+                    if !deleted.contains(&Tuple::from_slice(vals)) {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            })?
+            .unwrap_or(false))
+    }
+
+    /// Absorbs one net ΔS-view into the delta overlay: `deletes` cancel
+    /// against buffered inserts or become tombstones over the base run,
+    /// `inserts` revoke tombstones or join the overlay's key buckets.
+    /// Compacts automatically once the overlay outgrows a quarter of the
+    /// base run (`overlay × 4 > base + 64` — the slack keeps tiny views
+    /// from rewriting their file on every batch).
+    ///
+    /// The caller (the maintenance layer) guarantees net semantics:
+    /// inserted tuples are absent from the view, deleted tuples present.
+    ///
+    /// # Errors
+    /// Fails on I/O errors from a triggered compaction.
+    pub fn apply_delta(&mut self, inserts: &[Tuple], deletes: &[Tuple]) -> Result<()> {
+        let key_positions = self.schema.positions_of_set(self.link)?;
+        for t in deletes {
+            let key = t.project(&key_positions);
+            let cancelled = match self.overlay.added.get_mut(&key) {
+                Some(bucket) => match bucket.iter().position(|b| b == t) {
+                    Some(at) => {
+                        bucket.swap_remove(at);
+                        self.overlay.added_len -= 1;
+                        if bucket.is_empty() {
+                            self.overlay.added.remove(&key);
+                        }
+                        true
+                    }
+                    None => false,
+                },
+                None => false,
+            };
+            if !cancelled {
+                self.overlay.deleted.insert(t.clone());
+            }
+        }
+        for t in inserts {
+            if self.overlay.deleted.remove(t) {
+                continue;
+            }
+            let key = t.project(&key_positions);
+            self.overlay.added.entry(key).or_default().push(t.clone());
+            self.overlay.added_len += 1;
+        }
+        if self.overlay.len() * 4 > self.num_tuples + 64 {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Folds the overlay into a fresh sorted run: the merged content is
+    /// written to a temp file next to the base run, fully re-validated by
+    /// opening it, and only then renamed over the base — a torn write can
+    /// never replace a valid run. A clean overlay is a no-op.
+    ///
+    /// # Errors
+    /// Fails on I/O errors; the base run stays valid and the overlay is
+    /// retained, so the view remains fully probe-able after a failure.
+    pub fn compact(&mut self) -> Result<()> {
+        if self.overlay.is_empty() {
+            return Ok(());
+        }
+        let merged = self.merged_relation()?;
+        let tmp = self.path.with_extension("tmp");
+        write_view(&tmp, &merged, self.link)?;
+        validate_and_swap(&self.path, &tmp)?;
+        let delete_on_drop = self.delete_on_drop;
+        // The stale handle must not delete the just-swapped file when it
+        // drops in the assignment below.
+        self.delete_on_drop = false;
+        let mut fresh = StoredView::open(&self.path)?;
+        fresh.delete_on_drop = delete_on_drop;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// The maintained view content as an in-memory relation: one
+    /// sequential walk of the base run, minus tombstones, plus the
+    /// overlay's inserts.
+    fn merged_relation(&self) -> Result<Relation> {
+        let bytes = std::fs::read(&self.path)
+            .map_err(|e| io_err(&self.path, "read for compaction", e))?;
+        let header = (5 + self.schema.arity()) * 8;
+        let body = bytes
+            .get(header..)
+            .ok_or_else(|| corrupt(&self.path, "truncated header"))?;
+        let arity = self.schema.arity();
+        let key_arity = self.link.len();
+        let mut cursor = Cursor::new(body);
+        let mut vals = Vec::new();
+        let mut tuples = Vec::with_capacity(self.len());
+        for _ in 0..self.num_records {
+            if !cursor.skip_vals(key_arity) {
+                return Err(corrupt(&self.path, "truncated key"));
+            }
+            let count = cursor
+                .next()
+                .ok_or_else(|| corrupt(&self.path, "truncated count"))?
+                as usize;
+            for _ in 0..count {
+                if !cursor.read_vals(arity, &mut vals) {
+                    return Err(corrupt(&self.path, "truncated tuple"));
+                }
+                let t = Tuple::from_slice(&vals);
+                if !self.overlay.deleted.contains(&t) {
+                    tuples.push(t);
+                }
+            }
+        }
+        for bucket in self.overlay.added.values() {
+            tuples.extend(bucket.iter().cloned());
+        }
+        Relation::from_tuples("compacted", self.schema.clone(), tuples)
     }
 }
 
@@ -646,6 +864,124 @@ mod tests {
     }
 
     #[test]
+    fn overlay_probes_merge_base_tombstones_and_inserts() {
+        // Keyed on the first column (`vars![1]` is variable x0): seven
+        // base keys with ~9 tuples each.
+        let rel = Relation::binary("R", 0, 1, (0..60u64).map(|i| (i % 7, i)));
+        let link = vars![1];
+        let path = scratch("overlay.sview");
+        write_view(&path, &rel, link).unwrap();
+        let mut view = StoredView::open(&path).unwrap();
+        view.delete_on_drop();
+
+        // Delete two base tuples, insert two fresh ones (keys 3 and 9 —
+        // 9 is a brand-new key), and exercise tombstone revocation.
+        view.apply_delta(&[], &[Tuple::pair(0, 0), Tuple::pair(3, 3)]).unwrap();
+        view.apply_delta(&[Tuple::pair(3, 100), Tuple::pair(9, 101)], &[]).unwrap();
+        // Re-insert a tombstoned tuple: the tombstone is revoked, not doubled.
+        view.apply_delta(&[Tuple::pair(0, 0)], &[]).unwrap();
+        // Delete an overlay insert: cancels in place.
+        view.apply_delta(&[Tuple::pair(9, 102)], &[]).unwrap();
+        view.apply_delta(&[], &[Tuple::pair(9, 102)]).unwrap();
+
+        assert_eq!(view.len(), 60 - 1 + 2);
+        assert_eq!(view.stored_values(), view.len() * 2);
+        let probe = |v: &StoredView, k: u64| {
+            let mut out = v.probe(&Tuple::unary(k)).unwrap();
+            out.sort_unstable_by(|a, b| a.as_slice().cmp(b.as_slice()));
+            out
+        };
+        // Key 3 lost (3,3), gained (3,100); key 9 holds only the insert
+        // that was not cancelled; key 0 got its tombstone revoked.
+        assert!(!probe(&view, 3).contains(&Tuple::pair(3, 3)));
+        assert!(probe(&view, 3).contains(&Tuple::pair(3, 100)));
+        assert_eq!(probe(&view, 9), vec![Tuple::pair(9, 101)]);
+        assert!(probe(&view, 0).contains(&Tuple::pair(0, 0)));
+        assert!(view.contains_key(&Tuple::unary(9)).unwrap());
+
+        // The columnar fallback agrees with the row path while dirty.
+        let mut cols = ColumnRun::new();
+        cols.reset(2);
+        view.probe_columns(&Tuple::unary(3), &mut cols).unwrap();
+        assert_eq!(cols.rows(), probe(&view, 3).len());
+
+        // Compaction folds the overlay into the run without changing
+        // content, and the column-direct fast path takes over again.
+        let expected: Vec<Vec<Tuple>> = (0..10).map(|k| probe(&view, k)).collect();
+        view.compact().unwrap();
+        assert_eq!(view.overlay_len(), 0);
+        assert_eq!(view.len(), 61);
+        for (k, want) in expected.iter().enumerate() {
+            assert_eq!(&probe(&view, k as u64), want, "key {k}");
+        }
+        drop(view);
+        assert!(!path.exists(), "delete_on_drop survives compaction");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn tombstoning_every_tuple_of_a_key_empties_it() {
+        let rel = Relation::binary("R", 0, 1, [(5, 1), (5, 2), (6, 3)]);
+        let path = scratch("tombstone-all.sview");
+        write_view(&path, &rel, vars![1]).unwrap();
+        let mut view = StoredView::open(&path).unwrap();
+        view.apply_delta(&[], &[Tuple::pair(5, 1), Tuple::pair(5, 2)]).unwrap();
+        assert!(view.probe(&Tuple::unary(5)).unwrap().is_empty());
+        assert!(!view.contains_key(&Tuple::unary(5)).unwrap());
+        assert!(view.contains_key(&Tuple::unary(6)).unwrap());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_compaction_temp_is_rejected_and_base_survives() {
+        let rel = Relation::binary("R", 0, 1, (0..40u64).map(|i| (i, i + 1)));
+        let path = scratch("swap.sview");
+        write_view(&path, &rel, vars![1]).unwrap();
+        let base_bytes = std::fs::read(&path).unwrap();
+
+        // A truncated temp run (torn write): rejected, removed, base intact.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &base_bytes[..base_bytes.len() - 8]).unwrap();
+        assert!(validate_and_swap(&path, &tmp).is_err());
+        assert!(!tmp.exists(), "torn temp file is cleaned up");
+        assert_eq!(std::fs::read(&path).unwrap(), base_bytes, "base untouched");
+
+        // A corrupted header (bad magic): same rejection path.
+        let mut garbled = base_bytes.clone();
+        garbled[0] ^= 0xff;
+        std::fs::write(&tmp, &garbled).unwrap();
+        assert!(validate_and_swap(&path, &tmp).is_err());
+        assert!(!tmp.exists());
+        assert_eq!(std::fs::read(&path).unwrap(), base_bytes);
+
+        // A valid temp run swaps in.
+        let bigger = Relation::binary("R", 0, 1, (0..41u64).map(|i| (i, i + 1)));
+        write_view(&tmp, &bigger, vars![1]).unwrap();
+        validate_and_swap(&path, &tmp).unwrap();
+        assert_eq!(StoredView::open(&path).unwrap().len(), 41);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn oversized_overlay_triggers_automatic_compaction() {
+        let rel = Relation::binary("R", 0, 1, [(1, 2)]);
+        let path = scratch("autocompact.sview");
+        write_view(&path, &rel, vars![1]).unwrap();
+        let mut view = StoredView::open(&path).unwrap();
+        view.delete_on_drop();
+        // 64-tuple slack: small deltas stay buffered…
+        let small: Vec<Tuple> = (0..10u64).map(|i| Tuple::pair(100 + i, i)).collect();
+        view.apply_delta(&small, &[]).unwrap();
+        assert_eq!(view.overlay_len(), 10);
+        // …but crossing `overlay × 4 > base + 64` rewrites the run.
+        let big: Vec<Tuple> = (0..40u64).map(|i| Tuple::pair(200 + i, i)).collect();
+        view.apply_delta(&big, &[]).unwrap();
+        assert_eq!(view.overlay_len(), 0, "compaction triggered");
+        assert_eq!(view.len(), 51);
+        cleanup(&path);
+    }
+
+    #[test]
     fn delete_on_drop_removes_the_file() {
         let rel = Relation::binary("R", 0, 1, [(1, 2)]);
         let path = scratch("dropped.sview");
@@ -658,3 +994,4 @@ mod tests {
         cleanup(&path);
     }
 }
+

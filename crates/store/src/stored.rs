@@ -17,7 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use cqap_common::{CqapError, Result, Tuple};
 use cqap_decomp::Pmtd;
-use cqap_panda::CqapIndex;
+use cqap_delta::{ApplyDelta, DeltaBatch, DeltaStats};
+use cqap_panda::{CqapIndex, DeltaMaintenance};
 use cqap_query::{AccessRequest, Cqap};
 use cqap_relation::{Database, Relation, Schema};
 use cqap_serve::BatchAnswer;
@@ -103,9 +104,48 @@ impl StoredViews {
         self.views.iter().flatten().map(StoredView::disk_bytes).sum()
     }
 
-    /// Values resident in RAM (the fence indexes).
+    /// Values resident in RAM (the fence indexes plus any delta overlays).
     pub fn resident_values(&self) -> usize {
         self.views.iter().flatten().map(StoredView::resident_values).sum()
+    }
+
+    /// Absorbs one node's net ΔS-view into that view's delta overlay (see
+    /// [`StoredView::apply_delta`]); an oversized overlay compacts itself
+    /// into a rewritten run.
+    ///
+    /// # Errors
+    /// Fails if the node was never spilled, or on compaction I/O errors.
+    pub fn apply_delta(
+        &mut self,
+        node: usize,
+        inserts: &[Tuple],
+        deletes: &[Tuple],
+    ) -> Result<()> {
+        self.views
+            .get_mut(node)
+            .and_then(|v| v.as_mut())
+            .ok_or_else(|| {
+                CqapError::InvalidPmtd(format!("S-view {node} was not spilled"))
+            })?
+            .apply_delta(inserts, deletes)
+    }
+
+    /// Forces every view with a pending overlay to compact into a fresh
+    /// validated run (see [`StoredView::compact`]).
+    ///
+    /// # Errors
+    /// Fails on compaction I/O errors.
+    pub fn compact(&mut self) -> Result<()> {
+        for view in self.views.iter_mut().flatten() {
+            view.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Delta tuples buffered across all views' overlays — zero after
+    /// [`StoredViews::compact`].
+    pub fn overlay_len(&self) -> usize {
+        self.views.iter().flatten().map(StoredView::overlay_len).sum()
     }
 }
 
@@ -154,6 +194,11 @@ pub struct StoredIndex {
     /// once per backend. (Like the retained database, they are `O(|D|)`
     /// state outside the `space_used`/`resident_values` S-accounting.)
     compiled: Vec<std::sync::Arc<cqap_panda::CompiledPmtd>>,
+    /// This backend's own maintenance lineage (cloned from the source
+    /// index at spill time): compiled delta plans, per-view support
+    /// counts and the shared atom-index memo. Diverges from the source's
+    /// lineage the moment either side applies a delta.
+    maintenance: DeltaMaintenance,
     // Declared last: removes the spill directory after the views above
     // have deleted their files.
     _dir: DirCleanup,
@@ -182,6 +227,7 @@ impl StoredIndex {
             db: index.database().clone(),
             plans,
             compiled: index.compiled().cloned().collect(),
+            maintenance: index.maintenance().clone(),
             _dir: DirCleanup(dir.to_path_buf()),
         })
     }
@@ -215,6 +261,34 @@ impl StoredIndex {
     /// The CQAP this index answers.
     pub fn cqap(&self) -> &Cqap {
         &self.cqap
+    }
+
+    /// The retained input database (maintained in place by
+    /// [`ApplyDelta::apply_delta`]; the online phase computes T-views from
+    /// it, and sharded owners read relation schemas off it when routing
+    /// delta tuples).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Forces every spilled view with a pending delta overlay to compact:
+    /// the merged run is written to a temp file, re-validated, and renamed
+    /// over the base (see [`StoredView::compact`](crate::format::StoredView::compact)).
+    /// Normally compaction triggers itself by overlay size; this is the
+    /// explicit hook for tests and maintenance windows.
+    ///
+    /// # Errors
+    /// Fails on compaction I/O errors.
+    pub fn compact(&mut self) -> Result<()> {
+        for (_, views) in &mut self.plans {
+            views.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Delta tuples buffered across all views' overlays.
+    pub fn overlay_len(&self) -> usize {
+        self.plans.iter().map(|(_, v)| v.overlay_len()).sum()
     }
 
     /// Number of PMTDs in the plan set.
@@ -290,6 +364,40 @@ impl StoredIndex {
             self.plans.iter().map(|(evaluator, views)| (evaluator, views)),
             request,
         )
+    }
+}
+
+/// Incremental maintenance of the disk tier: the same net effect and
+/// ΔS-views as the in-memory index (computed by this backend's own
+/// [`DeltaMaintenance`] lineage), absorbed as LSM-style delta overlays on
+/// the spilled runs instead of hash-index edits. Probes merge base +
+/// overlay until a size-triggered compaction rewrites the fence-indexed
+/// run; the compiled pipelines are refreshed exactly like the in-memory
+/// backend's, so rebuild equivalence holds at any overlay state.
+impl ApplyDelta for StoredIndex {
+    fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<DeltaStats> {
+        let outcome = self.maintenance.apply(&self.cqap, &mut self.db, batch)?;
+        if outcome.touched.is_empty() {
+            return Ok(outcome.stats);
+        }
+        for ((_, views), view_deltas) in self.plans.iter_mut().zip(&outcome.views) {
+            for (node, ins, del) in view_deltas {
+                views.apply_delta(*node, ins, del)?;
+            }
+        }
+        let full = self.maintenance.full_for_recompile(&self.cqap, &self.db)?;
+        let mut compiled = Vec::with_capacity(self.plans.len());
+        for (evaluator, views) in &self.plans {
+            compiled.push(std::sync::Arc::new(self.maintenance.recompile(
+                &self.cqap,
+                &self.db,
+                evaluator,
+                views,
+                &full,
+            )?));
+        }
+        self.compiled = compiled;
+        Ok(outcome.stats)
     }
 }
 

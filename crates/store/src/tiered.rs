@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use cqap_common::{CqapError, Result};
 use cqap_decomp::Pmtd;
+use cqap_delta::{ApplyDelta, DeltaBatch, DeltaStats};
 use cqap_panda::CqapIndex;
 use cqap_query::{AccessRequest, Cqap};
 use cqap_relation::{Database, Relation};
@@ -311,6 +312,34 @@ impl TieredShardedIndex {
         space
     }
 
+    /// Bytes each shard's S-views occupy, by the uniform
+    /// `values × size_of::<Val>()` measure both tiers share — the size
+    /// input a placement decision works from.
+    pub fn shard_bytes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let values = match shard {
+                    TierShard::Hot(index) => index.space_used(),
+                    TierShard::Cold(stored) => stored.space_used(),
+                };
+                values * std::mem::size_of::<cqap_common::Val>()
+            })
+            .collect()
+    }
+
+    /// Re-scores the hot/cold split against the shards' **current** sizes:
+    /// as deltas grow or shrink shards, the placement `policy` decided at
+    /// build time can drift from what it would decide now. Returns the
+    /// placement the policy picks today (feed it
+    /// [`TieredShardedIndex::observed_loads`] via
+    /// [`PlacementPolicy::with_weights`] for traffic-aware scoring);
+    /// comparing it with [`TieredShardedIndex::placements`] tells an
+    /// operator which shards are worth migrating at the next rebuild.
+    pub fn replan(&self, policy: &PlacementPolicy) -> Vec<ShardTier> {
+        policy.place(&self.shard_bytes())
+    }
+
     fn answer_shard(&self, shard: usize, sub: &AccessRequest) -> Result<Relation> {
         self.loads[shard].fetch_add(sub.len().max(1) as u64, Ordering::Relaxed);
         match &self.shards[shard] {
@@ -335,6 +364,42 @@ impl TieredShardedIndex {
             answer = answer.union_with(self.answer_shard(shard, &sub)?)?;
         }
         Ok(answer)
+    }
+}
+
+/// Incremental maintenance across tiers: the batch routes through the
+/// unchanged [`ShardSpec`] contract ([`ShardSpec::partition_delta`] —
+/// delta tuples partition or replicate exactly like the base data), then
+/// each shard absorbs its share through whichever tier holds it: hot
+/// shards update their hash-backed views in place, cold shards buffer
+/// LSM-style overlays on their spilled runs. Stats are shard-local sums,
+/// as in [`cqap_shard::ShardedIndex`]'s implementation.
+impl ApplyDelta for TieredShardedIndex {
+    fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<DeltaStats> {
+        let parts = {
+            let db = match &self.shards[0] {
+                TierShard::Hot(index) => index.database(),
+                TierShard::Cold(stored) => stored.database(),
+            };
+            self.spec.partition_delta(batch, db)?
+        };
+        let mut stats = DeltaStats::default();
+        for (shard, part) in self.shards.iter_mut().zip(parts) {
+            match shard {
+                TierShard::Hot(index) => {
+                    let index = Arc::get_mut(index).ok_or_else(|| {
+                        CqapError::Other(
+                            "cannot apply a delta: a hot shard is shared (serving \
+                             handles must be dropped before mutating)"
+                                .into(),
+                        )
+                    })?;
+                    stats.merge(index.apply_delta(&part)?);
+                }
+                TierShard::Cold(stored) => stats.merge(stored.apply_delta(&part)?),
+            }
+        }
+        Ok(stats)
     }
 }
 

@@ -10,12 +10,66 @@
 
 use cqap_common::Tuple;
 use cqap_decomp::families::pmtds_3reach_fig1;
+use cqap_delta::{ApplyDelta, DeltaBatch};
 use cqap_panda::CqapIndex;
 use cqap_query::workload::{graph_pair_requests, zipf_multi_requests, Graph};
 use cqap_query::AccessRequest;
+use cqap_relation::Database;
 use cqap_shard::ShardedIndex;
 use cqap_store::{scratch_dir, PlacementPolicy, ShardTier, StoredIndex, TieredShardedIndex};
 use proptest::prelude::*;
+
+/// One update batch per round, generated against the current database —
+/// the same four-round structure as `delta_equivalence.rs` in the
+/// yannakakis crate: fresh chain inserts plus scattered deletes, a
+/// cancel/no-op round with one real change, an entirely empty batch, and
+/// finally deletion of the round-0 chain.
+fn delta_round(round: usize, db: &Database, seed: u64) -> DeltaBatch {
+    let names: Vec<String> = db.relations().iter().map(|r| r.name().to_string()).collect();
+    let base = 20_000 + (seed % 89) * 10;
+    match round {
+        0 => {
+            let mut batch = DeltaBatch::new();
+            for (i, name) in names.iter().enumerate() {
+                let i = i as u64;
+                batch = batch.insert(name.clone(), vec![Tuple::pair(base + i, base + i + 1)]);
+                let victims: Vec<Tuple> = db
+                    .relation(name)
+                    .unwrap()
+                    .tuples()
+                    .iter()
+                    .skip(seed as usize % 4)
+                    .step_by(6)
+                    .take(4)
+                    .cloned()
+                    .collect();
+                batch = batch.delete(name.clone(), victims);
+            }
+            batch
+        }
+        1 => {
+            let mut batch = DeltaBatch::new();
+            if let Some(t) = db.relation(&names[0]).unwrap().tuples().first().cloned() {
+                batch = batch
+                    .delete(names[0].clone(), vec![t.clone()])
+                    .insert(names[0].clone(), vec![t]);
+            }
+            batch.insert(
+                names[names.len() - 1].clone(),
+                vec![Tuple::pair(base + 70, base + 71)],
+            )
+        }
+        2 => DeltaBatch::new(),
+        _ => {
+            let mut batch = DeltaBatch::new();
+            for (i, name) in names.iter().enumerate() {
+                let i = i as u64;
+                batch = batch.delete(name.clone(), vec![Tuple::pair(base + i, base + i + 1)]);
+            }
+            batch
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -136,6 +190,167 @@ proptest! {
                 reference.answer(request).unwrap(),
                 "budget {}KiB placement diverged", budget_kb
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Delta segments on the disk tier: a [`StoredIndex`] maintained
+    /// through [`ApplyDelta`] — deltas buffered as LSM-style overlay
+    /// segments, then folded down by a forced compaction — answers
+    /// identically to the incrementally maintained in-memory index *and*
+    /// to a fresh rebuild (memory and disk) over the post-delta database.
+    /// Eight answer paths per request: columnar / row-compiled /
+    /// interpreted on both maintained backends, plus the two rebuilds.
+    #[test]
+    fn stored_delta_segments_match_incremental_and_rebuild(
+        seed in 0u64..10_000,
+        edges in 60usize..160,
+    ) {
+        let (cqap, pmtds) = pmtds_3reach_fig1().unwrap();
+        let graph = Graph::random(40, edges, seed);
+        let db = graph.as_path_database(3);
+
+        let base = 20_000 + (seed % 89) * 10;
+        let mut requests: Vec<AccessRequest> = graph_pair_requests(&graph, 8, seed ^ 0xd17a)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        // A request across the inserted chain: answered in rounds 0-2,
+        // empty again after round 3 deletes the chain.
+        requests.push(
+            AccessRequest::single(cqap.access(), &[base, base + db.num_relations() as u64])
+                .unwrap(),
+        );
+
+        let mut stored = StoredIndex::build_in_temp(&cqap, &db, &pmtds).unwrap();
+        let mut memory = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+        let mut reference_db = db.clone();
+
+        for round in 0..4 {
+            let batch = delta_round(round, &reference_db, seed);
+            let stored_stats = stored.apply_delta(&batch).unwrap();
+            let memory_stats = memory.apply_delta(&batch).unwrap();
+            let ref_stats = reference_db.apply_delta(&batch).unwrap();
+            prop_assert_eq!(&stored_stats, &ref_stats, "round {}: disk stats diverged", round);
+            prop_assert_eq!(&memory_stats, &ref_stats, "round {}: memory stats diverged", round);
+
+            // Round 1 probes with overlay segments still pending; the
+            // forced compaction folds them into fresh base runs and the
+            // remaining rounds probe the rewritten files.
+            if round == 1 {
+                stored.compact().unwrap();
+                prop_assert_eq!(stored.overlay_len(), 0, "compaction left overlay tuples");
+            }
+
+            let rebuilt = CqapIndex::build(&cqap, &reference_db, &pmtds).unwrap();
+            let rebuilt_stored =
+                StoredIndex::build_in_temp(&cqap, &reference_db, &pmtds).unwrap();
+            prop_assert_eq!(
+                stored.space_used(),
+                rebuilt.space_used(),
+                "round {}: maintained disk S-view space diverged from a rebuild", round
+            );
+            for request in &requests {
+                let expected = rebuilt.answer(request).unwrap();
+                prop_assert_eq!(
+                    stored.answer(request).unwrap(),
+                    expected.clone(),
+                    "round {}: columnar stored answer diverged", round
+                );
+                prop_assert_eq!(
+                    stored.answer_rows(request).unwrap(),
+                    expected.clone(),
+                    "round {}: row-compiled stored answer diverged", round
+                );
+                prop_assert_eq!(
+                    stored.answer_interpreted(request).unwrap(),
+                    expected.clone(),
+                    "round {}: interpreted stored answer diverged", round
+                );
+                prop_assert_eq!(
+                    memory.answer(request).unwrap(),
+                    expected.clone(),
+                    "round {}: columnar memory answer diverged", round
+                );
+                prop_assert_eq!(
+                    memory.answer_rows(request).unwrap(),
+                    expected.clone(),
+                    "round {}: row-compiled memory answer diverged", round
+                );
+                prop_assert_eq!(
+                    memory.answer_interpreted(request).unwrap(),
+                    expected.clone(),
+                    "round {}: interpreted memory answer diverged", round
+                );
+                prop_assert_eq!(
+                    rebuilt_stored.answer(request).unwrap(),
+                    expected,
+                    "round {}: rebuilt stored answer diverged", round
+                );
+            }
+        }
+    }
+
+    /// The fourth backend: every hot/cold split of a 3-shard tiered
+    /// deployment absorbs a delta batch through [`ApplyDelta`] and keeps
+    /// answering exactly like the maintained unsharded in-memory index;
+    /// post-delta, the placement policy re-scores the grown shards.
+    #[test]
+    fn tiered_deltas_match_unsharded_incremental(seed in 0u64..10_000, edges in 60usize..140) {
+        let (cqap, pmtds) = pmtds_3reach_fig1().unwrap();
+        let graph = Graph::random(40, edges, seed);
+        let db = graph.as_path_database(3);
+        let batch = delta_round(0, &db, seed);
+
+        let base = 20_000 + (seed % 89) * 10;
+        let mut requests: Vec<AccessRequest> = graph_pair_requests(&graph, 8, seed ^ 0x71e2)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        requests.push(
+            AccessRequest::single(cqap.access(), &[base, base + db.num_relations() as u64])
+                .unwrap(),
+        );
+
+        let mut reference = CqapIndex::build(&cqap, &db, &pmtds).unwrap();
+        reference.apply_delta(&batch).unwrap();
+
+        for cold in 0..=3usize {
+            let placement: Vec<ShardTier> = (0..3)
+                .map(|i| {
+                    if (i + seed as usize) % 3 < cold {
+                        ShardTier::Cold
+                    } else {
+                        ShardTier::Hot
+                    }
+                })
+                .collect();
+            let sharded = ShardedIndex::build(&cqap, &db, &pmtds, 3).unwrap();
+            let mut tiered = TieredShardedIndex::from_sharded(
+                sharded,
+                &placement,
+                scratch_dir("delta-proptest"),
+            )
+            .unwrap();
+            tiered.apply_delta(&batch).unwrap();
+            for request in &requests {
+                prop_assert_eq!(
+                    tiered.answer(request).unwrap(),
+                    reference.answer(request).unwrap(),
+                    "cold = {} placement {:?}", cold, placement
+                );
+            }
+            // Re-scoring over the post-delta shard sizes: an unbounded
+            // budget pulls every shard hot, a zero budget evicts all.
+            let bytes = tiered.shard_bytes();
+            prop_assert_eq!(bytes.len(), 3);
+            let all_hot = tiered.replan(&PlacementPolicy::hot_budget(usize::MAX));
+            prop_assert!(all_hot.iter().all(|t| matches!(t, ShardTier::Hot)));
+            let all_cold = tiered.replan(&PlacementPolicy::hot_budget(0));
+            prop_assert!(all_cold.iter().all(|t| matches!(t, ShardTier::Cold)));
         }
     }
 }

@@ -11,7 +11,7 @@
 //! 2. a **top-down join pass** over the reduced tree that assembles the
 //!    output without producing dangling intermediate tuples.
 
-use cqap_common::{CqapError, FxHashMap, Result, Tuple, VarSet};
+use cqap_common::{CqapError, FxHashMap, FxHashSet, Result, Tuple, VarSet};
 use cqap_decomp::{Pmtd, ViewKind};
 use cqap_query::AccessRequest;
 use cqap_relation::{HashIndex, Relation, Schema};
@@ -71,6 +71,43 @@ impl PreprocessedViews {
             .ok_or_else(|| {
                 CqapError::InvalidPmtd(format!("S-view {node} was not preprocessed"))
             })
+    }
+
+    /// Applies a net ΔS-view to one materialized node in place: `deletes`
+    /// leave the stored relation and its link-variable hash index,
+    /// `inserts` enter both. The caller (the delta-maintenance layer in
+    /// `cqap-panda`) computes the net lists against the view's ideal
+    /// content, so deletes are present and inserts absent; duplicates are
+    /// tolerated (the relation's set semantics absorbs them and the index
+    /// is only updated for tuples that actually entered).
+    ///
+    /// # Errors
+    /// Fails if the node has no materialized view or a tuple's arity does
+    /// not match the view schema.
+    pub fn apply_delta(
+        &mut self,
+        node: usize,
+        inserts: &[Tuple],
+        deletes: &[Tuple],
+    ) -> Result<()> {
+        let view = self
+            .views
+            .get_mut(node)
+            .and_then(|v| v.as_mut())
+            .ok_or_else(|| {
+                CqapError::InvalidPmtd(format!("S-view {node} was not preprocessed"))
+            })?;
+        if !deletes.is_empty() {
+            let gone: FxHashSet<Tuple> = deletes.iter().cloned().collect();
+            view.rel.remove_all(&gone);
+            view.index.remove_all(deletes)?;
+        }
+        for t in inserts {
+            if view.rel.insert(t.clone())? {
+                view.index.insert_all(std::slice::from_ref(t))?;
+            }
+        }
+        Ok(())
     }
 }
 
