@@ -37,7 +37,11 @@
 //! default `local`); when the named file already exists, the criterion
 //! shim prints each benchmark's median delta against the saved run — CI
 //! runs with `BENCH_BASELINE=pr4`, so the columnar-vs-PR-4 delta prints
-//! in every workflow log.
+//! in every workflow log. Since PR 7 every line (and JSON record) also
+//! carries the **p99/p999 tail latency**, estimated through the
+//! `cqap-obs` log-bucketed histogram — the same estimator the serving
+//! stack's live metrics exposition uses, so bench tails and production
+//! tails are directly comparable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

@@ -1,0 +1,236 @@
+//! Snapshot and export: Prometheus text exposition and the criterion
+//! shim's `BENCH_*.json` schema.
+
+use std::fmt::Write as _;
+
+use crate::hist::{HistogramSnapshot, BOUNDS};
+use crate::sink::{CounterId, GaugeId, StageId};
+
+/// An owned point-in-time copy of every metric in a
+/// [`Recorder`](crate::Recorder).
+///
+/// Snapshots from different recorders (e.g. one per worker process)
+/// merge element-wise via [`merge`](Self::merge) because every
+/// recorder shares the same fixed metric layout.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Per-stage latency histograms, indexed like [`StageId::ALL`].
+    pub stages: [HistogramSnapshot; StageId::COUNT],
+    /// Counter values, indexed like [`CounterId::ALL`].
+    pub counters: [u64; CounterId::COUNT],
+    /// Gauge values, indexed like [`GaugeId::ALL`].
+    pub gauges: [i64; GaugeId::COUNT],
+    /// Requests served per shard (trailing all-zero shards trimmed;
+    /// empty when the stack is unsharded).
+    pub shard_served: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// The histogram snapshot for one stage.
+    pub fn stage(&self, stage: StageId) -> &HistogramSnapshot {
+        &self.stages[stage as usize]
+    }
+
+    /// The value of one counter.
+    pub fn counter(&self, counter: CounterId) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// The value of one gauge.
+    pub fn gauge(&self, gauge: GaugeId) -> i64 {
+        self.gauges[gauge as usize]
+    }
+
+    /// Ratio of the busiest shard's served count to the mean served
+    /// count, or `None` when no shard counters were recorded.
+    ///
+    /// 1.0 means perfectly balanced traffic; 2.0 means the hottest
+    /// shard saw twice its fair share.
+    pub fn shard_balance_skew(&self) -> Option<f64> {
+        let total: u64 = self.shard_served.iter().sum();
+        if self.shard_served.is_empty() || total == 0 {
+            return None;
+        }
+        let mean = total as f64 / self.shard_served.len() as f64;
+        let max = *self.shard_served.iter().max().expect("non-empty") as f64;
+        Some(max / mean)
+    }
+
+    /// Merges another snapshot into this one (element-wise addition;
+    /// histogram min/max combine, gauges add).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.gauges.iter_mut().zip(&other.gauges) {
+            *mine += theirs;
+        }
+        if self.shard_served.len() < other.shard_served.len() {
+            self.shard_served.resize(other.shard_served.len(), 0);
+        }
+        for (mine, theirs) in self.shard_served.iter_mut().zip(&other.shard_served) {
+            *mine += theirs;
+        }
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (version 0.0.4).
+    ///
+    /// Emits one histogram family (`stage` label, cumulative `le`
+    /// buckets in nanoseconds), a quantile gauge family with the
+    /// estimated p50/p95/p99/p999 per stage, every counter and gauge,
+    /// and — when sharded — per-shard served counters plus the balance
+    /// skew gauge. Stages with zero observations are omitted to keep
+    /// the output readable; counters and gauges are always present.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let live: Vec<StageId> = StageId::ALL
+            .into_iter()
+            .filter(|&s| !self.stage(s).is_empty())
+            .collect();
+
+        if !live.is_empty() {
+            out.push_str(
+                "# HELP cqap_stage_duration_nanoseconds \
+                 Request lifecycle stage latency, by stage.\n",
+            );
+            out.push_str("# TYPE cqap_stage_duration_nanoseconds histogram\n");
+            for &stage in &live {
+                let hist = self.stage(stage);
+                let mut cumulative = 0u64;
+                for (idx, &n) in hist.buckets.iter().enumerate() {
+                    cumulative += n;
+                    // Skip leading all-zero buckets but keep every
+                    // boundary after the first observation so the
+                    // cumulative counts stay self-describing.
+                    if cumulative == 0 {
+                        continue;
+                    }
+                    let le = if idx < BOUNDS.len() {
+                        BOUNDS[idx].to_string()
+                    } else {
+                        "+Inf".to_string()
+                    };
+                    writeln!(
+                        out,
+                        "cqap_stage_duration_nanoseconds_bucket{{stage=\"{}\",le=\"{}\"}} {}",
+                        stage.name(),
+                        le,
+                        cumulative
+                    )
+                    .expect("write to String");
+                }
+                writeln!(
+                    out,
+                    "cqap_stage_duration_nanoseconds_sum{{stage=\"{}\"}} {}",
+                    stage.name(),
+                    hist.sum
+                )
+                .expect("write to String");
+                writeln!(
+                    out,
+                    "cqap_stage_duration_nanoseconds_count{{stage=\"{}\"}} {}",
+                    stage.name(),
+                    hist.count
+                )
+                .expect("write to String");
+            }
+
+            out.push_str(
+                "# HELP cqap_stage_quantile_nanoseconds \
+                 Estimated stage latency quantiles (bucket-midpoint estimate).\n",
+            );
+            out.push_str("# TYPE cqap_stage_quantile_nanoseconds gauge\n");
+            for &stage in &live {
+                let hist = self.stage(stage);
+                for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99), ("0.999", 0.999)]
+                {
+                    writeln!(
+                        out,
+                        "cqap_stage_quantile_nanoseconds{{stage=\"{}\",quantile=\"{}\"}} {}",
+                        stage.name(),
+                        label,
+                        hist.quantile(q)
+                    )
+                    .expect("write to String");
+                }
+            }
+        }
+
+        for counter in CounterId::ALL {
+            writeln!(out, "# HELP {} {}", counter.name(), counter.help())
+                .expect("write to String");
+            writeln!(out, "# TYPE {} counter", counter.name()).expect("write to String");
+            writeln!(out, "{} {}", counter.name(), self.counter(counter))
+                .expect("write to String");
+        }
+
+        for gauge in GaugeId::ALL {
+            writeln!(out, "# HELP {} {}", gauge.name(), gauge.help()).expect("write to String");
+            writeln!(out, "# TYPE {} gauge", gauge.name()).expect("write to String");
+            writeln!(out, "{} {}", gauge.name(), self.gauge(gauge)).expect("write to String");
+        }
+
+        if !self.shard_served.is_empty() {
+            out.push_str("# HELP cqap_shard_served_total Requests answered per shard.\n");
+            out.push_str("# TYPE cqap_shard_served_total counter\n");
+            for (shard, &n) in self.shard_served.iter().enumerate() {
+                writeln!(out, "cqap_shard_served_total{{shard=\"{shard}\"}} {n}")
+                    .expect("write to String");
+            }
+            if let Some(skew) = self.shard_balance_skew() {
+                out.push_str(
+                    "# HELP cqap_shard_balance_skew \
+                     Busiest shard's served count over the mean (1.0 = balanced).\n",
+                );
+                out.push_str("# TYPE cqap_shard_balance_skew gauge\n");
+                writeln!(out, "cqap_shard_balance_skew {skew:.3}").expect("write to String");
+            }
+        }
+
+        out
+    }
+
+    /// Renders the per-stage latency distributions in the criterion
+    /// shim's `BENCH_*.json` record schema (a JSON array; one record
+    /// per non-empty stage, labelled `stage/<name>`).
+    ///
+    /// `median_ns`/`p99_ns`/`p999_ns` are bucket-midpoint quantile
+    /// estimates; `mad_ns` is not recoverable from buckets and is
+    /// reported as 0.
+    pub fn to_bench_json(&self) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        for stage in StageId::ALL {
+            let hist = self.stage(stage);
+            if hist.is_empty() {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(
+                out,
+                "\n  {{\"label\": \"stage/{}\", \"samples\": {}, \"median_ns\": {}, \
+                 \"mad_ns\": 0, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"p99_ns\": {}, \"p999_ns\": {}}}",
+                stage.name(),
+                hist.count,
+                hist.p50(),
+                hist.mean(),
+                hist.min,
+                hist.max,
+                hist.p99(),
+                hist.p999()
+            )
+            .expect("write to String");
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}

@@ -1,0 +1,324 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! A [`LatencyHistogram`] is a fixed array of `AtomicU64` buckets whose
+//! boundaries grow geometrically — two buckets per octave (ratio ≈ √2 ≈
+//! 1.41) — from 100ns up to ~100s, with one catch-all overflow bucket
+//! above that. Recording is a single relaxed `fetch_add` plus two
+//! saturating min/max updates, so many worker threads can record into
+//! the same histogram without locks or allocation. Because the bucket
+//! layout is identical for every histogram, snapshots merge by plain
+//! element-wise addition.
+//!
+//! Quantile estimates come from the bucketed distribution: the reported
+//! value always lies inside the bucket that contains the exact sample
+//! quantile, so the absolute error is bounded by one bucket width
+//! (relative error ≈ √2 − 1 ≈ 41% of the value in the worst case, and
+//! half that on average). That guarantee is what the proptest suite
+//! checks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of finite bucket boundaries.
+///
+/// Boundary `2k` is `100 << k` and boundary `2k+1` is `141 << k`
+/// nanoseconds (141 ≈ 100·√2), so consecutive boundaries are a factor
+/// of ≈1.41 apart. The last boundary is `100 << 30` ≈ 107.4s, which
+/// caps the resolvable range at roughly 100 seconds as advertised.
+pub const NUM_BOUNDS: usize = 61;
+
+/// Total bucket count: one per finite boundary plus the overflow bucket.
+pub const NUM_BUCKETS: usize = NUM_BOUNDS + 1;
+
+/// Upper bucket boundaries in nanoseconds, strictly increasing.
+///
+/// Bucket `0` covers `[0, BOUNDS[0])`, bucket `i` covers
+/// `[BOUNDS[i-1], BOUNDS[i])`, and bucket `NUM_BOUNDS` is the overflow
+/// bucket `[BOUNDS[NUM_BOUNDS-1], ∞)`.
+pub const BOUNDS: [u64; NUM_BOUNDS] = build_bounds();
+
+const fn build_bounds() -> [u64; NUM_BOUNDS] {
+    let mut bounds = [0u64; NUM_BOUNDS];
+    let mut i = 0;
+    while i < NUM_BOUNDS {
+        let octave = i / 2;
+        bounds[i] = if i % 2 == 0 {
+            100u64 << octave
+        } else {
+            141u64 << octave
+        };
+        i += 1;
+    }
+    bounds
+}
+
+/// Index of the bucket a `ns`-nanosecond observation falls into.
+#[inline]
+pub fn bucket_of(ns: u64) -> usize {
+    // Boundaries are sorted, so the first boundary strictly above `ns`
+    // names the bucket; if every boundary is <= ns this returns
+    // NUM_BOUNDS, the overflow bucket.
+    BOUNDS.partition_point(|&b| b <= ns)
+}
+
+/// Half-open value range `[lo, hi)` covered by bucket `idx`.
+///
+/// The overflow bucket reports `hi == u64::MAX`.
+#[inline]
+pub fn bucket_range(idx: usize) -> (u64, u64) {
+    let lo = if idx == 0 { 0 } else { BOUNDS[idx - 1] };
+    let hi = if idx < NUM_BOUNDS {
+        BOUNDS[idx]
+    } else {
+        u64::MAX
+    };
+    (lo, hi)
+}
+
+/// A lock-free latency histogram with log-spaced buckets.
+///
+/// All methods take `&self`; concurrent recording from many threads is
+/// the intended use. Buckets are log-spaced (two per octave over
+/// 100 ns..100 s), so quantile estimates are off by at most one bucket
+/// width — under 50% relative error, typically far less.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `ns` nanoseconds.
+    ///
+    /// Lock-free and allocation-free: one `fetch_add` per counter plus
+    /// atomic min/max updates, all relaxed.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a [`Duration`], saturating at
+    /// `u64::MAX` nanoseconds (~584 years).
+    #[inline]
+    pub fn record(&self, elapsed: Duration) {
+        self.record_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time copy of the histogram state.
+    ///
+    /// Individual loads are relaxed, so a snapshot taken while writers
+    /// are active may be off by in-flight observations; totals are
+    /// exact once writers quiesce.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Adds every observation recorded in `other` into `self`.
+    ///
+    /// Both histograms share the fixed bucket layout, so merging is
+    /// element-wise atomic addition — the merge-across-workers path.
+    pub fn merge_from(&self, other: &HistogramSnapshot) {
+        for (bucket, &n) in self.buckets.iter().zip(&other.buckets) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum, Ordering::Relaxed);
+        self.min.fetch_min(other.min, Ordering::Relaxed);
+        self.max.fetch_max(other.max, Ordering::Relaxed);
+    }
+}
+
+/// An owned point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (not cumulative).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, in nanoseconds.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (`0` when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (zero observations).
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observed value in nanoseconds (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Merges another snapshot into this one (element-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (slot, &n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *slot += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `[lo, hi]` nanosecond range guaranteed to contain the exact
+    /// `q`-quantile of the recorded sample, `0.0 <= q <= 1.0`.
+    ///
+    /// `lo`/`hi` are the containing bucket's boundaries tightened by
+    /// the exact observed min/max; the overflow bucket's upper bound is
+    /// the observed max. Returns `(0, 0)` when empty.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        // Rank of the quantile sample, 1-based: the standard
+        // ceil(q * n) nearest-rank definition, clamped to [1, n].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_range(idx);
+                return (lo.max(self.min), hi.min(self.max.saturating_add(1)));
+            }
+        }
+        // Unreachable while count == sum of buckets, but keep a sane
+        // fallback for racy snapshots.
+        (self.min, self.max)
+    }
+
+    /// Estimates the `q`-quantile in nanoseconds.
+    ///
+    /// The estimate is the midpoint of [`quantile_bounds`], so it lies
+    /// in the same bucket as the exact sample quantile and is at most
+    /// one bucket width away from it.
+    ///
+    /// [`quantile_bounds`]: Self::quantile_bounds
+    pub fn quantile(&self, q: f64) -> u64 {
+        let (lo, hi) = self.quantile_bounds(q);
+        lo + (hi - lo) / 2
+    }
+
+    /// Median estimate (p50), in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate, in nanoseconds.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate, in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile estimate, in nanoseconds.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_increasing_and_span_100ns_to_100s() {
+        for pair in BOUNDS.windows(2) {
+            assert!(pair[0] < pair[1], "bounds must increase: {pair:?}");
+        }
+        assert_eq!(BOUNDS[0], 100);
+        assert!(BOUNDS[NUM_BOUNDS - 1] >= 100_000_000_000);
+    }
+
+    #[test]
+    fn bucket_of_matches_bucket_range() {
+        for ns in [0, 1, 99, 100, 140, 141, 199, 1_000, 1_000_000, u64::MAX] {
+            let idx = bucket_of(ns);
+            let (lo, hi) = bucket_range(idx);
+            assert!(lo <= ns && ns < hi || (idx == NUM_BOUNDS && ns >= lo));
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_point_mass_hit_the_point_bucket() {
+        let h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record_ns(5_000);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), 5_000, "q={q}");
+        }
+        assert_eq!(s.mean(), 5_000);
+        assert_eq!((s.min, s.max), (5_000, 5_000));
+    }
+}

@@ -1,0 +1,60 @@
+//! Lock-free metrics and request-lifecycle tracing for the CQAP
+//! serving stack.
+//!
+//! The serving layers built in earlier PRs (runtime, work-stealing
+//! pool, shard router, cold store, delta maintenance) expose only
+//! end-of-run counters; this crate adds the latency distributions and
+//! live gauges needed to reason about tail behaviour. Everything is
+//! std-only and lock-free:
+//!
+//! - [`LatencyHistogram`] — fixed log-bucketed `AtomicU64` histograms,
+//!   two buckets per octave from 100ns to ~100s, mergeable across
+//!   workers, with quantile estimates (p50/p95/p99/p999) whose error
+//!   is bounded by one bucket width.
+//! - [`Recorder`] / [`MetricsSink`] — the instrumentation seam. A
+//!   `Recorder` is a fixed registry of stage histograms
+//!   ([`StageId`]), event counters ([`CounterId`]), gauges
+//!   ([`GaugeId`]) and per-shard served counts. A `MetricsSink` is a
+//!   cheap-clone, possibly-disabled handle to one; a disabled sink
+//!   reduces every recording call to a null check, so instrumented
+//!   warm paths stay allocation-free and effectively free when
+//!   metrics are off.
+//! - [`RequestSpan`] / [`StageTimer`] — per-worker lifecycle timing
+//!   helpers that skip the clock read entirely when the sink is
+//!   disabled.
+//! - [`MetricsSnapshot`] — an owned copy of a recorder, exportable as
+//!   Prometheus text exposition
+//!   ([`to_prometheus`](MetricsSnapshot::to_prometheus)) or the
+//!   criterion shim's `BENCH_*.json` schema
+//!   ([`to_bench_json`](MetricsSnapshot::to_bench_json)).
+//!
+//! # Example
+//!
+//! ```
+//! use cqap_obs::{MetricsSink, StageId, CounterId};
+//!
+//! let sink = MetricsSink::recording();
+//! let timer = sink.start();
+//! // ... do the work being timed ...
+//! sink.stop(timer, StageId::BackendProbe);
+//! sink.incr(CounterId::SegmentReads);
+//!
+//! let snap = sink.snapshot().unwrap();
+//! assert_eq!(snap.stage(StageId::BackendProbe).count, 1);
+//! assert_eq!(snap.counter(CounterId::SegmentReads), 1);
+//! println!("{}", snap.to_prometheus());
+//! ```
+
+#![deny(missing_docs)]
+
+mod export;
+mod hist;
+mod sink;
+
+pub use export::MetricsSnapshot;
+pub use hist::{
+    bucket_of, bucket_range, HistogramSnapshot, LatencyHistogram, BOUNDS, NUM_BOUNDS, NUM_BUCKETS,
+};
+pub use sink::{
+    CounterId, GaugeId, MetricsSink, Recorder, RequestSpan, StageId, StageTimer, MAX_SHARDS,
+};

@@ -1,0 +1,450 @@
+//! The `MetricsSink` seam: a nullable handle the serving stack records
+//! through.
+//!
+//! Every instrumented layer (`ServeRuntime`, the work-stealing pool,
+//! `ShardRouter`, `cqap-store`, `DeltaMaintenance`) holds a
+//! [`MetricsSink`] by value. A sink is either *disabled* (the default —
+//! a `None`, so every recording call is a branch on a null check and
+//! compiles down to nothing) or *attached* to a shared [`Recorder`]
+//! holding the actual atomics. Cloning a sink is a reference-count
+//! bump; recording through one never allocates, so it is safe on the
+//! warm request path.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::export::MetricsSnapshot;
+use crate::hist::LatencyHistogram;
+
+/// Request-lifecycle stages timed by the serving stack, one latency
+/// histogram each.
+///
+/// The first six stages decompose a request's path through
+/// `ServeRuntime`; the last two time maintenance work (delta batches
+/// and cold-store compaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageId {
+    /// Time a job spent queued in the work-stealing pool before a
+    /// worker picked it up.
+    QueueWait,
+    /// Answer-cache / in-flight map lookup under the runtime state
+    /// lock.
+    CacheLookup,
+    /// Classifying and merging a batch's requests into coalesced
+    /// probe groups.
+    Coalesce,
+    /// The backend index probe itself (the Yannakakis answer call).
+    BackendProbe,
+    /// Unioning per-shard partial answers into one result.
+    AnswerUnion,
+    /// Publishing an answer to the ticket and fanning it out to
+    /// duplicate waiters.
+    TicketDelivery,
+    /// Applying one delta batch through incremental maintenance.
+    DeltaApply,
+    /// Rewriting a stored view's sorted run to fold its overlay in.
+    Compaction,
+}
+
+impl StageId {
+    /// Number of stages.
+    pub const COUNT: usize = 8;
+
+    /// Every stage, in canonical export order.
+    pub const ALL: [StageId; Self::COUNT] = [
+        StageId::QueueWait,
+        StageId::CacheLookup,
+        StageId::Coalesce,
+        StageId::BackendProbe,
+        StageId::AnswerUnion,
+        StageId::TicketDelivery,
+        StageId::DeltaApply,
+        StageId::Compaction,
+    ];
+
+    /// Stable snake_case name used as the `stage` label in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::QueueWait => "queue_wait",
+            StageId::CacheLookup => "cache_lookup",
+            StageId::Coalesce => "coalesce",
+            StageId::BackendProbe => "backend_probe",
+            StageId::AnswerUnion => "answer_union",
+            StageId::TicketDelivery => "ticket_delivery",
+            StageId::DeltaApply => "delta_apply",
+            StageId::Compaction => "compaction",
+        }
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Monotonic event counters recorded by the serving stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterId {
+    /// Successful steals in the work-stealing pool.
+    PoolSteals,
+    /// Times a pool worker parked after finding no work.
+    PoolParks,
+    /// Contiguous segment reads issued against stored views.
+    SegmentReads,
+    /// Bytes fetched by those segment reads.
+    SegmentBytesRead,
+    /// Probes served while a stored view had un-compacted overlay
+    /// entries pending.
+    OverlayPendingProbes,
+    /// Stored-view compactions performed.
+    Compactions,
+    /// Net tuple insertions applied by delta maintenance.
+    DeltaNetInserts,
+    /// Net tuple deletions applied by delta maintenance.
+    DeltaNetDeletes,
+    /// Probe-plan recompilations triggered by delta maintenance.
+    PlanRecompiles,
+}
+
+impl CounterId {
+    /// Number of counters.
+    pub const COUNT: usize = 9;
+
+    /// Every counter, in canonical export order.
+    pub const ALL: [CounterId; Self::COUNT] = [
+        CounterId::PoolSteals,
+        CounterId::PoolParks,
+        CounterId::SegmentReads,
+        CounterId::SegmentBytesRead,
+        CounterId::OverlayPendingProbes,
+        CounterId::Compactions,
+        CounterId::DeltaNetInserts,
+        CounterId::DeltaNetDeletes,
+        CounterId::PlanRecompiles,
+    ];
+
+    /// Prometheus metric name (already `_total`-suffixed).
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::PoolSteals => "cqap_pool_steals_total",
+            CounterId::PoolParks => "cqap_pool_parks_total",
+            CounterId::SegmentReads => "cqap_store_segment_reads_total",
+            CounterId::SegmentBytesRead => "cqap_store_segment_bytes_read_total",
+            CounterId::OverlayPendingProbes => "cqap_store_overlay_pending_probes_total",
+            CounterId::Compactions => "cqap_store_compactions_total",
+            CounterId::DeltaNetInserts => "cqap_delta_net_inserts_total",
+            CounterId::DeltaNetDeletes => "cqap_delta_net_deletes_total",
+            CounterId::PlanRecompiles => "cqap_delta_plan_recompiles_total",
+        }
+    }
+
+    /// One-line help string for the Prometheus exposition.
+    pub fn help(self) -> &'static str {
+        match self {
+            CounterId::PoolSteals => "Successful steals in the work-stealing pool.",
+            CounterId::PoolParks => "Times a pool worker parked after finding no work.",
+            CounterId::SegmentReads => "Contiguous segment reads issued against stored views.",
+            CounterId::SegmentBytesRead => "Bytes fetched by stored-view segment reads.",
+            CounterId::OverlayPendingProbes => {
+                "Probes served while a stored view had overlay entries pending compaction."
+            }
+            CounterId::Compactions => "Stored-view compactions performed.",
+            CounterId::DeltaNetInserts => "Net tuple insertions applied by delta maintenance.",
+            CounterId::DeltaNetDeletes => "Net tuple deletions applied by delta maintenance.",
+            CounterId::PlanRecompiles => {
+                "Probe-plan recompilations triggered by delta maintenance."
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Instantaneous gauges (values can go up and down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeId {
+    /// Jobs currently queued or executing in the serving pool.
+    QueueDepth,
+}
+
+impl GaugeId {
+    /// Number of gauges.
+    pub const COUNT: usize = 1;
+
+    /// Every gauge, in canonical export order.
+    pub const ALL: [GaugeId; Self::COUNT] = [GaugeId::QueueDepth];
+
+    /// Prometheus metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GaugeId::QueueDepth => "cqap_serve_queue_depth",
+        }
+    }
+
+    /// One-line help string for the Prometheus exposition.
+    pub fn help(self) -> &'static str {
+        match self {
+            GaugeId::QueueDepth => "Jobs currently queued or executing in the serving pool.",
+        }
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Largest shard index tracked individually by the per-shard served
+/// counters; higher shard indexes fold into the last slot.
+pub const MAX_SHARDS: usize = 64;
+
+/// The shared registry of atomics a [`MetricsSink`] records into.
+///
+/// One recorder aggregates a whole serving stack: all workers, shards
+/// and tiers record into the same fixed-layout atomics, so there is
+/// nothing to merge at snapshot time unless multiple recorders are in
+/// play (see [`MetricsSnapshot::merge`]).
+#[derive(Debug)]
+pub struct Recorder {
+    stages: [LatencyHistogram; StageId::COUNT],
+    counters: [AtomicU64; CounterId::COUNT],
+    gauges: [AtomicI64; GaugeId::COUNT],
+    shard_served: [AtomicU64; MAX_SHARDS],
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self {
+            stages: std::array::from_fn(|_| LatencyHistogram::new()),
+            counters: [const { AtomicU64::new(0) }; CounterId::COUNT],
+            gauges: [const { AtomicI64::new(0) }; GaugeId::COUNT],
+            shard_served: [const { AtomicU64::new(0) }; MAX_SHARDS],
+        }
+    }
+
+    /// The live histogram for one stage.
+    pub fn stage(&self, stage: StageId) -> &LatencyHistogram {
+        &self.stages[stage.index()]
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, counter: CounterId) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, gauge: GaugeId) -> i64 {
+        self.gauges[gauge.index()].load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages: std::array::from_fn(|i| self.stages[i].snapshot()),
+            counters: std::array::from_fn(|i| self.counters[i].load(Ordering::Relaxed)),
+            gauges: std::array::from_fn(|i| self.gauges[i].load(Ordering::Relaxed)),
+            shard_served: {
+                let last = self
+                    .shard_served
+                    .iter()
+                    .rposition(|c| c.load(Ordering::Relaxed) > 0)
+                    .map_or(0, |i| i + 1);
+                self.shard_served[..last]
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect()
+            },
+        }
+    }
+}
+
+/// A cheap-to-clone, possibly-disabled handle to a [`Recorder`].
+///
+/// This is the seam the serving stack is instrumented through: layers
+/// hold a sink by value and call its recording methods unconditionally.
+/// A disabled sink short-circuits on a null check; an attached sink
+/// performs relaxed atomic updates. Neither path allocates.
+#[derive(Clone, Default)]
+pub struct MetricsSink {
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl fmt::Debug for MetricsSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsSink")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl MetricsSink {
+    /// A sink that records nothing (the default).
+    pub fn disabled() -> Self {
+        Self { recorder: None }
+    }
+
+    /// A sink attached to a fresh recorder.
+    pub fn recording() -> Self {
+        Self::attached(Arc::new(Recorder::new()))
+    }
+
+    /// A sink attached to an existing shared recorder.
+    pub fn attached(recorder: Arc<Recorder>) -> Self {
+        Self {
+            recorder: Some(recorder),
+        }
+    }
+
+    /// Whether this sink is attached to a recorder.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// The recorder behind this sink, if attached.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Snapshots the attached recorder, or `None` when disabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.recorder.as_deref().map(Recorder::snapshot)
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, counter: CounterId, n: u64) {
+        if let Some(r) = &self.recorder {
+            r.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn incr(&self, counter: CounterId) {
+        self.add(counter, 1);
+    }
+
+    /// Moves a gauge by `delta` (may be negative).
+    #[inline]
+    pub fn gauge_add(&self, gauge: GaugeId, delta: i64) {
+        if let Some(r) = &self.recorder {
+            r.gauges[gauge.index()].fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a stage latency of `ns` nanoseconds.
+    #[inline]
+    pub fn observe_ns(&self, stage: StageId, ns: u64) {
+        if let Some(r) = &self.recorder {
+            r.stages[stage.index()].record_ns(ns);
+        }
+    }
+
+    /// Counts one request served by shard `shard`; indexes past
+    /// [`MAX_SHARDS`] fold into the last slot.
+    #[inline]
+    pub fn shard_served(&self, shard: usize) {
+        if let Some(r) = &self.recorder {
+            r.shard_served[shard.min(MAX_SHARDS - 1)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a stage timer.
+    ///
+    /// On a disabled sink this skips the clock read entirely and the
+    /// eventual [`stop`](Self::stop) is a no-op.
+    #[inline]
+    pub fn start(&self) -> StageTimer {
+        StageTimer(self.recorder.as_ref().map(|_| Instant::now()))
+    }
+
+    /// Stops a timer and records the elapsed time against `stage`.
+    #[inline]
+    pub fn stop(&self, timer: StageTimer, stage: StageId) {
+        if let (Some(r), Some(started)) = (&self.recorder, timer.0) {
+            r.stages[stage.index()]
+                .record_ns(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+/// A pending stage measurement from [`MetricsSink::start`].
+///
+/// Holds `None` when the sink was disabled, so no clock was read.
+#[derive(Debug)]
+#[must_use = "pass the timer back to MetricsSink::stop to record it"]
+pub struct StageTimer(Option<Instant>);
+
+impl StageTimer {
+    /// A timer that records nothing when stopped.
+    pub fn disarmed() -> Self {
+        StageTimer(None)
+    }
+
+    /// Nanoseconds since the timer started, or `None` for a disarmed
+    /// timer — for callers that accumulate several timed segments into
+    /// a single observation before recording it.
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.0
+            .map(|started| u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+/// A per-worker span recorder that splits one request's lifecycle into
+/// consecutive stage laps.
+///
+/// Each [`lap`](Self::lap) records the time since the previous lap (or
+/// since construction) against the given stage and restarts the clock,
+/// so a worker times `probe → delivery` with a single span and two lap
+/// calls — one clock read per boundary instead of two per stage.
+#[derive(Debug)]
+pub struct RequestSpan<'a> {
+    sink: &'a MetricsSink,
+    last: Option<Instant>,
+}
+
+impl<'a> RequestSpan<'a> {
+    /// Starts a span; reads the clock only if the sink is enabled.
+    #[inline]
+    pub fn begin(sink: &'a MetricsSink) -> Self {
+        Self {
+            last: sink.recorder.as_ref().map(|_| Instant::now()),
+            sink,
+        }
+    }
+
+    /// Records the time since the last lap against `stage` and
+    /// restarts the clock.
+    #[inline]
+    pub fn lap(&mut self, stage: StageId) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            self.sink.observe_ns(
+                stage,
+                u64::try_from(now.duration_since(last).as_nanos()).unwrap_or(u64::MAX),
+            );
+            self.last = Some(now);
+        }
+    }
+
+    /// Restarts the clock without recording (skips uninteresting gaps).
+    #[inline]
+    pub fn skip(&mut self) {
+        if self.last.is_some() {
+            self.last = Some(Instant::now());
+        }
+    }
+}

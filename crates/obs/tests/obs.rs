@@ -1,0 +1,304 @@
+//! Test suite for `cqap-obs`:
+//!
+//! * a property test checking the histogram's quantile estimates
+//!   against the exact quantiles of the recorded sample — the estimate
+//!   must land in the same bucket, i.e. within one bucket width;
+//! * a concurrent multi-thread recording test plus a per-worker
+//!   merge test;
+//! * a golden test pinning the Prometheus text exposition byte-for-byte
+//!   (regenerate with `BLESS_GOLDEN=1 cargo test -p cqap-obs`), plus a
+//!   structural validity check of the exposition grammar.
+
+use std::sync::Arc;
+use std::thread;
+
+use cqap_obs::{
+    CounterId, GaugeId, HistogramSnapshot, LatencyHistogram, MetricsSink, Recorder, StageId,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact `q`-quantile of a sample by the nearest-rank definition used
+/// by `HistogramSnapshot::quantile_bounds`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Draws a latency sample from one of three shapes: uniform,
+/// heavy-tailed (uniform-of-exponents), or a bimodal fast-path /
+/// slow-outlier mixture reaching past the histogram's overflow bucket.
+fn draw_sample(rng: &mut StdRng, dist: u8) -> u64 {
+    match dist % 3 {
+        0 => rng.random_range(0u64..10_000_000),
+        1 => {
+            let exp = rng.random_range(0u32..36);
+            rng.random_range(1u64..2 + (1u64 << exp))
+        }
+        _ => {
+            if rng.random_range(0u32..100) < 95 {
+                rng.random_range(200u64..2_000)
+            } else {
+                rng.random_range(1_000_000_000u64..2_000_000_000_000)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// For every distribution shape and every headline quantile, the
+    /// bucketed estimate lies in the bucket guaranteed to contain the
+    /// exact sample quantile, so its absolute error is at most one
+    /// bucket width.
+    #[test]
+    fn quantile_estimate_within_one_bucket_width(
+        seed in 0u64..1_000_000,
+        len in 1usize..500,
+        dist in 0u8..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hist = LatencyHistogram::new();
+        let mut samples = Vec::with_capacity(len);
+        for _ in 0..len {
+            let v = draw_sample(&mut rng, dist);
+            samples.push(v);
+            hist.record_ns(v);
+        }
+        samples.sort_unstable();
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, len as u64);
+        prop_assert_eq!(snap.min, samples[0]);
+        prop_assert_eq!(snap.max, *samples.last().unwrap());
+
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let (lo, hi) = snap.quantile_bounds(q);
+            prop_assert!(
+                lo <= exact && exact < hi,
+                "exact q={} quantile {} outside bucket bounds [{}, {})",
+                q, exact, lo, hi
+            );
+            let est = snap.quantile(q);
+            prop_assert!(lo <= est && est < hi);
+            prop_assert!(
+                est.abs_diff(exact) <= hi - lo,
+                "q={}: estimate {} vs exact {} differs by more than bucket width {}",
+                q, est, exact, hi - lo
+            );
+        }
+    }
+}
+
+/// Many threads hammering one shared recorder through cloned sinks:
+/// nothing is lost, and the queue-depth gauge returns to zero.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let sink = MetricsSink::recording();
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let sink = sink.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    sink.gauge_add(GaugeId::QueueDepth, 1);
+                    sink.observe_ns(StageId::BackendProbe, (t + 1) * 1_000 + i % 7);
+                    sink.add(CounterId::SegmentBytesRead, 64);
+                    sink.incr(CounterId::SegmentReads);
+                    sink.shard_served(t as usize % 4);
+                    sink.gauge_add(GaugeId::QueueDepth, -1);
+                }
+            });
+        }
+    });
+    let snap = sink.snapshot().unwrap();
+    let total = THREADS * PER_THREAD;
+    assert_eq!(snap.stage(StageId::BackendProbe).count, total);
+    assert_eq!(
+        snap.stage(StageId::BackendProbe).buckets.iter().sum::<u64>(),
+        total
+    );
+    assert_eq!(snap.counter(CounterId::SegmentReads), total);
+    assert_eq!(snap.counter(CounterId::SegmentBytesRead), total * 64);
+    assert_eq!(snap.gauge(GaugeId::QueueDepth), 0);
+    assert_eq!(snap.shard_served.iter().sum::<u64>(), total);
+    assert_eq!(snap.shard_served.len(), 4);
+    assert_eq!(snap.stage(StageId::BackendProbe).min, 1_000);
+    assert_eq!(snap.stage(StageId::BackendProbe).max, THREADS * 1_000 + 6);
+}
+
+/// Per-worker histograms merged into a global one are indistinguishable
+/// from recording everything into the global directly — both at the
+/// atomic level (`merge_from`) and the snapshot level (`merge`).
+#[test]
+fn per_worker_merge_equals_direct_recording() {
+    const WORKERS: u64 = 4;
+    let locals: Vec<Arc<LatencyHistogram>> =
+        (0..WORKERS).map(|_| Arc::new(LatencyHistogram::new())).collect();
+    let reference = LatencyHistogram::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut per_worker_values: Vec<Vec<u64>> = vec![Vec::new(); WORKERS as usize];
+    for i in 0..20_000u64 {
+        let v = draw_sample(&mut rng, (i % 3) as u8);
+        per_worker_values[(i % WORKERS) as usize].push(v);
+        reference.record_ns(v);
+    }
+    thread::scope(|scope| {
+        for (hist, values) in locals.iter().zip(&per_worker_values) {
+            let hist = Arc::clone(hist);
+            scope.spawn(move || {
+                for &v in values {
+                    hist.record_ns(v);
+                }
+            });
+        }
+    });
+
+    // Atomic-level merge into a fresh global histogram.
+    let global = LatencyHistogram::new();
+    for local in &locals {
+        global.merge_from(&local.snapshot());
+    }
+    assert_eq!(global.snapshot(), reference.snapshot());
+
+    // Snapshot-level merge.
+    let mut merged = HistogramSnapshot::empty();
+    for local in &locals {
+        merged.merge(&local.snapshot());
+    }
+    assert_eq!(merged, reference.snapshot());
+}
+
+/// Builds the deterministic snapshot the golden exposition is pinned
+/// to: two stages with known observations, every counter touched, a
+/// live queue depth, and skewed two-shard traffic.
+fn golden_recorder() -> Arc<Recorder> {
+    let recorder = Arc::new(Recorder::new());
+    let sink = MetricsSink::attached(Arc::clone(&recorder));
+    sink.observe_ns(StageId::CacheLookup, 120);
+    sink.observe_ns(StageId::CacheLookup, 150);
+    sink.observe_ns(StageId::CacheLookup, 151);
+    sink.observe_ns(StageId::BackendProbe, 5_000);
+    sink.observe_ns(StageId::BackendProbe, 250_000_000_000); // overflow bucket
+    for (i, counter) in CounterId::ALL.into_iter().enumerate() {
+        sink.add(counter, (i as u64 + 1) * 10);
+    }
+    sink.gauge_add(GaugeId::QueueDepth, 3);
+    sink.shard_served(0);
+    sink.shard_served(0);
+    sink.shard_served(0);
+    sink.shard_served(1);
+    recorder
+}
+
+/// The exposition output is pinned byte-for-byte against
+/// `golden_prometheus.txt`. Run with `BLESS_GOLDEN=1` to regenerate
+/// the file after an intentional format change.
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let rendered = golden_recorder().snapshot().to_prometheus();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_prometheus.txt");
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect(
+        "golden file missing; regenerate with BLESS_GOLDEN=1 cargo test -p cqap-obs",
+    );
+    assert_eq!(
+        rendered, expected,
+        "Prometheus exposition drifted from golden_prometheus.txt; \
+         if intentional, regenerate with BLESS_GOLDEN=1"
+    );
+}
+
+/// Structural validity of the exposition: every sample line parses as
+/// `name{{labels}} value`, histogram buckets are cumulative and end at
+/// `+Inf == count`, and every TYPE declaration precedes its samples.
+#[test]
+fn prometheus_exposition_is_well_formed() {
+    let text = golden_recorder().snapshot().to_prometheus();
+    let mut last_bucket: Option<(String, u64)> = None;
+    let mut counts = std::collections::HashMap::new();
+    let mut infs = std::collections::HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "bad comment line: {line}"
+            );
+            continue;
+        }
+        let (metric, value) = line.rsplit_once(' ').expect("sample line has a value");
+        value.parse::<f64>().unwrap_or_else(|_| panic!("bad value in: {line}"));
+        let name = metric.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in: {line}"
+        );
+        if let Some(labels) = metric.strip_prefix(name).and_then(|r| r.strip_prefix('{')) {
+            let labels = labels.strip_suffix('}').expect("label block closes");
+            for pair in labels.split(',') {
+                let (k, v) = pair.split_once('=').expect("label is key=value");
+                assert!(!k.is_empty() && v.starts_with('"') && v.ends_with('"'));
+            }
+        }
+        if name == "cqap_stage_duration_nanoseconds_bucket" {
+            let stage = metric
+                .split("stage=\"")
+                .nth(1)
+                .and_then(|r| r.split('"').next())
+                .expect("bucket line has a stage label")
+                .to_string();
+            let cum: u64 = value.parse().unwrap();
+            if let Some((prev_stage, prev)) = &last_bucket {
+                if *prev_stage == stage {
+                    assert!(cum >= *prev, "buckets must be cumulative: {line}");
+                }
+            }
+            if metric.contains("le=\"+Inf\"") {
+                infs.insert(stage.clone(), cum);
+            }
+            last_bucket = Some((stage, cum));
+        } else if name == "cqap_stage_duration_nanoseconds_count" {
+            let stage = metric
+                .split("stage=\"")
+                .nth(1)
+                .and_then(|r| r.split('"').next())
+                .unwrap()
+                .to_string();
+            counts.insert(stage, value.parse::<u64>().unwrap());
+        }
+    }
+    assert!(!counts.is_empty(), "exposition contains stage histograms");
+    for (stage, count) in &counts {
+        assert_eq!(
+            infs.get(stage),
+            Some(count),
+            "+Inf bucket must equal _count for stage {stage}"
+        );
+    }
+}
+
+/// The bench-JSON export round-trips through the criterion shim's own
+/// baseline parser shape: label + numeric fields per record.
+#[test]
+fn bench_json_contains_stage_records() {
+    let snap = golden_recorder().snapshot();
+    let json = snap.to_bench_json();
+    assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    assert!(json.contains("\"label\": \"stage/cache_lookup\""));
+    assert!(json.contains("\"label\": \"stage/backend_probe\""));
+    assert!(json.contains("\"samples\": 3"));
+    assert!(json.contains("\"p99_ns\""));
+    assert!(json.contains("\"p999_ns\""));
+    // No empty stages leak into the dump.
+    assert!(!json.contains("stage/coalesce"));
+}

@@ -31,6 +31,7 @@ use std::sync::Arc;
 use cqap_common::{FxHashMap, FxHashSet, Result, Tuple, VarSet};
 use cqap_decomp::Pmtd;
 use cqap_delta::{net_effect, DeltaBatch, DeltaStats, RelationDelta};
+use cqap_obs::{CounterId, MetricsSink, StageId};
 use cqap_query::Cqap;
 use cqap_relation::{Database, HashIndex, Relation, RelationBuilder, Schema};
 use cqap_yannakakis::naive::{atom_relation, full_join};
@@ -184,6 +185,12 @@ pub struct DeltaMaintenance {
     plans: Vec<Vec<ViewCounts>>,
     atom_indexes: AtomIndexCache,
     needs_full: bool,
+    /// Observability seam: apply latency, net-op sizes and recompile
+    /// counts. Disabled (free) unless a sink is attached via
+    /// [`DeltaMaintenance::set_metrics_sink`]. Clones share the
+    /// recorder, so a spilled backend's maintenance lineage keeps
+    /// reporting into the same registry.
+    sink: MetricsSink,
 }
 
 impl DeltaMaintenance {
@@ -223,7 +230,15 @@ impl DeltaMaintenance {
             plans,
             atom_indexes,
             needs_full,
+            sink: MetricsSink::disabled(),
         })
+    }
+
+    /// Attaches a metrics sink: [`DeltaMaintenance::apply`] records the
+    /// `delta_apply` stage latency and the net insert/delete counters,
+    /// and [`DeltaMaintenance::recompile`] counts plan recompilations.
+    pub fn set_metrics_sink(&mut self, sink: MetricsSink) {
+        self.sink = sink;
     }
 
     /// Whether recompiled pipelines need the (recomputed) full join —
@@ -257,6 +272,7 @@ impl DeltaMaintenance {
         views: &V,
         full: &Relation,
     ) -> Result<CompiledPmtd> {
+        self.sink.incr(CounterId::PlanRecompiles);
         CompiledPmtd::compile_cached(cqap, db, evaluator, views, full, &mut self.atom_indexes)
     }
 
@@ -276,8 +292,10 @@ impl DeltaMaintenance {
         db: &mut Database,
         batch: &DeltaBatch,
     ) -> Result<DeltaOutcome> {
+        let timer = self.sink.start();
         let deltas = net_effect(db, batch)?;
         if deltas.is_empty() {
+            self.sink.stop(timer, StageId::DeltaApply);
             return Ok(DeltaOutcome::default());
         }
         // ΔJ⁻ over the pre-delta database.
@@ -343,6 +361,9 @@ impl DeltaMaintenance {
             }
             views.push(per_plan);
         }
+        self.sink.add(CounterId::DeltaNetInserts, stats.inserted as u64);
+        self.sink.add(CounterId::DeltaNetDeletes, stats.deleted as u64);
+        self.sink.stop(timer, StageId::DeltaApply);
         Ok(DeltaOutcome {
             stats,
             views,

@@ -203,6 +203,13 @@ impl CqapIndex {
     pub fn maintenance(&self) -> &DeltaMaintenance {
         &self.maintenance
     }
+
+    /// Attaches a metrics sink to the index's delta maintenance:
+    /// [`ApplyDelta::apply_delta`] then records apply latency, net
+    /// insert/delete counters, and plan-recompile counts into it.
+    pub fn set_metrics_sink(&mut self, sink: cqap_obs::MetricsSink) {
+        self.maintenance.set_metrics_sink(sink);
+    }
 }
 
 /// In-place incremental maintenance: the net effect flows through the

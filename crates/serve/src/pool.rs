@@ -22,7 +22,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use cqap_obs::{CounterId, GaugeId, MetricsSink, StageId};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -39,6 +41,10 @@ struct Shared {
     shutdown: AtomicBool,
     sleep_lock: Mutex<()>,
     wakeup: Condvar,
+    /// Observability seam: steal/park counters and the queue-depth
+    /// gauge. Disabled by default, in which case every recording call
+    /// is a null check.
+    sink: MetricsSink,
 }
 
 /// A fixed-size work-stealing thread pool.
@@ -54,6 +60,13 @@ pub struct WorkStealingPool {
 impl WorkStealingPool {
     /// Creates a pool with `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
+        WorkStealingPool::with_sink(threads, MetricsSink::disabled())
+    }
+
+    /// Creates a pool with `threads` workers recording into `sink`:
+    /// per-job queue-wait latency, steal and park counts, and the live
+    /// queue-depth gauge (jobs queued or executing).
+    pub fn with_sink(threads: usize, sink: MetricsSink) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -62,6 +75,7 @@ impl WorkStealingPool {
             shutdown: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
             wakeup: Condvar::new(),
+            sink,
         });
         let workers = (0..threads)
             .map(|id| {
@@ -92,6 +106,24 @@ impl WorkStealingPool {
     /// Schedules a job. Jobs are distributed round-robin over the worker
     /// deques; an idle worker steals if the assigned worker is busy.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        // With a live sink the job is wrapped to record how long it sat
+        // queued before a worker picked it up. Exactly one Box is
+        // allocated either way (the Job itself), so instrumentation
+        // adds no allocation to the submit path.
+        let job: Job = if self.shared.sink.is_enabled() {
+            let sink = self.shared.sink.clone();
+            let queued = Instant::now();
+            Box::new(move || {
+                sink.observe_ns(
+                    StageId::QueueWait,
+                    u64::try_from(queued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+                job();
+            })
+        } else {
+            Box::new(job)
+        };
+        self.shared.sink.gauge_add(GaugeId::QueueDepth, 1);
         let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
         // `pending` goes up before the job is visible, so a worker that
         // pops it early can never drive the counter below zero.
@@ -99,7 +131,7 @@ impl WorkStealingPool {
         self.shared.queues[slot]
             .lock()
             .expect("queue lock")
-            .push_back(Box::new(job));
+            .push_back(job);
         // Dekker-style pairing with the sleeper (see worker_loop): SeqCst
         // puts this `pending` bump and the `sleepers` read in one total
         // order with the sleeper's `sleepers` bump and `pending` re-check,
@@ -163,6 +195,7 @@ fn worker_loop(id: usize, shared: &Shared) {
             // dropped during the unwind, which surfaces to the caller as a
             // disconnected ticket.
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            shared.sink.gauge_add(GaugeId::QueueDepth, -1);
             if shared.pending.load(Ordering::Acquire) == 0 {
                 // Wake anyone waiting for the queue to drain (drop).
                 shared.wakeup.notify_all();
@@ -179,6 +212,7 @@ fn worker_loop(id: usize, shared: &Shared) {
         // we see its `pending` bump here and skip parking.
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
         if shared.pending.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
+            shared.sink.incr(CounterId::PoolParks);
             // The sleeper protocol makes wakeups lossless; the generous
             // timeout is pure defense in depth.
             let _ = shared
@@ -213,6 +247,7 @@ fn find_job(id: usize, shared: &Shared) -> Option<Job> {
         if stolen.is_empty() {
             continue;
         }
+        shared.sink.incr(CounterId::PoolSteals);
         let mut own = shared.queues[id].lock().expect("queue lock");
         own.extend(stolen);
         return own.pop_front();
@@ -293,6 +328,36 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv().expect("second job ran"), 42);
         drop(pool);
+    }
+
+    #[test]
+    fn metrics_sink_records_pool_activity() {
+        let sink = MetricsSink::recording();
+        let pool = WorkStealingPool::with_sink(4, sink.clone());
+        let (tx, rx) = mpsc::channel();
+        for i in 0..64u64 {
+            let tx = tx.clone();
+            pool.execute(move || {
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                tx.send(i).expect("receiver alive");
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 64);
+        // Give the workers a moment to run dry and park before the
+        // shutdown notify, so the park counter is observably non-zero.
+        std::thread::sleep(Duration::from_millis(20));
+        drop(pool);
+        let snap = sink.snapshot().expect("sink is recording");
+        assert_eq!(snap.stage(StageId::QueueWait).count, 64);
+        assert_eq!(
+            snap.gauge(GaugeId::QueueDepth),
+            0,
+            "every queued job was matched by a completion decrement"
+        );
+        assert!(snap.counter(CounterId::PoolParks) > 0);
     }
 
     #[test]

@@ -26,10 +26,12 @@
 //! materialized views within the space budget, and the online phase is
 //! read-only.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
 use cqap_common::{CqapError, FxHashMap, Result};
+use cqap_obs::{MetricsSink, RequestSpan, StageId, StageTimer};
 
 use crate::batch::BatchAnswer;
 use crate::cache::LruCache;
@@ -101,6 +103,25 @@ impl ServeStats {
             errors: self.errors + other.errors,
             deltas_applied: self.deltas_applied + other.deltas_applied,
         }
+    }
+}
+
+impl fmt::Display for ServeStats {
+    /// One-line human-readable summary, e.g.
+    /// `served 512 | cache 100 | dedup 12 | in-flight 3 | coalesced 200 | misses 397 | errors 0 | deltas 1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "served {} | cache {} | dedup {} | in-flight {} | coalesced {} | misses {} | errors {} | deltas {}",
+            self.served,
+            self.cache_hits,
+            self.dedup_hits,
+            self.inflight_hits,
+            self.coalesced,
+            self.cache_misses,
+            self.errors,
+            self.deltas_applied,
+        )
     }
 }
 
@@ -242,6 +263,7 @@ pub struct ServeRuntime<I: BatchAnswer + 'static> {
     pool: WorkStealingPool,
     state: Arc<Mutex<OnlineState<I>>>,
     stats: Arc<StatsCells>,
+    sink: MetricsSink,
 }
 
 impl<I: BatchAnswer + 'static> ServeRuntime<I> {
@@ -252,20 +274,37 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
 
     /// Creates a runtime with an explicit thread count and cache capacity.
     pub fn with_config(index: Arc<I>, config: ServeConfig) -> Self {
+        ServeRuntime::with_metrics(index, config, MetricsSink::disabled())
+    }
+
+    /// Creates a runtime recording request-lifecycle metrics into `sink`:
+    /// per-stage latency histograms (queue wait, cache lookup, coalesce,
+    /// backend probe, ticket delivery) plus the pool's queue-depth gauge
+    /// and steal/park counters. Recording is allocation-free on the warm
+    /// path; a [`MetricsSink::disabled`] sink makes this identical to
+    /// [`with_config`](Self::with_config).
+    pub fn with_metrics(index: Arc<I>, config: ServeConfig, sink: MetricsSink) -> Self {
         ServeRuntime {
             index,
-            pool: WorkStealingPool::new(config.threads),
+            pool: WorkStealingPool::with_sink(config.threads, sink.clone()),
             state: Arc::new(Mutex::new(OnlineState {
                 cache: LruCache::new(config.cache_capacity),
                 pending: FxHashMap::default(),
             })),
             stats: Arc::new(StatsCells::default()),
+            sink,
         }
     }
 
     /// The shared index being served.
     pub fn index(&self) -> &Arc<I> {
         &self.index
+    }
+
+    /// The metrics sink this runtime records into (disabled unless the
+    /// runtime was built with [`with_metrics`](Self::with_metrics)).
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.sink
     }
 
     /// Number of worker threads.
@@ -322,19 +361,23 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         request: &I::Request,
         tx: &mpsc::Sender<Result<Arc<I::Answer>>>,
     ) -> Lookup<I> {
+        let timer = self.sink.start();
         let mut state = self.state.lock().expect("state lock");
-        if let Some(answer) = state.cache.get(request) {
+        let decision = if let Some(answer) = state.cache.get(request) {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Lookup::Hit(answer);
-        }
-        if let Some(waiters) = state.pending.get_mut(request) {
+            Lookup::Hit(answer)
+        } else if let Some(waiters) = state.pending.get_mut(request) {
             self.stats.inflight_hits.fetch_add(1, Ordering::Relaxed);
             waiters.push(tx.clone());
-            return Lookup::Joined;
-        }
-        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-        state.pending.insert(request.clone(), Vec::new());
-        Lookup::Probe
+            Lookup::Joined
+        } else {
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            state.pending.insert(request.clone(), Vec::new());
+            Lookup::Probe
+        };
+        drop(state);
+        self.sink.stop(timer, StageId::CacheLookup);
+        decision
     }
 
     /// Runs one index probe on the pool: computes the answer, publishes it
@@ -344,8 +387,13 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         let index = Arc::clone(&self.index);
         let state = Arc::clone(&self.state);
         let stats = Arc::clone(&self.stats);
+        let sink = self.sink.clone();
         self.pool.execute(move || {
+            // Per-worker span over this probe's lifecycle: the probe
+            // itself, then publishing + fan-out as ticket delivery.
+            let mut span = RequestSpan::begin(&sink);
             let result = answer_guarded(index.as_ref(), &request).map(Arc::new);
+            span.lap(StageId::BackendProbe);
             if result.is_err() {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
             }
@@ -359,6 +407,11 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
             for waiter in waiters {
                 let _ = waiter.send(clone_result(&result));
             }
+            // Record the delivery lap before the final send: the send
+            // is what unblocks the caller, and recording first keeps
+            // "a resolved ticket implies a recorded delivery" true for
+            // anyone snapshotting right after a wait().
+            span.lap(StageId::TicketDelivery);
             let _ = tx.send(result);
         });
     }
@@ -376,11 +429,15 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         let index = Arc::clone(&self.index);
         let state = Arc::clone(&self.state);
         let stats = Arc::clone(&self.stats);
+        let sink = self.sink.clone();
         self.pool.execute(move || {
+            let mut span = RequestSpan::begin(&sink);
             let bulk_answer = answer_guarded(index.as_ref(), &bulk);
+            span.lap(StageId::BackendProbe);
             if bulk_answer.is_err() {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
             }
+            let mut resolved = Vec::with_capacity(parts.len());
             for (request, tx) in parts {
                 let result = match &bulk_answer {
                     Ok(answer) => {
@@ -403,6 +460,14 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
                 for waiter in waiters {
                     let _ = waiter.send(clone_result(&result));
                 }
+                resolved.push((tx, result));
+            }
+            // Extraction, publication and waiter fan-out for the whole
+            // group count as one delivery observation, recorded before
+            // the member sends so a caller that saw its answer also
+            // sees the recording.
+            span.lap(StageId::TicketDelivery);
+            for (tx, result) in resolved {
                 let _ = tx.send(result);
             }
         });
@@ -459,6 +524,7 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         // Probes already in flight elsewhere that this batch joined:
         // `(receiver, positions)`, resolved by the owning caller's worker.
         let mut joined: Vec<(mpsc::Receiver<Result<Arc<I::Answer>>>, Vec<usize>)> = Vec::new();
+        let lookup_timer = self.sink.start();
         {
             let mut state = self.state.lock().expect("state lock");
             for (request, positions) in groups {
@@ -479,6 +545,7 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
                 }
             }
         }
+        self.sink.stop(lookup_timer, StageId::CacheLookup);
         for (answer, positions) in hits {
             for position in positions {
                 answers[position] = Some(Arc::clone(&answer));
@@ -511,6 +578,15 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         // individual keys (cache inserts and pending waiters included),
         // so coalescing is invisible to everything downstream of the
         // dispatch.
+        //
+        // The coalesce stage is timed per batch that had fresh probes:
+        // classification, merging and dispatch, up to handing the last
+        // probe to the pool.
+        let coalesce_timer = if probes.is_empty() {
+            StageTimer::disarmed()
+        } else {
+            self.sink.start()
+        };
         let mut own: Vec<(mpsc::Receiver<Result<Arc<I::Answer>>>, Vec<usize>)> =
             Vec::with_capacity(probes.len());
         let mut singles: Vec<(I::Request, Vec<usize>)> = Vec::new();
@@ -568,6 +644,7 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
             self.dispatch_probe(request, ptx);
             own.push((prx, positions));
         }
+        self.sink.stop(coalesce_timer, StageId::Coalesce);
 
         for (prx, positions) in own.into_iter().chain(joined) {
             let result = prx
@@ -942,6 +1019,87 @@ mod tests {
         }
         let stats = runtime.stats();
         assert!(stats.coalesced > 0, "cold distinct singles coalesce: {stats:?}");
+    }
+
+    #[test]
+    fn metrics_sink_records_request_lifecycle() {
+        let (index, requests) = small_index();
+        let sink = MetricsSink::recording();
+        let runtime = ServeRuntime::with_metrics(
+            index,
+            ServeConfig {
+                threads: 4,
+                cache_capacity: 256,
+            },
+            sink.clone(),
+        );
+        runtime.serve_batch(&requests).unwrap();
+        runtime.serve_batch(&requests).unwrap(); // warm pass
+        // Join the pool workers before snapshotting: the queue-depth
+        // decrement runs after a job's result send, so it is only
+        // guaranteed visible once the pool has drained.
+        drop(runtime);
+        let snap = sink.snapshot().expect("sink is recording");
+        assert!(snap.stage(StageId::CacheLookup).count >= 2, "one per batch");
+        assert!(snap.stage(StageId::BackendProbe).count > 0);
+        assert!(snap.stage(StageId::TicketDelivery).count > 0);
+        assert!(snap.stage(StageId::QueueWait).count > 0);
+        assert!(
+            snap.stage(StageId::Coalesce).count > 0,
+            "the cold batch had fresh probes to classify"
+        );
+        assert_eq!(
+            snap.gauge(cqap_obs::GaugeId::QueueDepth),
+            0,
+            "all pool jobs completed"
+        );
+        // The warm pass dispatched nothing: probe count equals the cold
+        // pass's pool activity.
+        assert_eq!(
+            snap.stage(StageId::BackendProbe).count,
+            snap.stage(StageId::QueueWait).count,
+            "every pool job was a probe"
+        );
+    }
+
+    /// Satellite regression: attaching a live metrics sink must not
+    /// re-introduce allocation on the warm single-request path. The
+    /// cache-hit lookup (and its `CacheLookup` stage recording) runs on
+    /// the calling thread, where the thread-local instrument counters
+    /// can observe it.
+    #[test]
+    fn warm_submit_with_live_sink_stays_allocation_free() {
+        let (index, requests) = small_index();
+        let sink = MetricsSink::recording();
+        let runtime = ServeRuntime::with_metrics(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 64,
+            },
+            sink.clone(),
+        );
+        let cold = runtime.submit(requests[0].clone()).wait().unwrap();
+        let dedup_before = cqap_relation::instrument::dedup_inserts();
+        let boxes_before = cqap_common::tuple::instrument::heap_boxings();
+        let warm = runtime.submit(requests[0].clone()).wait().unwrap();
+        assert_eq!(
+            cqap_relation::instrument::dedup_inserts(),
+            dedup_before,
+            "warm cache hit with live sink performs no relation dedup inserts"
+        );
+        assert_eq!(
+            cqap_common::tuple::instrument::heap_boxings(),
+            boxes_before,
+            "warm cache hit with live sink boxes no tuples"
+        );
+        assert_eq!(warm, cold);
+        let snap = sink.snapshot().expect("sink is recording");
+        assert!(
+            snap.stage(StageId::CacheLookup).count >= 2,
+            "the warm lookup itself was recorded"
+        );
+        assert_eq!(runtime.stats().cache_hits, 1);
     }
 
     #[test]

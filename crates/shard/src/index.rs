@@ -117,6 +117,28 @@ impl ShardedIndex {
         &self.shards
     }
 
+    /// Attaches a metrics sink to every shard's delta maintenance, so a
+    /// sharded [`ApplyDelta::apply_delta`] records apply latency and
+    /// net-op counters. Like `apply_delta` itself, this needs exclusive
+    /// ownership of every shard.
+    ///
+    /// # Errors
+    /// Fails if any shard `Arc` is shared (serving handles must be
+    /// dropped before mutating).
+    pub fn set_metrics_sink(&mut self, sink: cqap_obs::MetricsSink) -> Result<()> {
+        for shard in &mut self.shards {
+            let index = Arc::get_mut(shard).ok_or_else(|| {
+                CqapError::Other(
+                    "cannot attach a metrics sink: a shard index is shared \
+                     (serving handles must be dropped before mutating)"
+                        .into(),
+                )
+            })?;
+            index.set_metrics_sink(sink.clone());
+        }
+        Ok(())
+    }
+
     /// Total intrinsic space across shards (sum of per-shard S-view
     /// sizes). Views that project away the routing variable overlap
     /// between shards, so this can exceed the unsharded index's

@@ -23,6 +23,7 @@
 use std::sync::Arc;
 
 use cqap_common::Result;
+use cqap_obs::{MetricsSink, StageId};
 use cqap_panda::CqapIndex;
 use cqap_query::AccessRequest;
 use cqap_relation::Relation;
@@ -56,6 +57,7 @@ impl Default for ShardRouterConfig {
 pub struct ShardRouter {
     spec: ShardSpec,
     runtimes: Vec<ServeRuntime<CqapIndex>>,
+    sink: MetricsSink,
 }
 
 impl ShardRouter {
@@ -66,6 +68,15 @@ impl ShardRouter {
 
     /// Routes over `index`, with `config` applied to every shard runtime.
     pub fn with_config(index: ShardedIndex, config: ShardRouterConfig) -> Self {
+        ShardRouter::with_metrics(index, config, MetricsSink::disabled())
+    }
+
+    /// Routes over `index`, recording into `sink`: every shard runtime
+    /// shares the sink (their stage timings and pool gauges aggregate
+    /// into one recorder), the router counts requests per shard for the
+    /// load-balance skew view, and multi-shard gathers record the
+    /// answer-union stage.
+    pub fn with_metrics(index: ShardedIndex, config: ShardRouterConfig, sink: MetricsSink) -> Self {
         let spec = *index.spec();
         let threads = if config.threads_per_shard == 0 {
             (default_threads() / spec.shards().max(1)).max(1)
@@ -76,16 +87,28 @@ impl ShardRouter {
             .shards()
             .iter()
             .map(|shard| {
-                ServeRuntime::with_config(
+                ServeRuntime::with_metrics(
                     Arc::clone(shard),
                     ServeConfig {
                         threads,
                         cache_capacity: config.cache_capacity,
                     },
+                    sink.clone(),
                 )
             })
             .collect();
-        ShardRouter { spec, runtimes }
+        ShardRouter {
+            spec,
+            runtimes,
+            sink,
+        }
+    }
+
+    /// The metrics sink this router (and every shard runtime) records
+    /// into; disabled unless built with
+    /// [`with_metrics`](Self::with_metrics).
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.sink
     }
 
     /// The partition contract the router routes by.
@@ -133,22 +156,32 @@ impl BatchAnswer for ShardRouter {
             // the one split_request built, and the ticket's `Arc` is the
             // shard cache's own allocation.
             let (shard, sub) = parts.pop().expect("one part");
+            self.sink.shard_served(shard);
             return self.runtimes[shard].submit(sub).wait();
         }
         // Scatter every sub-request before gathering any answer, so the
         // shards probe concurrently; union the parts in sub-request order.
         let tickets: Vec<_> = parts
             .into_iter()
-            .map(|(shard, sub)| self.runtimes[shard].submit(sub))
+            .map(|(shard, sub)| {
+                self.sink.shard_served(shard);
+                self.runtimes[shard].submit(sub)
+            })
             .collect();
         let mut answer: Option<Relation> = None;
+        let mut union_ns = 0u64;
         for ticket in tickets {
             let part = ticket.wait()?;
+            // Only the union work is the gather stage; waiting on the
+            // shard probes is their own backend-probe time.
+            let timer = self.sink.start();
             answer = Some(match answer {
                 None => part.as_ref().clone(),
                 Some(acc) => acc.union(part.as_ref())?,
             });
+            union_ns += timer.elapsed_ns().unwrap_or(0);
         }
+        self.sink.observe_ns(StageId::AnswerUnion, union_ns);
         Ok(Arc::new(answer.expect("split_request is never empty")))
     }
 
@@ -251,6 +284,46 @@ mod tests {
             let expected = if shard == owner { 1 } else { 0 };
             assert_eq!(stats.served, expected, "shard {shard}");
         }
+    }
+
+    #[test]
+    fn metrics_sink_aggregates_across_shards() {
+        use cqap_obs::{GaugeId, MetricsSink};
+
+        let (cqap, pmtds) = pf::pmtds_3reach_fig1().unwrap();
+        let g = Graph::skewed(45, 200, 4, 28, 37);
+        let db = g.as_path_database(3);
+        let sharded = ShardedIndex::build(&cqap, &db, &pmtds, 3).unwrap();
+        let sink = MetricsSink::recording();
+        let router =
+            ShardRouter::with_metrics(sharded, ShardRouterConfig::default(), sink.clone());
+
+        // Single-binding requests exercise the per-shard counters; a
+        // multi-binding request exercises the answer-union stage.
+        for (u, v) in graph_pair_requests(&g, 20, 43) {
+            let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+            router.answer_one(&request).unwrap();
+        }
+        let tuples: Vec<Tuple> = zipf_multi_requests(&g, 1, 6, 1.0, 47)
+            .pop()
+            .unwrap()
+            .into_iter()
+            .map(|(u, v)| Tuple::pair(u, v))
+            .collect();
+        let multi = AccessRequest::new(cqap.access(), tuples).unwrap();
+        router.answer_one(&multi).unwrap();
+
+        drop(router); // join shard pools so all worker laps have landed
+        let snap = sink.snapshot().unwrap();
+        // Every shard runtime records into the one shared recorder.
+        assert!(snap.stage(StageId::BackendProbe).count > 0);
+        assert!(snap.stage(StageId::QueueWait).count > 0);
+        assert_eq!(snap.stage(StageId::AnswerUnion).count, 1);
+        let per_shard: u64 = snap.shard_served.iter().sum();
+        assert!(snap.shard_served.len() <= 3);
+        assert!(per_shard >= 21, "routed requests counted per shard");
+        assert!(snap.shard_balance_skew().expect("shards served") >= 1.0);
+        assert_eq!(snap.gauge(GaugeId::QueueDepth), 0);
     }
 
     #[test]

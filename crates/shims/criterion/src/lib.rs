@@ -18,9 +18,14 @@
 //!   themselves), every completed benchmark is appended to
 //!   `BENCH_<bench-binary>_<baseline>.json` in the working directory — a
 //!   JSON array of `{label, samples, median_ns, mad_ns, mean_ns, min_ns,
-//!   max_ns}` records, rewritten after each benchmark so the file is valid
-//!   even if the run is interrupted. Diffing two such files is the
-//!   cross-PR regression check.
+//!   max_ns, p99_ns, p999_ns}` records, rewritten after each benchmark so
+//!   the file is valid even if the run is interrupted. Diffing two such
+//!   files is the cross-PR regression check. (The baseline *parser* reads
+//!   only `label` and `median_ns`, so files from before the tail-quantile
+//!   fields still compare.)
+//! * **Tail quantiles.** Every benchmark also reports its p99/p999,
+//!   estimated through the `cqap-obs` log-bucketed latency histogram —
+//!   the same estimator the serving stack's metrics exposition uses.
 //! * **Baseline comparison** (`--baseline` stand-in). When `BENCH_BASELINE`
 //!   names a baseline whose `BENCH_*.json` already exists, the saved run
 //!   is loaded first and every benchmark also prints its median delta
@@ -179,6 +184,12 @@ pub struct SampleStats {
     pub min_ns: u128,
     /// Slowest sample.
     pub max_ns: u128,
+    /// 99th-percentile sample time, estimated through the log-bucketed
+    /// latency histogram of `cqap-obs` (bucket-bounded error; with few
+    /// samples this approaches the max).
+    pub p99_ns: u128,
+    /// 99.9th-percentile sample time, from the same histogram.
+    pub p999_ns: u128,
 }
 
 impl SampleStats {
@@ -190,6 +201,14 @@ impl SampleStats {
         let median = median_of_sorted(&ns);
         let mut deviations: Vec<u128> = ns.iter().map(|&x| x.abs_diff(median)).collect();
         deviations.sort_unstable();
+        // Tail quantiles through the serving stack's own histogram, so a
+        // bench's reported p99/p999 and a live sink's exposition agree on
+        // their estimator (and its bucket-bounded error).
+        let hist = cqap_obs::LatencyHistogram::new();
+        for d in durations {
+            hist.record(*d);
+        }
+        let snap = hist.snapshot();
         SampleStats {
             samples: ns.len(),
             median_ns: median,
@@ -197,6 +216,8 @@ impl SampleStats {
             mean_ns: ns.iter().sum::<u128>() / ns.len() as u128,
             min_ns: ns[0],
             max_ns: ns[ns.len() - 1],
+            p99_ns: snap.p99() as u128,
+            p999_ns: snap.p999() as u128,
         }
     }
 }
@@ -223,12 +244,14 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) 
     }
     let stats = SampleStats::of(&bencher.durations);
     println!(
-        "{label:<50} median {:>12} ± {:>10} mean {:>12} min {:>12} max {:>12} ({} samples)",
+        "{label:<50} median {:>12} ± {:>10} mean {:>12} min {:>12} max {:>12} p99 {:>12} p999 {:>12} ({} samples)",
         fmt_duration(Duration::from_nanos(stats.median_ns as u64)),
         fmt_duration(Duration::from_nanos(stats.mad_ns as u64)),
         fmt_duration(Duration::from_nanos(stats.mean_ns as u64)),
         fmt_duration(Duration::from_nanos(stats.min_ns as u64)),
         fmt_duration(Duration::from_nanos(stats.max_ns as u64)),
+        fmt_duration(Duration::from_nanos(stats.p99_ns as u64)),
+        fmt_duration(Duration::from_nanos(stats.p999_ns as u64)),
         stats.samples,
     );
     record_baseline(label, &stats);
@@ -289,7 +312,7 @@ fn record_baseline(label: &str, stats: &SampleStats) {
         );
     }
     sink.records.push(format!(
-        "  {{\"label\": {}, \"samples\": {}, \"median_ns\": {}, \"mad_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+        "  {{\"label\": {}, \"samples\": {}, \"median_ns\": {}, \"mad_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
         json_string(label),
         stats.samples,
         stats.median_ns,
@@ -297,6 +320,8 @@ fn record_baseline(label: &str, stats: &SampleStats) {
         stats.mean_ns,
         stats.min_ns,
         stats.max_ns,
+        stats.p99_ns,
+        stats.p999_ns,
     ));
     let body = format!("[\n{}\n]\n", sink.records.join(",\n"));
     if let Err(error) = std::fs::write(&sink.path, body) {
@@ -510,6 +535,12 @@ mod tests {
         assert!(stats.mean_ns > 1_000, "mean is dragged by the outlier");
         assert_eq!(stats.min_ns, 100);
         assert_eq!(stats.max_ns, 10_000);
+        // Tail quantiles sit between the median and the max, and with 10
+        // samples both land in the outlier's bucket.
+        assert!(stats.median_ns <= stats.p99_ns);
+        assert!(stats.p99_ns <= stats.p999_ns);
+        assert!(stats.p999_ns <= stats.max_ns);
+        assert!(stats.p99_ns > 1_000, "p99 sees the outlier");
 
         // Odd-length median is the middle element.
         let odd: Vec<Duration> = [30u64, 10, 20].iter().map(|&n| Duration::from_nanos(n)).collect();

@@ -29,6 +29,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use cqap_common::{CqapError, FxHashMap, FxHashSet, Result, Tuple, Val, VarSet};
+use cqap_obs::{CounterId, MetricsSink, StageId};
 use cqap_relation::{Relation, Schema};
 use cqap_yannakakis::ColumnRun;
 
@@ -151,6 +152,10 @@ pub struct StoredView {
     file_bytes: u64,
     delete_on_drop: bool,
     overlay: Overlay,
+    /// Observability seam: segment reads/bytes, overlay-pending probes,
+    /// compaction count and duration. Disabled (free) unless attached via
+    /// [`StoredView::set_metrics_sink`].
+    sink: MetricsSink,
 }
 
 /// Validates the freshly written run at `tmp` (magic, counts, offsets —
@@ -387,7 +392,14 @@ impl StoredView {
             file_bytes,
             delete_on_drop: false,
             overlay: Overlay::default(),
+            sink: MetricsSink::disabled(),
         })
+    }
+
+    /// Attaches a metrics sink: probes then count segment reads and bytes
+    /// read, overlay-pending probes, and compactions (count and duration).
+    pub fn set_metrics_sink(&mut self, sink: MetricsSink) {
+        self.sink = sink;
     }
 
     /// Marks the backing file for deletion when this view is dropped (used
@@ -487,6 +499,8 @@ impl StoredView {
             .fences
             .get(idx)
             .map_or(self.file_bytes, |f| f.offset);
+        self.sink.incr(CounterId::SegmentReads);
+        self.sink.add(CounterId::SegmentBytesRead, end - start);
         SEGMENT_SCRATCH.with(|cell| {
             let (buf, vals) = &mut *cell.borrow_mut();
             let len = (end - start) as usize;
@@ -538,6 +552,9 @@ impl StoredView {
     /// # Errors
     /// Fails on I/O errors or if the segment bytes are malformed.
     pub fn probe_into(&self, key: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
+        if !self.overlay.is_empty() {
+            self.sink.incr(CounterId::OverlayPendingProbes);
+        }
         let arity = self.schema.arity();
         let path = &self.path;
         let deleted = &self.overlay.deleted;
@@ -606,6 +623,9 @@ impl StoredView {
     /// # Errors
     /// Fails on I/O errors or if the segment bytes are malformed.
     pub fn contains_key(&self, key: &Tuple) -> Result<bool> {
+        if !self.overlay.is_empty() {
+            self.sink.incr(CounterId::OverlayPendingProbes);
+        }
         if self.overlay.added.get(key).is_some_and(|b| !b.is_empty()) {
             return Ok(true);
         }
@@ -690,17 +710,22 @@ impl StoredView {
         if self.overlay.is_empty() {
             return Ok(());
         }
+        let timer = self.sink.start();
         let merged = self.merged_relation()?;
         let tmp = self.path.with_extension("tmp");
         write_view(&tmp, &merged, self.link)?;
         validate_and_swap(&self.path, &tmp)?;
         let delete_on_drop = self.delete_on_drop;
         // The stale handle must not delete the just-swapped file when it
-        // drops in the assignment below.
+        // drops in the assignment below — and, like the drop flag, the
+        // attached sink must survive the swap.
         self.delete_on_drop = false;
         let mut fresh = StoredView::open(&self.path)?;
         fresh.delete_on_drop = delete_on_drop;
+        fresh.sink = self.sink.clone();
         *self = fresh;
+        self.sink.incr(CounterId::Compactions);
+        self.sink.stop(timer, StageId::Compaction);
         Ok(())
     }
 

@@ -147,6 +147,14 @@ impl StoredViews {
     pub fn overlay_len(&self) -> usize {
         self.views.iter().flatten().map(StoredView::overlay_len).sum()
     }
+
+    /// Attaches a metrics sink to every stored view (see
+    /// [`StoredView::set_metrics_sink`]).
+    pub fn set_metrics_sink(&mut self, sink: &cqap_obs::MetricsSink) {
+        for view in self.views.iter_mut().flatten() {
+            view.set_metrics_sink(sink.clone());
+        }
+    }
 }
 
 impl SViewProbe for StoredViews {
@@ -289,6 +297,16 @@ impl StoredIndex {
     /// Delta tuples buffered across all views' overlays.
     pub fn overlay_len(&self) -> usize {
         self.plans.iter().map(|(_, v)| v.overlay_len()).sum()
+    }
+
+    /// Attaches a metrics sink to the whole disk tier: every stored view
+    /// (segment reads/bytes, overlay probes, compactions) and this
+    /// backend's delta maintenance (apply latency, net ops, recompiles).
+    pub fn set_metrics_sink(&mut self, sink: cqap_obs::MetricsSink) {
+        for (_, views) in &mut self.plans {
+            views.set_metrics_sink(&sink);
+        }
+        self.maintenance.set_metrics_sink(sink);
     }
 
     /// Number of PMTDs in the plan set.
@@ -491,6 +509,114 @@ mod tests {
         let wrong = AccessRequest::single(cqap_common::VarSet::from_iter([0, 1]), &[0, 1]).unwrap();
         assert!(stored.answer(&wrong).is_err());
         assert!(reference.answer(&wrong).is_err());
+    }
+
+    #[test]
+    fn metrics_sink_counts_store_and_delta_activity() {
+        use cqap_delta::{ApplyDelta, DeltaBatch};
+        use cqap_obs::{CounterId, MetricsSink, StageId};
+
+        let (cqap, pmtds, g, db, _) = fixture();
+        let mut stored = StoredIndex::build_in_temp(&cqap, &db, &pmtds).unwrap();
+        let sink = MetricsSink::recording();
+        stored.set_metrics_sink(sink.clone());
+
+        // Cold probes: every answered request reads fence segments.
+        for (u, v) in graph_pair_requests(&g, 10, 29) {
+            let request = AccessRequest::single(cqap.access(), &[u, v]).unwrap();
+            stored.answer(&request).unwrap();
+        }
+        let snap = sink.snapshot().unwrap();
+        assert!(snap.counter(CounterId::SegmentReads) > 0);
+        assert!(
+            snap.counter(CounterId::SegmentBytesRead) >= snap.counter(CounterId::SegmentReads),
+            "every segment read is at least one byte"
+        );
+        assert_eq!(snap.counter(CounterId::OverlayPendingProbes), 0);
+
+        // A fresh chain across the atoms (one new full-join row, so the
+        // ΔS-views are non-empty): apply latency, net-op counters and
+        // recompiles land in the sink, and the views' overlays hold
+        // pending tuples.
+        let mut batch = DeltaBatch::new();
+        for (i, rel) in db.relations().iter().enumerate() {
+            let base = 9_000 + i as u64;
+            batch = batch.insert(rel.name().to_string(), vec![Tuple::pair(base, base + 1)]);
+        }
+        stored.apply_delta(&batch).unwrap();
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.stage(StageId::DeltaApply).count, 1);
+        assert_eq!(
+            snap.counter(CounterId::DeltaNetInserts),
+            db.relations().len() as u64
+        );
+        assert_eq!(snap.counter(CounterId::DeltaNetDeletes), 0);
+        assert!(snap.counter(CounterId::PlanRecompiles) > 0);
+
+        // Probes over the dirty overlay are counted…
+        assert!(stored.overlay_len() > 0, "chain insert leaves pending overlay");
+        let before = snap.counter(CounterId::OverlayPendingProbes);
+        let request = AccessRequest::single(cqap.access(), &[9_000, 9_003]).unwrap();
+        assert!(!stored.answer(&request).unwrap().is_empty());
+        let snap = sink.snapshot().unwrap();
+        assert!(snap.counter(CounterId::OverlayPendingProbes) > before);
+        // …and compaction folds them away, recording count and duration.
+        stored.compact().unwrap();
+        assert_eq!(stored.overlay_len(), 0);
+        let snap = sink.snapshot().unwrap();
+        assert!(snap.counter(CounterId::Compactions) > 0);
+        assert_eq!(
+            snap.stage(StageId::Compaction).count,
+            snap.counter(CounterId::Compactions)
+        );
+    }
+
+    #[test]
+    fn warm_stored_answers_with_live_sink_stay_allocation_free() {
+        use cqap_obs::{CounterId, MetricsSink};
+
+        // Satellite of the probe-only online phase: attaching a *live*
+        // recording sink must not reintroduce dedup inserts or tuple
+        // boxings on the warm cold-tier path — metrics recording is
+        // atomic counters only. (Mirrors the in-memory test in
+        // cqap-panda's compiled module.)
+        let (cqap, pmtds, g, db, _) = fixture();
+        let mut stored = StoredIndex::build_in_temp(&cqap, &db, &pmtds[2..3]).unwrap();
+        let sink = MetricsSink::recording();
+        stored.set_metrics_sink(sink.clone());
+        let requests: Vec<AccessRequest> = graph_pair_requests(&g, 6, 17)
+            .into_iter()
+            .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).unwrap())
+            .collect();
+        // Expected answers (interpreted path) computed outside the
+        // counted window, and one warm-up pass so every worker-thread
+        // segment buffer has grown to its high-water mark.
+        let expected: Vec<Relation> = requests
+            .iter()
+            .map(|r| stored.answer_interpreted(r).unwrap())
+            .collect();
+        for r in &requests {
+            stored.answer(r).unwrap();
+        }
+
+        let dedup_before = cqap_relation::instrument::dedup_inserts();
+        let boxes_before = cqap_common::tuple::instrument::heap_boxings();
+        let answers: Vec<Relation> =
+            requests.iter().map(|r| stored.answer(r).unwrap()).collect();
+        assert_eq!(
+            cqap_relation::instrument::dedup_inserts(),
+            dedup_before,
+            "warm stored answering with a live sink must perform zero dedup inserts"
+        );
+        assert_eq!(
+            cqap_common::tuple::instrument::heap_boxings(),
+            boxes_before,
+            "warm stored answering with a live sink must perform zero tuple boxings"
+        );
+        assert_eq!(answers, expected);
+        // The sink really was live for the counted window.
+        let snap = sink.snapshot().unwrap();
+        assert!(snap.counter(CounterId::SegmentReads) >= 2 * requests.len() as u64);
     }
 
     #[test]

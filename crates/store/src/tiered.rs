@@ -292,6 +292,34 @@ impl TieredShardedIndex {
         self.loads.iter().map(|l| l.load(Ordering::Relaxed)).collect()
     }
 
+    /// Attaches a metrics sink to every shard, both tiers: hot shards
+    /// record delta-apply latency and recompiles, cold shards add segment
+    /// reads/bytes, overlay probes and compactions. Like
+    /// [`ApplyDelta::apply_delta`], this needs exclusive ownership of the
+    /// hot shards.
+    ///
+    /// # Errors
+    /// Fails if a hot shard `Arc` is shared (serving handles must be
+    /// dropped before mutating).
+    pub fn set_metrics_sink(&mut self, sink: cqap_obs::MetricsSink) -> Result<()> {
+        for shard in &mut self.shards {
+            match shard {
+                TierShard::Hot(index) => {
+                    let index = Arc::get_mut(index).ok_or_else(|| {
+                        CqapError::Other(
+                            "cannot attach a metrics sink: a hot shard is shared \
+                             (serving handles must be dropped before mutating)"
+                                .into(),
+                        )
+                    })?;
+                    index.set_metrics_sink(sink.clone());
+                }
+                TierShard::Cold(stored) => stored.set_metrics_sink(sink.clone()),
+            }
+        }
+        Ok(())
+    }
+
     /// The per-tier space breakdown.
     pub fn space_used(&self) -> TieredSpace {
         let mut space = TieredSpace::default();

@@ -97,12 +97,7 @@ fn main() {
     // dispatches: coalesced misses (same access pattern) share one bulk
     // index probe, which is where the cold-batch speedup comes from.
     println!(
-        "\nRuntime stats: {} served, {} LRU hits, {} dedup hits, {} cache misses ({} coalesced into bulk probes, {:.1}% cache/dedup-served)",
-        stats.served,
-        stats.cache_hits,
-        stats.dedup_hits,
-        stats.cache_misses,
-        stats.coalesced,
+        "\nRuntime stats: {stats} ({:.1}% cache/dedup-served)",
         100.0 * (stats.cache_hits + stats.dedup_hits) as f64 / stats.served as f64
     );
     println!("All {REQUESTS} concurrent answers identical to the sequential loop.");

@@ -116,10 +116,7 @@ fn main() {
     // is the field-wise sum.
     let router = runtime.index();
     for (shard, stats) in router.shard_stats().into_iter().enumerate() {
-        println!(
-            "shard {shard}: served {:>5}  lru hits {:>5}  inflight {:>4}  misses {:>5}",
-            stats.served, stats.cache_hits, stats.inflight_hits, stats.cache_misses
-        );
+        println!("shard {shard}: {stats}");
     }
     let fleet = router.stats();
     let front = runtime.stats();

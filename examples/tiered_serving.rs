@@ -112,16 +112,7 @@ fn main() {
     );
     // `cache_misses` counts requests needing probe work; coalesced misses
     // share bulk probes, so the dispatched-probe count is far lower.
-    println!(
-        "stats: served {} | coalesced {} | lru hits {} | dedup {} | inflight {} | misses {} | errors {}",
-        stats.served,
-        stats.coalesced,
-        stats.cache_hits,
-        stats.dedup_hits,
-        stats.inflight_hits,
-        stats.cache_misses,
-        stats.errors,
-    );
+    println!("stats: {stats}");
     println!(
         "per-shard load (bindings): {:?}",
         runtime.index().observed_loads()

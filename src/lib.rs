@@ -14,6 +14,12 @@
 //! * [`entropy`] — polymatroids, (joint) Shannon-flow inequalities, the
 //!   exact-rational LP, and tradeoff computation/verification.
 //! * [`yannakakis`] — the naive evaluator and Online Yannakakis.
+//! * [`delta`] — delta batches, net-effect computation, and the
+//!   [`ApplyDelta`](delta::ApplyDelta) maintenance seam.
+//! * [`obs`] — std-only observability: lock-free counters/gauges and
+//!   log-bucketed latency histograms behind a
+//!   [`MetricsSink`](obs::MetricsSink), with Prometheus-text and
+//!   bench-JSON export.
 //! * [`panda`] — 2-phase disjunctive rules, the framework driver, and the
 //!   Table 1 / Figure 4 analysis entry points.
 //! * [`indexes`] — the concrete budget-parameterized index structures and
@@ -57,8 +63,10 @@
 
 pub use cqap_common as common;
 pub use cqap_decomp as decomp;
+pub use cqap_delta as delta;
 pub use cqap_entropy as entropy;
 pub use cqap_indexes as indexes;
+pub use cqap_obs as obs;
 pub use cqap_panda as panda;
 pub use cqap_query as query;
 pub use cqap_relation as relation;
@@ -77,6 +85,8 @@ pub mod prelude {
         BfsBaseline, FullReachMaterialization, HierarchicalIndex, KReachGoldstein,
         SetDisjointnessIndex, SquareIndex, TriangleIndex, TwoReachIndex,
     };
+    pub use cqap_delta::{ApplyDelta, DeltaBatch};
+    pub use cqap_obs::{MetricsSink, MetricsSnapshot};
     pub use cqap_panda::{CqapIndex, TwoPhaseRule};
     pub use cqap_query::workload::{Graph, SetFamily};
     pub use cqap_query::{AccessRequest, ConjunctiveQuery, Cqap, Hypergraph};
