@@ -15,6 +15,10 @@
 //!   cold is a direct `answer` per request (no cache anywhere; since PR 5
 //!   this is the **columnar** path), warm is a `ServeRuntime` whose LRU
 //!   already holds every answer;
+//! * `driver_warm_traced` — the same warm submits with a 1-in-64-sampled
+//!   flight recorder riding the sink: the cost of leaving request tracing
+//!   on in production (unsampled requests stay allocation-free, so this
+//!   should sit on top of `driver_warm`);
 //! * `driver_cold_interpreted` — the pre-refactor interpreted path, kept
 //!   answering the same stream so the before/after of the compiled plans
 //!   stays visible in every run;
@@ -49,6 +53,7 @@ use std::sync::Arc;
 
 use cqap_bench::ensure_baseline_named;
 use cqap_decomp::families::pmtds_3reach_fig1;
+use cqap_obs::{FlightRecorder, MetricsSink, SamplingPolicy};
 use cqap_panda::CqapIndex;
 use cqap_query::workload::{zipf_pair_requests, Graph};
 use cqap_query::AccessRequest;
@@ -130,6 +135,38 @@ fn bench_online_latency(c: &mut Criterion) {
                 at = (at + 1) % requests.len();
                 black_box(
                     runtime
+                        .submit(requests[at].clone())
+                        .wait()
+                        .expect("warm answer"),
+                )
+            })
+        },
+    );
+
+    // The same warm LRU submits with a 1-in-64-sampled flight recorder
+    // riding a live sink: 63 of 64 requests must stay on the
+    // allocation-free warm path (the trace seam does not even read the
+    // clock for them), so this median should sit on top of
+    // `driver_warm` — the tracing tax shows up here if it ever grows.
+    let tracer = Arc::new(FlightRecorder::new(4_096, SamplingPolicy::OneInN(64)));
+    let traced = ServeRuntime::with_metrics(
+        Arc::clone(&index),
+        ServeConfig {
+            threads: 2,
+            cache_capacity: 4_096,
+        },
+        MetricsSink::recording().with_tracer(tracer),
+    );
+    traced.serve_batch(&requests).expect("cache warm-up");
+    let mut at = 0usize;
+    group.bench_with_input(
+        BenchmarkId::new("driver_warm_traced", "one_in_64"),
+        &traced,
+        |b, traced| {
+            b.iter(|| {
+                at = (at + 1) % requests.len();
+                black_box(
+                    traced
                         .submit(requests[at].clone())
                         .wait()
                         .expect("warm answer"),

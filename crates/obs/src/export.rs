@@ -56,6 +56,30 @@ impl MetricsSnapshot {
         Some(max / mean)
     }
 
+    /// The activity recorded between `earlier` and `self` — an
+    /// interval window from two cumulative snapshots of the same
+    /// recorder, so long-running processes can report per-window
+    /// rates instead of running totals.
+    ///
+    /// Counters and per-shard served counts subtract (saturating);
+    /// stage histograms subtract bucket-wise
+    /// ([`HistogramSnapshot::delta`]); gauges are instantaneous, so
+    /// the delta carries their signed change over the window.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut shard_served: Vec<u64> = self.shard_served.clone();
+        for (mine, &past) in shard_served.iter_mut().zip(&earlier.shard_served) {
+            *mine = mine.saturating_sub(past);
+        }
+        MetricsSnapshot {
+            stages: std::array::from_fn(|i| self.stages[i].delta(&earlier.stages[i])),
+            counters: std::array::from_fn(|i| {
+                self.counters[i].saturating_sub(earlier.counters[i])
+            }),
+            gauges: std::array::from_fn(|i| self.gauges[i] - earlier.gauges[i]),
+            shard_served,
+        }
+    }
+
     /// Merges another snapshot into this one (element-wise addition;
     /// histogram min/max combine, gauges add).
     pub fn merge(&mut self, other: &MetricsSnapshot) {

@@ -216,6 +216,46 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The observations recorded between `earlier` and `self`
+    /// (bucket-wise saturating subtraction), for interval-rate
+    /// reporting from two cumulative snapshots of one histogram.
+    ///
+    /// Bucket counts, `count` and `sum` subtract exactly. `min`/`max`
+    /// are cumulative extremes and cannot be subtracted, so the delta
+    /// reconstructs them from its own non-empty buckets (tightened by
+    /// the cumulative extremes): they are correct to bucket
+    /// resolution, like the quantile estimates.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (slot, (&later, &past)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *slot = later.saturating_sub(past);
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        let (min, max) = if count == 0 {
+            (u64::MAX, 0)
+        } else if earlier.count == 0 {
+            // Nothing predates the window: the exact extremes hold.
+            (self.min, self.max)
+        } else {
+            let first = buckets.iter().position(|&n| n > 0).unwrap_or(0);
+            let last = buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+            (
+                bucket_range(first).0.max(self.min),
+                bucket_range(last).1.saturating_sub(1).min(self.max),
+            )
+        };
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+        }
+    }
+
     /// Merges another snapshot into this one (element-wise addition).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (slot, &n) in self.buckets.iter_mut().zip(&other.buckets) {

@@ -26,7 +26,14 @@
 //!   Prometheus text exposition
 //!   ([`to_prometheus`](MetricsSnapshot::to_prometheus)) or the
 //!   criterion shim's `BENCH_*.json` schema
-//!   ([`to_bench_json`](MetricsSnapshot::to_bench_json)).
+//!   ([`to_bench_json`](MetricsSnapshot::to_bench_json)); two
+//!   snapshots subtract into an interval window
+//!   ([`delta`](MetricsSnapshot::delta)).
+//! - [`trace`] — the flight recorder: a fixed-capacity seqlock ring
+//!   of compact per-request trace events ([`FlightRecorder`]),
+//!   sampled by [`SamplingPolicy`], exported as Chrome trace-event
+//!   JSON ([`to_chrome_trace`]) with a slowest-requests cause report
+//!   ([`tail_attribution`]).
 //!
 //! # Example
 //!
@@ -50,6 +57,7 @@
 mod export;
 mod hist;
 mod sink;
+pub mod trace;
 
 pub use export::MetricsSnapshot;
 pub use hist::{
@@ -57,4 +65,8 @@ pub use hist::{
 };
 pub use sink::{
     CounterId, GaugeId, MetricsSink, Recorder, RequestSpan, StageId, StageTimer, MAX_SHARDS,
+};
+pub use trace::{
+    tail_attribution, to_chrome_trace, FlightRecorder, SamplingPolicy, TailBucket, TailReport,
+    TraceEvent, TraceId, TraceScope, TraceStage,
 };

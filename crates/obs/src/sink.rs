@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use crate::export::MetricsSnapshot;
 use crate::hist::LatencyHistogram;
+use crate::trace::{self, FlightRecorder, TraceId, TraceStage};
 
 /// Request-lifecycle stages timed by the serving stack, one latency
 /// histogram each.
@@ -170,19 +171,30 @@ impl CounterId {
 pub enum GaugeId {
     /// Jobs currently queued or executing in the serving pool.
     QueueDepth,
+    /// Bytes resident in RAM for hot-tier shards of a tiered index.
+    HotResidentBytes,
+    /// Bytes resident in RAM for cold-tier shards (fence indexes and
+    /// pending overlays; the runs themselves live on disk).
+    ColdResidentBytes,
 }
 
 impl GaugeId {
     /// Number of gauges.
-    pub const COUNT: usize = 1;
+    pub const COUNT: usize = 3;
 
     /// Every gauge, in canonical export order.
-    pub const ALL: [GaugeId; Self::COUNT] = [GaugeId::QueueDepth];
+    pub const ALL: [GaugeId; Self::COUNT] = [
+        GaugeId::QueueDepth,
+        GaugeId::HotResidentBytes,
+        GaugeId::ColdResidentBytes,
+    ];
 
     /// Prometheus metric name.
     pub fn name(self) -> &'static str {
         match self {
             GaugeId::QueueDepth => "cqap_serve_queue_depth",
+            GaugeId::HotResidentBytes => "cqap_store_hot_resident_bytes",
+            GaugeId::ColdResidentBytes => "cqap_store_cold_resident_bytes",
         }
     }
 
@@ -190,6 +202,12 @@ impl GaugeId {
     pub fn help(self) -> &'static str {
         match self {
             GaugeId::QueueDepth => "Jobs currently queued or executing in the serving pool.",
+            GaugeId::HotResidentBytes => {
+                "Bytes resident in RAM for hot-tier shards of a tiered index."
+            }
+            GaugeId::ColdResidentBytes => {
+                "Bytes resident in RAM for cold-tier shards (fences and pending overlays)."
+            }
         }
     }
 
@@ -276,15 +294,25 @@ impl Recorder {
 /// hold a sink by value and call its recording methods unconditionally.
 /// A disabled sink short-circuits on a null check; an attached sink
 /// performs relaxed atomic updates. Neither path allocates.
+///
+/// A sink may additionally carry a [`FlightRecorder`]
+/// ([`with_tracer`](Self::with_tracer)): request-lifecycle laps then
+/// also write compact ring events for sampled requests, and a
+/// per-clone shard label ([`with_shard_label`](Self::with_shard_label))
+/// stamps those events with the shard that produced them.
 #[derive(Clone, Default)]
 pub struct MetricsSink {
     recorder: Option<Arc<Recorder>>,
+    tracer: Option<Arc<FlightRecorder>>,
+    shard: u16,
 }
 
 impl fmt::Debug for MetricsSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MetricsSink")
             .field("enabled", &self.is_enabled())
+            .field("traced", &self.tracer.is_some())
+            .field("shard", &self.shard)
             .finish()
     }
 }
@@ -292,7 +320,7 @@ impl fmt::Debug for MetricsSink {
 impl MetricsSink {
     /// A sink that records nothing (the default).
     pub fn disabled() -> Self {
-        Self { recorder: None }
+        Self::default()
     }
 
     /// A sink attached to a fresh recorder.
@@ -304,7 +332,25 @@ impl MetricsSink {
     pub fn attached(recorder: Arc<Recorder>) -> Self {
         Self {
             recorder: Some(recorder),
+            tracer: None,
+            shard: 0,
         }
+    }
+
+    /// This sink with a flight recorder attached: sampled requests'
+    /// lifecycle laps also write ring trace events.
+    pub fn with_tracer(mut self, tracer: Arc<FlightRecorder>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// A clone of this sink whose trace events are stamped with
+    /// `shard` — the router hands one to each shard runtime so
+    /// scatter-gather legs stay distinguishable in a drained trace.
+    pub fn with_shard_label(&self, shard: u16) -> Self {
+        let mut sink = self.clone();
+        sink.shard = shard;
+        sink
     }
 
     /// Whether this sink is attached to a recorder.
@@ -316,6 +362,79 @@ impl MetricsSink {
     /// The recorder behind this sink, if attached.
     pub fn recorder(&self) -> Option<&Arc<Recorder>> {
         self.recorder.as_ref()
+    }
+
+    /// The flight recorder behind this sink, if attached.
+    pub fn tracer(&self) -> Option<&Arc<FlightRecorder>> {
+        self.tracer.as_ref()
+    }
+
+    /// Allocates a trace id for a new request per the tracer's
+    /// sampling policy; [`TraceId::NONE`] when no tracer is attached
+    /// or the request is not sampled.
+    #[inline]
+    pub fn trace_begin(&self) -> TraceId {
+        match &self.tracer {
+            Some(t) => t.begin(),
+            None => TraceId::NONE,
+        }
+    }
+
+    /// Completes a trace (writes its root event when the sampling
+    /// policy commits it). No-op without a tracer or for an unsampled
+    /// id.
+    #[inline]
+    pub fn trace_finish(&self, id: TraceId, total_ns: u64) {
+        if let Some(t) = &self.tracer {
+            t.finish(id, total_ns);
+        }
+    }
+
+    /// Records one trace event spanning `start..end` against `id`,
+    /// stamped with this sink's shard label.
+    #[inline]
+    pub fn trace_span(
+        &self,
+        id: TraceId,
+        stage: TraceStage,
+        start: Instant,
+        end: Instant,
+        payload: u64,
+    ) {
+        if let Some(t) = &self.tracer {
+            t.record_span(id, stage, self.shard, start, end, payload);
+        }
+    }
+
+    /// Starts a leaf-event clock iff the *current thread's* trace
+    /// (see [`trace::current`]) is sampled and a tracer is attached —
+    /// unsampled requests skip even the clock read. Pair with
+    /// [`trace_leaf`](Self::trace_leaf).
+    #[inline]
+    pub fn trace_mark(&self) -> Option<Instant> {
+        if self.tracer.is_some() && trace::current().is_sampled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Starts a clock for a background (request-independent) event
+    /// whenever a tracer is attached. Pair with
+    /// [`trace_leaf`](Self::trace_leaf).
+    #[inline]
+    pub fn trace_mark_background(&self) -> Option<Instant> {
+        self.tracer.as_ref().map(|_| Instant::now())
+    }
+
+    /// Completes a leaf event started by [`trace_mark`](Self::trace_mark)
+    /// or [`trace_mark_background`](Self::trace_mark_background),
+    /// attributing it to the current thread's trace.
+    #[inline]
+    pub fn trace_leaf(&self, start: Option<Instant>, stage: TraceStage, payload: u64) {
+        if let (Some(t), Some(start)) = (&self.tracer, start) {
+            t.record_span(trace::current(), stage, self.shard, start, Instant::now(), payload);
+        }
     }
 
     /// Snapshots the attached recorder, or `None` when disabled.
@@ -342,6 +461,16 @@ impl MetricsSink {
     pub fn gauge_add(&self, gauge: GaugeId, delta: i64) {
         if let Some(r) = &self.recorder {
             r.gauges[gauge.index()].fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets a gauge to an absolute value — for level-style gauges
+    /// (resident bytes) republished from a source of truth rather
+    /// than maintained by increments.
+    #[inline]
+    pub fn gauge_set(&self, gauge: GaugeId, value: i64) {
+        if let Some(r) = &self.recorder {
+            r.gauges[gauge.index()].store(value, Ordering::Relaxed);
         }
     }
 
@@ -410,20 +539,41 @@ impl StageTimer {
 /// since construction) against the given stage and restarts the clock,
 /// so a worker times `probe → delivery` with a single span and two lap
 /// calls — one clock read per boundary instead of two per stage.
+///
+/// A span built with [`begin_traced`](Self::begin_traced) additionally
+/// writes each lap as a flight-recorder event when its request is
+/// sampled, so one request's stage breakdown is reconstructible from
+/// a drained trace.
 #[derive(Debug)]
 pub struct RequestSpan<'a> {
     sink: &'a MetricsSink,
     last: Option<Instant>,
+    trace: TraceId,
 }
 
 impl<'a> RequestSpan<'a> {
     /// Starts a span; reads the clock only if the sink is enabled.
     #[inline]
     pub fn begin(sink: &'a MetricsSink) -> Self {
+        Self::begin_traced(sink, TraceId::NONE)
+    }
+
+    /// Starts a span whose laps also record trace events against
+    /// `trace` (when sampled and a tracer is attached).
+    #[inline]
+    pub fn begin_traced(sink: &'a MetricsSink, trace: TraceId) -> Self {
         Self {
-            last: sink.recorder.as_ref().map(|_| Instant::now()),
+            last: (sink.recorder.is_some() || trace.is_sampled())
+                .then(Instant::now),
             sink,
+            trace,
         }
+    }
+
+    /// The trace id this span records against.
+    #[inline]
+    pub fn trace(&self) -> TraceId {
+        self.trace
     }
 
     /// Records the time since the last lap against `stage` and
@@ -436,6 +586,9 @@ impl<'a> RequestSpan<'a> {
                 stage,
                 u64::try_from(now.duration_since(last).as_nanos()).unwrap_or(u64::MAX),
             );
+            if self.trace.is_sampled() {
+                self.sink.trace_span(self.trace, stage.into(), last, now, 0);
+            }
             self.last = Some(now);
         }
     }

@@ -13,7 +13,8 @@ use std::sync::Arc;
 use std::thread;
 
 use cqap_obs::{
-    CounterId, GaugeId, HistogramSnapshot, LatencyHistogram, MetricsSink, Recorder, StageId,
+    to_chrome_trace, CounterId, FlightRecorder, GaugeId, HistogramSnapshot, LatencyHistogram,
+    MetricsSink, Recorder, SamplingPolicy, StageId, TraceEvent, TraceId, TraceStage,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -188,6 +189,8 @@ fn golden_recorder() -> Arc<Recorder> {
         sink.add(counter, (i as u64 + 1) * 10);
     }
     sink.gauge_add(GaugeId::QueueDepth, 3);
+    sink.gauge_set(GaugeId::HotResidentBytes, 262_144);
+    sink.gauge_set(GaugeId::ColdResidentBytes, 16_384);
     sink.shard_served(0);
     sink.shard_served(0);
     sink.shard_served(0);
@@ -301,4 +304,214 @@ fn bench_json_contains_stage_records() {
     assert!(json.contains("\"p999_ns\""));
     // No empty stages leak into the dump.
     assert!(!json.contains("stage/coalesce"));
+}
+
+/// `MetricsSnapshot::delta` recovers exactly the activity between two
+/// cumulative snapshots: counters/buckets subtract, gauges carry the
+/// signed change, and the delta histogram matches one that recorded
+/// only the window's observations (bucket-for-bucket).
+#[test]
+fn snapshot_delta_isolates_the_window() {
+    let sink = MetricsSink::recording();
+    sink.observe_ns(StageId::BackendProbe, 4_000);
+    sink.observe_ns(StageId::BackendProbe, 900);
+    sink.add(CounterId::SegmentReads, 7);
+    sink.gauge_add(GaugeId::QueueDepth, 5);
+    sink.shard_served(0);
+    let earlier = sink.snapshot().unwrap();
+
+    sink.observe_ns(StageId::BackendProbe, 64_000);
+    sink.observe_ns(StageId::BackendProbe, 120_000);
+    sink.observe_ns(StageId::DeltaApply, 1_000_000);
+    sink.add(CounterId::SegmentReads, 3);
+    sink.gauge_add(GaugeId::QueueDepth, -2);
+    sink.shard_served(0);
+    sink.shard_served(1);
+    let later = sink.snapshot().unwrap();
+
+    let delta = later.delta(&earlier);
+    assert_eq!(delta.counter(CounterId::SegmentReads), 3);
+    assert_eq!(delta.gauge(GaugeId::QueueDepth), -2);
+    assert_eq!(delta.shard_served, vec![1, 1]);
+    assert_eq!(delta.stage(StageId::BackendProbe).count, 2);
+    assert_eq!(delta.stage(StageId::DeltaApply).count, 1);
+    assert_eq!(delta.stage(StageId::CacheLookup).count, 0);
+
+    // The window's histogram matches a histogram fed only the window.
+    let window_only = LatencyHistogram::new();
+    window_only.record_ns(64_000);
+    window_only.record_ns(120_000);
+    let expected = window_only.snapshot();
+    let got = delta.stage(StageId::BackendProbe);
+    assert_eq!(got.buckets, expected.buckets);
+    assert_eq!(got.sum, expected.sum);
+    // min/max are bucket-resolution reconstructions, bounded by the
+    // window's containing buckets.
+    let (lo, _) = cqap_obs::bucket_range(cqap_obs::bucket_of(64_000));
+    let (_, hi) = cqap_obs::bucket_range(cqap_obs::bucket_of(120_000));
+    assert!(got.min >= lo && got.min <= 64_000);
+    assert!(got.max >= 120_000 && got.max < hi);
+    // An empty window is empty.
+    let none = later.delta(&later);
+    assert!(none.stage(StageId::BackendProbe).is_empty());
+    assert_eq!(none.counter(CounterId::SegmentReads), 0);
+}
+
+/// Deterministic event set for the Chrome-trace golden file.
+fn golden_trace_events() -> Vec<TraceEvent> {
+    let mk = |trace_id, stage, shard, t0, t1, payload| TraceEvent {
+        trace_id,
+        stage,
+        shard,
+        t_start_ns: t0,
+        t_end_ns: t1,
+        payload,
+    };
+    vec![
+        mk(1, TraceStage::QueueWait, 0, 1_000, 4_500, 0),
+        mk(1, TraceStage::BackendProbe, 2, 4_500, 61_000, 0),
+        mk(1, TraceStage::SegmentRead, 2, 9_000, 21_500, 4_096),
+        mk(1, TraceStage::OverlayProbe, 2, 22_000, 30_000, 12),
+        mk(0, TraceStage::Compaction, 2, 10_000, 55_000, 0),
+        mk(1, TraceStage::TicketDelivery, 0, 61_000, 62_000, 0),
+        mk(1, TraceStage::Request, 0, 1_000, 62_000, 61_000),
+    ]
+}
+
+/// The Chrome trace-event export is pinned byte-for-byte against
+/// `golden_chrome_trace.json` (regenerate with `BLESS_GOLDEN=1`).
+#[test]
+fn chrome_trace_matches_golden() {
+    let rendered = to_chrome_trace(&golden_trace_events());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_chrome_trace.json");
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect(
+        "golden file missing; regenerate with BLESS_GOLDEN=1 cargo test -p cqap-obs",
+    );
+    assert_eq!(
+        rendered, expected,
+        "Chrome trace export drifted from golden_chrome_trace.json; \
+         if intentional, regenerate with BLESS_GOLDEN=1"
+    );
+}
+
+/// A full request lifecycle recorded through the sink seam round-trips
+/// into a drained trace: span laps, leaf events under a `TraceScope`,
+/// and the committed root, all sharing one trace id.
+#[test]
+fn sink_lifecycle_round_trips_through_the_ring() {
+    let tracer = Arc::new(FlightRecorder::new(64, SamplingPolicy::Always));
+    let sink = MetricsSink::recording().with_tracer(Arc::clone(&tracer));
+    let shard_sink = sink.with_shard_label(3);
+
+    let id = sink.trace_begin();
+    assert!(id.is_sampled());
+    let started = std::time::Instant::now();
+    let mut span = cqap_obs::RequestSpan::begin_traced(&shard_sink, id);
+    {
+        let _scope = cqap_obs::trace::TraceScope::enter(id);
+        let mark = shard_sink.trace_mark();
+        assert!(mark.is_some(), "sampled trace arms the leaf clock");
+        shard_sink.trace_leaf(mark, TraceStage::SegmentRead, 512);
+    }
+    span.lap(StageId::BackendProbe);
+    span.lap(StageId::TicketDelivery);
+    sink.trace_finish(
+        id,
+        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
+
+    let events = tracer.drain();
+    let of_id: Vec<&TraceEvent> = events.iter().filter(|e| e.trace_id == id.get()).collect();
+    let stages: Vec<TraceStage> = of_id.iter().map(|e| e.stage).collect();
+    assert!(stages.contains(&TraceStage::SegmentRead));
+    assert!(stages.contains(&TraceStage::BackendProbe));
+    assert!(stages.contains(&TraceStage::TicketDelivery));
+    assert!(stages.contains(&TraceStage::Request));
+    // The shard label sticks to events from the labelled clone.
+    assert!(of_id
+        .iter()
+        .filter(|e| e.stage == TraceStage::BackendProbe)
+        .all(|e| e.shard == 3));
+    // The histograms recorded the same laps.
+    let snap = sink.snapshot().unwrap();
+    assert_eq!(snap.stage(StageId::BackendProbe).count, 1);
+    assert_eq!(snap.stage(StageId::TicketDelivery).count, 1);
+    // Outside the scope, unsampled leaf marks stay disarmed.
+    assert!(shard_sink.trace_mark().is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ring-buffer wraparound under concurrent writers: N threads race
+    /// M events each into a ring smaller than the total. The drained
+    /// set must be a consistent subset of what was written — every
+    /// event's fields match exactly one written event (no torn mixes
+    /// of two writes) — and on sequential overflow the newest events
+    /// win (checked in the single-writer branch below).
+    #[test]
+    fn ring_wraparound_under_concurrent_writers(
+        threads in 1usize..5,
+        per_thread in 1u64..300,
+        capacity in 1usize..48,
+    ) {
+        let fr = Arc::new(FlightRecorder::new(capacity, SamplingPolicy::Always));
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let fr = Arc::clone(&fr);
+                scope.spawn(move || {
+                    let id = TraceId::from_raw(t as u64 + 1);
+                    for i in 0..per_thread {
+                        // Fields are a function of (thread, i), so a
+                        // torn slot (fields from two writes) cannot
+                        // satisfy the consistency check below.
+                        let t0 = (t as u64 + 1) * 1_000_000 + i * 10;
+                        fr.record(id, TraceStage::SegmentRead, t as u16, t0, t0 + 5, t0 ^ 0xABCD);
+                    }
+                });
+            }
+        });
+        let events = fr.drain();
+        prop_assert!(events.len() <= capacity);
+        let total_written = threads as u64 * per_thread;
+        let min_survivors = std::cmp::min(capacity as u64, total_written)
+            .saturating_sub(fr.contended_drops());
+        prop_assert!(
+            events.len() as u64 >= min_survivors,
+            "{} events drained, expected at least {} (cap {}, written {}, contended {})",
+            events.len(), min_survivors, capacity, total_written, fr.contended_drops()
+        );
+        for ev in &events {
+            // Reconstruct the (thread, i) this event claims to be and
+            // verify every field agrees — a torn event fails here.
+            prop_assert_eq!(ev.stage, TraceStage::SegmentRead);
+            let t = ev.trace_id.checked_sub(1).expect("trace id >= 1");
+            prop_assert!(t < threads as u64);
+            let t0 = ev.t_start_ns;
+            let i = t0.checked_sub((t + 1) * 1_000_000).expect("start offset") / 10;
+            prop_assert!(i < per_thread);
+            prop_assert_eq!(t0 % 10, 0);
+            prop_assert_eq!(ev.shard as u64, t);
+            prop_assert_eq!(ev.t_end_ns, t0 + 5);
+            prop_assert_eq!(ev.payload, t0 ^ 0xABCD);
+        }
+        // No event is drained twice (each written event is unique).
+        let mut seen: Vec<(u64, u64)> = events.iter().map(|e| (e.trace_id, e.t_start_ns)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), events.len(), "drained events are distinct");
+
+        // Single-writer overflow is deterministic: newest wins.
+        if threads == 1 && per_thread > capacity as u64 {
+            let newest_start = 1_000_000 + (per_thread - 1) * 10;
+            prop_assert!(
+                events.iter().any(|e| e.t_start_ns == newest_start),
+                "the newest event must survive overflow"
+            );
+        }
+    }
 }

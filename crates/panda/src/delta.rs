@@ -31,7 +31,7 @@ use std::sync::Arc;
 use cqap_common::{FxHashMap, FxHashSet, Result, Tuple, VarSet};
 use cqap_decomp::Pmtd;
 use cqap_delta::{net_effect, DeltaBatch, DeltaStats, RelationDelta};
-use cqap_obs::{CounterId, MetricsSink, StageId};
+use cqap_obs::{CounterId, MetricsSink, StageId, TraceStage};
 use cqap_query::Cqap;
 use cqap_relation::{Database, HashIndex, Relation, RelationBuilder, Schema};
 use cqap_yannakakis::naive::{atom_relation, full_join};
@@ -293,9 +293,11 @@ impl DeltaMaintenance {
         batch: &DeltaBatch,
     ) -> Result<DeltaOutcome> {
         let timer = self.sink.start();
+        let apply_mark = self.sink.trace_mark_background();
         let deltas = net_effect(db, batch)?;
         if deltas.is_empty() {
             self.sink.stop(timer, StageId::DeltaApply);
+            self.sink.trace_leaf(apply_mark, TraceStage::DeltaApply, 0);
             return Ok(DeltaOutcome::default());
         }
         // ΔJ⁻ over the pre-delta database.
@@ -364,6 +366,11 @@ impl DeltaMaintenance {
         self.sink.add(CounterId::DeltaNetInserts, stats.inserted as u64);
         self.sink.add(CounterId::DeltaNetDeletes, stats.deleted as u64);
         self.sink.stop(timer, StageId::DeltaApply);
+        self.sink.trace_leaf(
+            apply_mark,
+            TraceStage::DeltaApply,
+            (stats.inserted + stats.deleted) as u64,
+        );
         Ok(DeltaOutcome {
             stats,
             views,

@@ -297,6 +297,93 @@ pub fn zipf_multi_requests(
         .collect()
 }
 
+/// Generates `n` **Poisson arrival offsets** in nanoseconds from stream
+/// start: inter-arrival gaps are exponential with mean `1 / rate_per_sec`,
+/// the open-loop arrival process. Unlike a closed loop (next request waits
+/// for the previous answer), an open-loop driver submits at these absolute
+/// times regardless of completion — so when offered load exceeds service
+/// capacity, queueing delay compounds and the latency *tail* grows, which
+/// is exactly the regime tail-attribution reports are for.
+pub fn poisson_arrivals_ns(n: usize, rate_per_sec: f64, seed: u64) -> Vec<u64> {
+    assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u = rng.random_range(0..u64::MAX) as f64 / u64::MAX as f64;
+            // Inverse-CDF of the exponential; `1 - u` keeps ln away from 0.
+            t += -(1.0 - u).ln() / rate_per_sec;
+            (t * 1e9) as u64
+        })
+        .collect()
+}
+
+/// Generates `n` access-request keys whose zipf distribution **drifts**:
+/// the stream is cut into windows of `rotate_every` requests, the skew
+/// interpolates linearly from `skew_from` to `skew_to` across the windows,
+/// and each window rotates *which* vertices are the hot ranks. The drift
+/// defeats any cache warmed on an earlier window's heavy hitters — each
+/// rotation forces fresh cold probes mid-stream, the workload shape that
+/// keeps a serving tail alive even after warm-up.
+pub fn drifting_zipf_pair_requests(
+    graph: &Graph,
+    n: usize,
+    skew_from: f64,
+    skew_to: f64,
+    rotate_every: usize,
+    seed: u64,
+) -> Vec<(Val, Val)> {
+    assert!(rotate_every > 0, "window must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_windows = n.div_ceil(rotate_every).max(1);
+    // Hot-key identity shifts by a fixed stride per window, so distinct
+    // windows have (mostly) disjoint heavy hitters.
+    let stride = (graph.num_vertices / num_windows).max(1);
+    let mut out = Vec::with_capacity(n);
+    for w in 0..num_windows {
+        let frac = if num_windows == 1 {
+            0.0
+        } else {
+            w as f64 / (num_windows - 1) as f64
+        };
+        let skew = skew_from + (skew_to - skew_from) * frac;
+        let sampler = ZipfSampler::new(graph.num_vertices, skew);
+        let offset = w * stride;
+        for _ in (w * rotate_every)..((w + 1) * rotate_every).min(n) {
+            let u = (sampler.sample(&mut rng) + offset) % graph.num_vertices;
+            let v = (sampler.sample(&mut rng) + offset) % graph.num_vertices;
+            out.push((u as Val, v as Val));
+        }
+    }
+    out
+}
+
+/// The combined open-loop stream: [`poisson_arrivals_ns`] zipped with
+/// [`drifting_zipf_pair_requests`] — `(arrival offset ns, endpoint key)`
+/// pairs ready for an open-loop driver to replay against a serving
+/// runtime.
+pub fn open_loop_pair_stream(
+    graph: &Graph,
+    n: usize,
+    rate_per_sec: f64,
+    skew_from: f64,
+    skew_to: f64,
+    rotate_every: usize,
+    seed: u64,
+) -> Vec<(u64, (Val, Val))> {
+    let arrivals = poisson_arrivals_ns(n, rate_per_sec, seed);
+    let keys = drifting_zipf_pair_requests(
+        graph,
+        n,
+        skew_from,
+        skew_to,
+        rotate_every,
+        // Decorrelate the key stream from the arrival process.
+        seed ^ 0x9E37_79B9_7F4A_7C15,
+    );
+    arrivals.into_iter().zip(keys).collect()
+}
+
 /// The shard a routing-key value belongs to under hash partitioning. This
 /// single function is the partition invariant shared by the `cqap-shard`
 /// data partitioner and these workload helpers — a request stream split
@@ -514,6 +601,62 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_ordered_with_the_right_mean() {
+        let a = poisson_arrivals_ns(10_000, 50_000.0, 13);
+        assert_eq!(a, poisson_arrivals_ns(10_000, 50_000.0, 13), "deterministic");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrival times nondecrease");
+        // Mean inter-arrival ≈ 1/rate = 20µs; the sample mean of 10k
+        // exponentials is well within a factor of 1.25.
+        let mean_ns = *a.last().unwrap() as f64 / a.len() as f64;
+        assert!(
+            (16_000.0..25_000.0).contains(&mean_ns),
+            "mean inter-arrival {mean_ns} ns, expected ≈ 20_000"
+        );
+        // A 4x rate quarters the span.
+        let fast = poisson_arrivals_ns(10_000, 200_000.0, 13);
+        assert!(*fast.last().unwrap() < *a.last().unwrap() / 2);
+    }
+
+    #[test]
+    fn drifting_zipf_rotates_the_hot_keys() {
+        let g = Graph::random(200, 800, 3);
+        let keys = drifting_zipf_pair_requests(&g, 4_000, 1.2, 1.2, 1_000, 21);
+        assert_eq!(
+            keys,
+            drifting_zipf_pair_requests(&g, 4_000, 1.2, 1.2, 1_000, 21),
+            "deterministic given seed"
+        );
+        assert!(keys.iter().all(|&(u, v)| (u as usize) < 200 && (v as usize) < 200));
+        // The modal source key of the first window differs from the last
+        // window's: the hot identity rotated.
+        let modal = |window: &[(Val, Val)]| -> Val {
+            let mut counts = cqap_common::FxHashMap::<Val, usize>::default();
+            for &(u, _) in window {
+                *counts.entry(u).or_insert(0) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        let first = modal(&keys[..1_000]);
+        let last = modal(&keys[3_000..]);
+        assert_ne!(first, last, "hot key rotated across windows");
+        // And within a window the stream is genuinely skewed.
+        let first_hits = keys[..1_000].iter().filter(|&&(u, _)| u == first).count();
+        assert!(first_hits > 50, "window hot key dominates: {first_hits}");
+    }
+
+    #[test]
+    fn open_loop_stream_zips_arrivals_and_keys() {
+        let g = Graph::random(100, 400, 5);
+        let stream = open_loop_pair_stream(&g, 500, 10_000.0, 0.8, 1.4, 100, 17);
+        assert_eq!(stream.len(), 500);
+        assert!(stream.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(
+            stream.iter().map(|&(at, _)| at).collect::<Vec<_>>(),
+            poisson_arrivals_ns(500, 10_000.0, 17)
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cqap_obs::{CounterId, GaugeId, MetricsSink, StageId};
+use cqap_obs::{CounterId, GaugeId, MetricsSink, StageId, TraceId, TraceStage};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -106,18 +106,30 @@ impl WorkStealingPool {
     /// Schedules a job. Jobs are distributed round-robin over the worker
     /// deques; an idle worker steals if the assigned worker is busy.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.execute_traced(TraceId::NONE, job);
+    }
+
+    /// Schedules a job on behalf of a traced request: in addition to the
+    /// queue-wait histogram, a sampled `trace` gets a
+    /// [`TraceStage::QueueWait`] flight-recorder event spanning the time
+    /// the job sat queued before a worker picked it up.
+    pub fn execute_traced(&self, trace: TraceId, job: impl FnOnce() + Send + 'static) {
         // With a live sink the job is wrapped to record how long it sat
         // queued before a worker picked it up. Exactly one Box is
         // allocated either way (the Job itself), so instrumentation
         // adds no allocation to the submit path.
-        let job: Job = if self.shared.sink.is_enabled() {
+        let job: Job = if self.shared.sink.is_enabled() || trace.is_sampled() {
             let sink = self.shared.sink.clone();
             let queued = Instant::now();
             Box::new(move || {
+                let picked = Instant::now();
                 sink.observe_ns(
                     StageId::QueueWait,
-                    u64::try_from(queued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    u64::try_from(picked.duration_since(queued).as_nanos()).unwrap_or(u64::MAX),
                 );
+                if trace.is_sampled() {
+                    sink.trace_span(trace, TraceStage::QueueWait, queued, picked, 0);
+                }
                 job();
             })
         } else {

@@ -29,9 +29,10 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 use cqap_common::{CqapError, FxHashMap, Result};
-use cqap_obs::{MetricsSink, RequestSpan, StageId, StageTimer};
+use cqap_obs::{MetricsSink, RequestSpan, StageId, StageTimer, TraceId, TraceScope, TraceStage};
 
 use crate::batch::BatchAnswer;
 use crate::cache::LruCache;
@@ -383,16 +384,31 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
     /// Runs one index probe on the pool: computes the answer, publishes it
     /// to the cache, drains the waiters registered while the probe was in
     /// flight, and finally resolves `tx`.
-    fn dispatch_probe(&self, request: I::Request, tx: mpsc::Sender<Result<Arc<I::Answer>>>) {
+    ///
+    /// A sampled `trace` is pinned on the worker thread for the probe (so
+    /// store-layer leaf events attribute to it) and its laps become ring
+    /// events. When `submitted` is set this probe owns the request's root:
+    /// the trace is finished — before the resolving send, like the laps —
+    /// with the total latency since submission.
+    fn dispatch_probe(
+        &self,
+        request: I::Request,
+        tx: mpsc::Sender<Result<Arc<I::Answer>>>,
+        trace: TraceId,
+        submitted: Option<Instant>,
+    ) {
         let index = Arc::clone(&self.index);
         let state = Arc::clone(&self.state);
         let stats = Arc::clone(&self.stats);
         let sink = self.sink.clone();
-        self.pool.execute(move || {
+        self.pool.execute_traced(trace, move || {
             // Per-worker span over this probe's lifecycle: the probe
             // itself, then publishing + fan-out as ticket delivery.
-            let mut span = RequestSpan::begin(&sink);
-            let result = answer_guarded(index.as_ref(), &request).map(Arc::new);
+            let mut span = RequestSpan::begin_traced(&sink, trace);
+            let result = {
+                let _scope = TraceScope::enter(trace);
+                answer_guarded(index.as_ref(), &request).map(Arc::new)
+            };
             span.lap(StageId::BackendProbe);
             if result.is_err() {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -412,6 +428,12 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
             // "a resolved ticket implies a recorded delivery" true for
             // anyone snapshotting right after a wait().
             span.lap(StageId::TicketDelivery);
+            if let Some(submitted) = submitted {
+                sink.trace_finish(
+                    trace,
+                    u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
             let _ = tx.send(result);
         });
     }
@@ -425,14 +447,18 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         &self,
         bulk: I::Request,
         parts: Vec<(I::Request, mpsc::Sender<Result<Arc<I::Answer>>>)>,
+        trace: TraceId,
     ) {
         let index = Arc::clone(&self.index);
         let state = Arc::clone(&self.state);
         let stats = Arc::clone(&self.stats);
         let sink = self.sink.clone();
-        self.pool.execute(move || {
-            let mut span = RequestSpan::begin(&sink);
-            let bulk_answer = answer_guarded(index.as_ref(), &bulk);
+        self.pool.execute_traced(trace, move || {
+            let mut span = RequestSpan::begin_traced(&sink, trace);
+            let bulk_answer = {
+                let _scope = TraceScope::enter(trace);
+                answer_guarded(index.as_ref(), &bulk)
+            };
             span.lap(StageId::BackendProbe);
             if bulk_answer.is_err() {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -476,15 +502,49 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
     /// Submits one request; the returned [`Ticket`] resolves to its answer.
     /// Cache hits resolve immediately without entering the pool, and
     /// concurrent submits of one key share a single index probe.
+    ///
+    /// When the sink carries a flight recorder, a trace id is allocated
+    /// per the sampling policy and the request's whole lifecycle (queue
+    /// wait, probe, delivery, store-side leaf events) records against it.
     pub fn submit(&self, request: I::Request) -> Ticket<Arc<I::Answer>> {
+        let trace = self.sink.trace_begin();
+        let submitted = trace.is_sampled().then(Instant::now);
+        self.submit_inner(request, trace, submitted)
+    }
+
+    /// [`submit`](Self::submit) against a caller-allocated trace id, so a
+    /// router can fan one request out to several shard runtimes with every
+    /// scatter-gather leg sharing the parent request's trace.
+    ///
+    /// The trace's root is never committed here: the caller allocated the
+    /// id, so the caller finishes the trace once the whole request (all
+    /// legs) resolves. This call only attributes the leg's events to it.
+    pub fn submit_traced(&self, request: I::Request, trace: TraceId) -> Ticket<Arc<I::Answer>> {
+        self.submit_inner(request, trace, None)
+    }
+
+    fn submit_inner(
+        &self,
+        request: I::Request,
+        trace: TraceId,
+        submitted: Option<Instant>,
+    ) -> Ticket<Arc<I::Answer>> {
         let (tx, rx) = mpsc::channel();
         self.stats.served.fetch_add(1, Ordering::Relaxed);
         match self.lookup(&request, &tx) {
             Lookup::Hit(answer) => {
+                // A root-owning submit commits the hit's (tiny) total, so
+                // cache hits still show up as committed traces.
+                if let Some(submitted) = submitted {
+                    self.sink.trace_finish(
+                        trace,
+                        u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                }
                 let _ = tx.send(Ok(answer));
             }
             Lookup::Joined => {}
-            Lookup::Probe => self.dispatch_probe(request, tx),
+            Lookup::Probe => self.dispatch_probe(request, tx, trace, submitted),
         }
         Ticket { rx }
     }
@@ -502,6 +562,11 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
     /// # Errors
     /// Fails if any request fails (the first error in input order wins).
     pub fn serve_batch(&self, requests: &[I::Request]) -> Result<Vec<Arc<I::Answer>>> {
+        // One trace id covers the whole batch: its lookup/coalesce laps
+        // and every probe it dispatches share the id, and the root spans
+        // submission to the last gathered answer.
+        let trace = self.sink.trace_begin();
+        let submitted = trace.is_sampled().then(Instant::now);
         let mut answers: Vec<Option<Arc<I::Answer>>> = vec![None; requests.len()];
         self.stats
             .served
@@ -525,6 +590,7 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         // `(receiver, positions)`, resolved by the owning caller's worker.
         let mut joined: Vec<(mpsc::Receiver<Result<Arc<I::Answer>>>, Vec<usize>)> = Vec::new();
         let lookup_timer = self.sink.start();
+        let lookup_started = submitted.map(|_| Instant::now());
         {
             let mut state = self.state.lock().expect("state lock");
             for (request, positions) in groups {
@@ -546,6 +612,10 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
             }
         }
         self.sink.stop(lookup_timer, StageId::CacheLookup);
+        if let Some(started) = lookup_started {
+            self.sink
+                .trace_span(trace, TraceStage::CacheLookup, started, Instant::now(), 0);
+        }
         for (answer, positions) in hits {
             for position in positions {
                 answers[position] = Some(Arc::clone(&answer));
@@ -582,11 +652,13 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         // The coalesce stage is timed per batch that had fresh probes:
         // classification, merging and dispatch, up to handing the last
         // probe to the pool.
-        let coalesce_timer = if probes.is_empty() {
-            StageTimer::disarmed()
-        } else {
+        let had_probes = !probes.is_empty();
+        let coalesce_timer = if had_probes {
             self.sink.start()
+        } else {
+            StageTimer::disarmed()
         };
+        let coalesce_started = if had_probes { lookup_started.map(|_| Instant::now()) } else { None };
         let mut own: Vec<(mpsc::Receiver<Result<Arc<I::Answer>>>, Vec<usize>)> =
             Vec::with_capacity(probes.len());
         let mut singles: Vec<(I::Request, Vec<usize>)> = Vec::new();
@@ -630,7 +702,7 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
                         parts.push((request, ptx));
                         own.push((prx, positions));
                     }
-                    self.dispatch_coalesced(bulk, parts);
+                    self.dispatch_coalesced(bulk, parts, trace);
                 }
                 // The index refused the merge: dispatch the group one
                 // probe per request, as if it never coalesced.
@@ -641,16 +713,28 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         // tagged with their position group via a side channel per probe.
         for (request, positions) in singles {
             let (ptx, prx) = mpsc::channel();
-            self.dispatch_probe(request, ptx);
+            self.dispatch_probe(request, ptx, trace, None);
             own.push((prx, positions));
         }
         self.sink.stop(coalesce_timer, StageId::Coalesce);
+        if let Some(started) = coalesce_started {
+            self.sink
+                .trace_span(trace, TraceStage::Coalesce, started, Instant::now(), 0);
+        }
 
         for (prx, positions) in own.into_iter().chain(joined) {
             let result = prx
                 .recv()
                 .map_err(|_| CqapError::Other("serve worker disappeared".into()))?;
             record(result, positions, &mut answers);
+        }
+        // The batch owns its trace root: finish once every leg gathered,
+        // spanning submission to the slowest answer.
+        if let Some(submitted) = submitted {
+            self.sink.trace_finish(
+                trace,
+                u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
         }
         if let Some((_, error)) = first_error {
             return Err(error);
@@ -1100,6 +1184,66 @@ mod tests {
             "the warm lookup itself was recorded"
         );
         assert_eq!(runtime.stats().cache_hits, 1);
+    }
+
+    /// Tentpole acceptance: a 1-in-N–sampled flight recorder attached to
+    /// the live sink preserves the warm-path guarantee. Unsampled warm
+    /// requests perform zero relation dedup inserts and zero tuple heap
+    /// boxings (the trace seam must not even read the clock for them),
+    /// while the sampled request's events still land in the ring.
+    #[test]
+    fn warm_submit_with_one_in_n_tracer_stays_allocation_free() {
+        use cqap_obs::{FlightRecorder, SamplingPolicy, TraceStage};
+
+        let (index, requests) = small_index();
+        let tracer = Arc::new(FlightRecorder::new(64, SamplingPolicy::OneInN(8)));
+        let sink = MetricsSink::recording().with_tracer(Arc::clone(&tracer));
+        let runtime = ServeRuntime::with_metrics(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 64,
+            },
+            sink.clone(),
+        );
+        // Tick 0 of OneInN(8) is sampled: the cold request exercises the
+        // full span path (QueueWait and probe legs write to the ring).
+        let cold = runtime.submit(requests[0].clone()).wait().unwrap();
+        // Ticks 1.. are unsampled: the warm hits are the acceptance
+        // criterion.
+        let dedup_before = cqap_relation::instrument::dedup_inserts();
+        let boxes_before = cqap_common::tuple::instrument::heap_boxings();
+        for _ in 0..3 {
+            let warm = runtime.submit(requests[0].clone()).wait().unwrap();
+            assert_eq!(warm, cold);
+        }
+        assert_eq!(
+            cqap_relation::instrument::dedup_inserts(),
+            dedup_before,
+            "unsampled warm hits with a live tracer perform no relation dedup inserts"
+        );
+        assert_eq!(
+            cqap_common::tuple::instrument::heap_boxings(),
+            boxes_before,
+            "unsampled warm hits with a live tracer box no tuples"
+        );
+        assert_eq!(runtime.stats().cache_hits, 3);
+        // The sampled cold request committed a complete trace: a Request
+        // root plus its QueueWait and BackendProbe legs share one id.
+        drop(runtime); // join the pool so every leg is in the ring
+        let events = tracer.drain();
+        let root = events
+            .iter()
+            .find(|e| e.stage == TraceStage::Request)
+            .expect("sampled request committed a root");
+        for stage in [TraceStage::QueueWait, TraceStage::BackendProbe] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.stage == stage && e.trace_id == root.trace_id),
+                "sampled trace carries a {stage:?} leg"
+            );
+        }
     }
 
     #[test]

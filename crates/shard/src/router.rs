@@ -21,9 +21,10 @@
 //! shards unchanged.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use cqap_common::Result;
-use cqap_obs::{MetricsSink, StageId};
+use cqap_obs::{trace, MetricsSink, StageId, TraceStage};
 use cqap_panda::CqapIndex;
 use cqap_query::AccessRequest;
 use cqap_relation::Relation;
@@ -86,14 +87,18 @@ impl ShardRouter {
         let runtimes = index
             .shards()
             .iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(shard, index)| {
+                // Each shard runtime records through a shard-labelled
+                // clone of the shared sink, so a drained trace shows
+                // which shard served each scatter-gather leg.
                 ServeRuntime::with_metrics(
-                    Arc::clone(shard),
+                    Arc::clone(index),
                     ServeConfig {
                         threads,
                         cache_capacity: config.cache_capacity,
                     },
-                    sink.clone(),
+                    sink.with_shard_label(shard as u16),
                 )
             })
             .collect();
@@ -148,7 +153,12 @@ impl BatchAnswer for ShardRouter {
     type Answer = Arc<Relation>;
 
     /// Scatter-gather one request across the shard runtimes.
+    ///
+    /// Runs under the caller's [`trace::current`] id (set by the serving
+    /// worker that invoked this probe), so every scatter-gather leg
+    /// submitted to a shard runtime shares the parent request's trace.
     fn answer_one(&self, request: &Self::Request) -> Result<Self::Answer> {
+        let parent = trace::current();
         let mut parts = self.spec.split_request(request)?;
         if parts.len() == 1 {
             // Single-shard fast path (every single-binding request): one
@@ -157,7 +167,7 @@ impl BatchAnswer for ShardRouter {
             // shard cache's own allocation.
             let (shard, sub) = parts.pop().expect("one part");
             self.sink.shard_served(shard);
-            return self.runtimes[shard].submit(sub).wait();
+            return self.runtimes[shard].submit_traced(sub, parent).wait();
         }
         // Scatter every sub-request before gathering any answer, so the
         // shards probe concurrently; union the parts in sub-request order.
@@ -165,7 +175,7 @@ impl BatchAnswer for ShardRouter {
             .into_iter()
             .map(|(shard, sub)| {
                 self.sink.shard_served(shard);
-                self.runtimes[shard].submit(sub)
+                self.runtimes[shard].submit_traced(sub, parent)
             })
             .collect();
         let mut answer: Option<Relation> = None;
@@ -175,11 +185,16 @@ impl BatchAnswer for ShardRouter {
             // Only the union work is the gather stage; waiting on the
             // shard probes is their own backend-probe time.
             let timer = self.sink.start();
+            let union_started = parent.is_sampled().then(Instant::now);
             answer = Some(match answer {
                 None => part.as_ref().clone(),
                 Some(acc) => acc.union(part.as_ref())?,
             });
             union_ns += timer.elapsed_ns().unwrap_or(0);
+            if let Some(started) = union_started {
+                self.sink
+                    .trace_span(parent, TraceStage::AnswerUnion, started, Instant::now(), 0);
+            }
         }
         self.sink.observe_ns(StageId::AnswerUnion, union_ns);
         Ok(Arc::new(answer.expect("split_request is never empty")))

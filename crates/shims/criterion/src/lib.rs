@@ -375,7 +375,10 @@ fn parse_baseline(body: &str) -> std::collections::HashMap<String, u128> {
 
 /// Parses a JSON string literal starting at (or after whitespace before)
 /// an opening quote; returns the unescaped content and the remainder.
-fn parse_json_string(s: &str) -> Option<(String, &str)> {
+///
+/// Public because downstream examples reuse it to sanity-check other
+/// JSON artifacts (e.g. Chrome trace exports) without a JSON dependency.
+pub fn parse_json_string(s: &str) -> Option<(String, &str)> {
     let s = s.trim_start();
     let mut chars = s.char_indices();
     match chars.next() {

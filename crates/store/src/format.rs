@@ -29,7 +29,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use cqap_common::{CqapError, FxHashMap, FxHashSet, Result, Tuple, Val, VarSet};
-use cqap_obs::{CounterId, MetricsSink, StageId};
+use cqap_obs::{CounterId, MetricsSink, StageId, TraceStage};
 use cqap_relation::{Relation, Schema};
 use cqap_yannakakis::ColumnRun;
 
@@ -501,6 +501,10 @@ impl StoredView {
             .map_or(self.file_bytes, |f| f.offset);
         self.sink.incr(CounterId::SegmentReads);
         self.sink.add(CounterId::SegmentBytesRead, end - start);
+        // Leaf trace event for the physical read: armed only when the
+        // current thread serves a sampled trace, so unsampled probes skip
+        // even the clock reads.
+        let read_mark = self.sink.trace_mark();
         SEGMENT_SCRATCH.with(|cell| {
             let (buf, vals) = &mut *cell.borrow_mut();
             let len = (end - start) as usize;
@@ -508,6 +512,8 @@ impl StoredView {
             self.file
                 .read_exact_at(&mut buf[..len], start)
                 .map_err(|e| io_err(&self.path, "segment read", e))?;
+            self.sink
+                .trace_leaf(read_mark, TraceStage::SegmentRead, end - start);
 
             let key_arity = self.link.len();
             let arity = self.schema.arity();
@@ -552,9 +558,12 @@ impl StoredView {
     /// # Errors
     /// Fails on I/O errors or if the segment bytes are malformed.
     pub fn probe_into(&self, key: &Tuple, out: &mut Vec<Tuple>) -> Result<()> {
-        if !self.overlay.is_empty() {
+        let overlay_mark = if self.overlay.is_empty() {
+            None
+        } else {
             self.sink.incr(CounterId::OverlayPendingProbes);
-        }
+            self.sink.trace_mark()
+        };
         let arity = self.schema.arity();
         let path = &self.path;
         let deleted = &self.overlay.deleted;
@@ -574,6 +583,8 @@ impl StoredView {
         if let Some(bucket) = self.overlay.added.get(key) {
             out.extend(bucket.iter().cloned());
         }
+        self.sink
+            .trace_leaf(overlay_mark, TraceStage::OverlayProbe, self.overlay.len() as u64);
         Ok(())
     }
 
@@ -623,20 +634,21 @@ impl StoredView {
     /// # Errors
     /// Fails on I/O errors or if the segment bytes are malformed.
     pub fn contains_key(&self, key: &Tuple) -> Result<bool> {
-        if !self.overlay.is_empty() {
+        let overlay_mark = if self.overlay.is_empty() {
+            None
+        } else {
             self.sink.incr(CounterId::OverlayPendingProbes);
-        }
-        if self.overlay.added.get(key).is_some_and(|b| !b.is_empty()) {
-            return Ok(true);
-        }
-        if self.overlay.deleted.is_empty() {
-            return Ok(self.find_record(key, |_, _, _| Ok(()))?.is_some());
-        }
-        let arity = self.schema.arity();
-        let path = &self.path;
-        let deleted = &self.overlay.deleted;
-        Ok(self
-            .find_record(key, |cursor, count, vals| {
+            self.sink.trace_mark()
+        };
+        let found = if self.overlay.added.get(key).is_some_and(|b| !b.is_empty()) {
+            true
+        } else if self.overlay.deleted.is_empty() {
+            self.find_record(key, |_, _, _| Ok(()))?.is_some()
+        } else {
+            let arity = self.schema.arity();
+            let path = &self.path;
+            let deleted = &self.overlay.deleted;
+            self.find_record(key, |cursor, count, vals| {
                 for _ in 0..count {
                     if !cursor.read_vals(arity, vals) {
                         return Err(corrupt(path, "truncated tuple"));
@@ -647,7 +659,11 @@ impl StoredView {
                 }
                 Ok(false)
             })?
-            .unwrap_or(false))
+            .unwrap_or(false)
+        };
+        self.sink
+            .trace_leaf(overlay_mark, TraceStage::OverlayProbe, self.overlay.len() as u64);
+        Ok(found)
     }
 
     /// Absorbs one net ΔS-view into the delta overlay: `deletes` cancel
@@ -710,6 +726,11 @@ impl StoredView {
         if self.overlay.is_empty() {
             return Ok(());
         }
+        // Background trace event (recorded even without a request trace),
+        // so the tail report can flag requests whose window a compaction
+        // overlapped. Payload: the overlay size being folded in.
+        let pending = self.overlay.len() as u64;
+        let compact_mark = self.sink.trace_mark_background();
         let timer = self.sink.start();
         let merged = self.merged_relation()?;
         let tmp = self.path.with_extension("tmp");
@@ -726,6 +747,8 @@ impl StoredView {
         *self = fresh;
         self.sink.incr(CounterId::Compactions);
         self.sink.stop(timer, StageId::Compaction);
+        self.sink
+            .trace_leaf(compact_mark, TraceStage::Compaction, pending);
         Ok(())
     }
 

@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cqap_common::{CqapError, Result};
+use cqap_obs::{GaugeId, MetricsSink};
 use cqap_decomp::Pmtd;
 use cqap_delta::{ApplyDelta, DeltaBatch, DeltaStats};
 use cqap_panda::CqapIndex;
@@ -163,6 +164,10 @@ pub struct TieredShardedIndex {
     /// request frequency a re-placement would feed back into
     /// [`PlacementPolicy::with_weights`].
     loads: Vec<AtomicU64>,
+    /// Observability seam: publishes the per-tier resident-byte gauges
+    /// whenever the placement or the shard contents change. Disabled
+    /// (free) until [`TieredShardedIndex::set_metrics_sink`].
+    sink: MetricsSink,
     // Declared last so the cold shards' spill subdirectories are removed
     // before the parent scratch dir (present only for `build_in_temp`).
     _temp_parent: Option<TempParent>,
@@ -261,6 +266,7 @@ impl TieredShardedIndex {
             spec,
             shards,
             loads,
+            sink: MetricsSink::disabled(),
             _temp_parent: None,
         })
     }
@@ -294,14 +300,16 @@ impl TieredShardedIndex {
 
     /// Attaches a metrics sink to every shard, both tiers: hot shards
     /// record delta-apply latency and recompiles, cold shards add segment
-    /// reads/bytes, overlay probes and compactions. Like
-    /// [`ApplyDelta::apply_delta`], this needs exclusive ownership of the
-    /// hot shards.
+    /// reads/bytes, overlay probes and compactions. Also publishes the
+    /// per-tier resident-byte gauges immediately (and again after every
+    /// [`ApplyDelta::apply_delta`]), so a scrape always sees the current
+    /// hot/cold split. Like [`ApplyDelta::apply_delta`], this needs
+    /// exclusive ownership of the hot shards.
     ///
     /// # Errors
     /// Fails if a hot shard `Arc` is shared (serving handles must be
     /// dropped before mutating).
-    pub fn set_metrics_sink(&mut self, sink: cqap_obs::MetricsSink) -> Result<()> {
+    pub fn set_metrics_sink(&mut self, sink: MetricsSink) -> Result<()> {
         for shard in &mut self.shards {
             match shard {
                 TierShard::Hot(index) => {
@@ -317,7 +325,26 @@ impl TieredShardedIndex {
                 TierShard::Cold(stored) => stored.set_metrics_sink(sink.clone()),
             }
         }
+        self.sink = sink;
+        self.publish_space_gauges();
         Ok(())
+    }
+
+    /// Publishes the RAM-resident footprint of each tier as absolute
+    /// gauges: hot S-view values and the cold shards' resident fence
+    /// values, both in bytes of [`cqap_common::Val`].
+    fn publish_space_gauges(&self) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        let space = self.space_used();
+        let val_bytes = std::mem::size_of::<cqap_common::Val>() as i64;
+        self.sink
+            .gauge_set(GaugeId::HotResidentBytes, space.hot_values as i64 * val_bytes);
+        self.sink.gauge_set(
+            GaugeId::ColdResidentBytes,
+            space.cold_resident_values as i64 * val_bytes,
+        );
     }
 
     /// The per-tier space breakdown.
@@ -427,6 +454,10 @@ impl ApplyDelta for TieredShardedIndex {
                 TierShard::Cold(stored) => stats.merge(stored.apply_delta(&part)?),
             }
         }
+        // Deltas grow and shrink shards (and cold compactions fold
+        // overlays into fresh runs), so re-publish the per-tier
+        // resident-byte gauges after every absorbed batch.
+        self.publish_space_gauges();
         Ok(stats)
     }
 }
@@ -567,6 +598,60 @@ mod tests {
             tiered.answer(&request).unwrap();
         }
         assert_eq!(tiered.observed_loads().iter().sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn resident_byte_gauges_track_the_tier_split() {
+        use cqap_delta::{ApplyDelta, DeltaBatch};
+
+        let (cqap, pmtds, _, db, _) = fixture();
+        let val_bytes = std::mem::size_of::<cqap_common::Val>() as i64;
+
+        // All-cold: the hot gauge is zero, the cold gauge is exactly the
+        // resident fence values.
+        let policy = PlacementPolicy::hot_budget(0);
+        let mut tiered =
+            TieredShardedIndex::build_in_temp(&cqap, &db, &pmtds, 2, &policy).unwrap();
+        let sink = MetricsSink::recording();
+        tiered.set_metrics_sink(sink.clone()).unwrap();
+        let space = tiered.space_used();
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(snap.gauge(GaugeId::HotResidentBytes), 0);
+        assert_eq!(
+            snap.gauge(GaugeId::ColdResidentBytes),
+            space.cold_resident_values as i64 * val_bytes
+        );
+        assert!(snap.gauge(GaugeId::ColdResidentBytes) > 0);
+
+        // A delta re-publishes: gauges still match the current breakdown.
+        let mut batch = DeltaBatch::new();
+        for (i, rel) in db.relations().iter().enumerate() {
+            let base = 9_000 + i as u64;
+            batch = batch.insert(rel.name().to_string(), vec![Tuple::pair(base, base + 1)]);
+        }
+        tiered.apply_delta(&batch).unwrap();
+        let space = tiered.space_used();
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(
+            snap.gauge(GaugeId::ColdResidentBytes),
+            space.cold_resident_values as i64 * val_bytes
+        );
+
+        // All-hot: the cold gauge is zero and the hot gauge carries the
+        // full S-view footprint.
+        let policy = PlacementPolicy::hot_budget(usize::MAX);
+        let mut tiered =
+            TieredShardedIndex::build_in_temp(&cqap, &db, &pmtds, 2, &policy).unwrap();
+        let sink = MetricsSink::recording();
+        tiered.set_metrics_sink(sink.clone()).unwrap();
+        let space = tiered.space_used();
+        let snap = sink.snapshot().unwrap();
+        assert_eq!(
+            snap.gauge(GaugeId::HotResidentBytes),
+            space.hot_values as i64 * val_bytes
+        );
+        assert!(snap.gauge(GaugeId::HotResidentBytes) > 0);
+        assert_eq!(snap.gauge(GaugeId::ColdResidentBytes), 0);
     }
 
     #[test]

@@ -84,7 +84,40 @@ fn main() {
         let from = base + i as u64;
         batch = batch.insert(rel.name().to_string(), vec![Tuple::pair(from, from + 1)]);
     }
+    // Bracket the apply with snapshots: `MetricsSnapshot::delta` isolates
+    // exactly what this phase recorded, the way a long-running process
+    // reports per-window rates instead of ever-growing totals.
+    let before_apply = sink.snapshot().expect("sink is recording");
     tiered.apply_delta(&batch).expect("delta applies");
+
+    // The delta window: only what the apply phase itself did. The window
+    // histogram carries the apply latency, the window counters the net
+    // ops — and nothing from the build or the serving that follows.
+    let window = sink
+        .snapshot()
+        .expect("sink is recording")
+        .delta(&before_apply);
+    println!(
+        "delta-apply window: {} apply in {} ns (p50), {} net inserts, {} recompiles",
+        window.stage(StageId::DeltaApply).count,
+        window.stage(StageId::DeltaApply).p50(),
+        window.counter(CounterId::DeltaNetInserts),
+        window.counter(CounterId::PlanRecompiles),
+    );
+    assert_eq!(
+        window.stage(StageId::DeltaApply).count,
+        SHARDS as u64,
+        "the window isolates exactly this batch's per-shard applies"
+    );
+    assert!(
+        window.counter(CounterId::DeltaNetInserts) >= db.relations().len() as u64,
+        "the chain's net inserts land inside the window"
+    );
+    assert_eq!(
+        window.stage(StageId::BackendProbe).count,
+        0,
+        "no serving activity leaks into the delta window"
+    );
 
     // Probe the fresh chain: the request routes to the cold shard whose
     // overlay is still pending, which is counted by the sink.
