@@ -86,6 +86,18 @@ fn bench_tier_tradeoff(c: &mut Criterion) {
             space.resident_values(),
             space.total_values(),
         );
+        if space.cold_values > 0 {
+            // The compression half of the curve: v2 delta+varint runs vs
+            // the plain 8-bytes-per-value encoding of the same S-views.
+            let logical = (space.cold_values * 8) as u64;
+            println!(
+                "tier_tradeoff: cold {cold}/{SHARDS} disk {} B for {} logical B ({:.2}x compression, {:.2} B/value)",
+                space.cold_disk_bytes,
+                logical,
+                logical as f64 / space.cold_disk_bytes as f64,
+                space.cold_disk_bytes as f64 / space.cold_values as f64,
+            );
+        }
         group.bench_with_input(
             BenchmarkId::new("serve", format!("cold_{cold}_of_{SHARDS}")),
             &tiered,

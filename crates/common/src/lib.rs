@@ -18,10 +18,11 @@ pub mod error;
 pub mod hash;
 pub mod rat;
 pub mod tuple;
+pub mod varint;
 pub mod varset;
 
 pub use error::{CqapError, Result};
-pub use hash::{hash_vals, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{hash_fold_column, hash_vals, FxHashMap, FxHashSet, FxHasher};
 pub use rat::Rat;
 pub use tuple::{Tuple, Val};
 pub use varset::{Var, VarSet};

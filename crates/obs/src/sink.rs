@@ -94,8 +94,13 @@ pub enum CounterId {
     PoolParks,
     /// Contiguous segment reads issued against stored views.
     SegmentReads,
-    /// Bytes fetched by those segment reads.
+    /// Bytes fetched by those segment reads (on-disk, compressed).
     SegmentBytesRead,
+    /// Logical little-endian-`u64` bytes those reads decoded to (the
+    /// v1-equivalent size of the walked records); together with
+    /// [`CounterId::SegmentBytesRead`] this yields the cold tier's
+    /// effective compression ratio.
+    SegmentBytesDecoded,
     /// Probes served while a stored view had un-compacted overlay
     /// entries pending.
     OverlayPendingProbes,
@@ -111,7 +116,7 @@ pub enum CounterId {
 
 impl CounterId {
     /// Number of counters.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every counter, in canonical export order.
     pub const ALL: [CounterId; Self::COUNT] = [
@@ -119,6 +124,7 @@ impl CounterId {
         CounterId::PoolParks,
         CounterId::SegmentReads,
         CounterId::SegmentBytesRead,
+        CounterId::SegmentBytesDecoded,
         CounterId::OverlayPendingProbes,
         CounterId::Compactions,
         CounterId::DeltaNetInserts,
@@ -133,6 +139,7 @@ impl CounterId {
             CounterId::PoolParks => "cqap_pool_parks_total",
             CounterId::SegmentReads => "cqap_store_segment_reads_total",
             CounterId::SegmentBytesRead => "cqap_store_segment_bytes_read_total",
+            CounterId::SegmentBytesDecoded => "cqap_store_segment_bytes_decoded_total",
             CounterId::OverlayPendingProbes => "cqap_store_overlay_pending_probes_total",
             CounterId::Compactions => "cqap_store_compactions_total",
             CounterId::DeltaNetInserts => "cqap_delta_net_inserts_total",
@@ -147,7 +154,12 @@ impl CounterId {
             CounterId::PoolSteals => "Successful steals in the work-stealing pool.",
             CounterId::PoolParks => "Times a pool worker parked after finding no work.",
             CounterId::SegmentReads => "Contiguous segment reads issued against stored views.",
-            CounterId::SegmentBytesRead => "Bytes fetched by stored-view segment reads.",
+            CounterId::SegmentBytesRead => {
+                "On-disk (compressed) bytes fetched by stored-view segment reads."
+            }
+            CounterId::SegmentBytesDecoded => {
+                "Logical (decoded) bytes represented by the records those segment reads walked."
+            }
             CounterId::OverlayPendingProbes => {
                 "Probes served while a stored view had overlay entries pending compaction."
             }
@@ -176,17 +188,21 @@ pub enum GaugeId {
     /// Bytes resident in RAM for cold-tier shards (fence indexes and
     /// pending overlays; the runs themselves live on disk).
     ColdResidentBytes,
+    /// Compressed on-disk bytes of the cold-tier runs (the v2 delta+
+    /// varint format), as reported by the backing files' sizes.
+    ColdDiskBytes,
 }
 
 impl GaugeId {
     /// Number of gauges.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Every gauge, in canonical export order.
     pub const ALL: [GaugeId; Self::COUNT] = [
         GaugeId::QueueDepth,
         GaugeId::HotResidentBytes,
         GaugeId::ColdResidentBytes,
+        GaugeId::ColdDiskBytes,
     ];
 
     /// Prometheus metric name.
@@ -195,6 +211,7 @@ impl GaugeId {
             GaugeId::QueueDepth => "cqap_serve_queue_depth",
             GaugeId::HotResidentBytes => "cqap_store_hot_resident_bytes",
             GaugeId::ColdResidentBytes => "cqap_store_cold_resident_bytes",
+            GaugeId::ColdDiskBytes => "cqap_store_cold_disk_bytes",
         }
     }
 
@@ -207,6 +224,9 @@ impl GaugeId {
             }
             GaugeId::ColdResidentBytes => {
                 "Bytes resident in RAM for cold-tier shards (fences and pending overlays)."
+            }
+            GaugeId::ColdDiskBytes => {
+                "Compressed on-disk bytes of cold-tier stored runs (v2 delta+varint format)."
             }
         }
     }

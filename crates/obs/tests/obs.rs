@@ -191,6 +191,7 @@ fn golden_recorder() -> Arc<Recorder> {
     sink.gauge_add(GaugeId::QueueDepth, 3);
     sink.gauge_set(GaugeId::HotResidentBytes, 262_144);
     sink.gauge_set(GaugeId::ColdResidentBytes, 16_384);
+    sink.gauge_set(GaugeId::ColdDiskBytes, 65_536);
     sink.shard_served(0);
     sink.shard_served(0);
     sink.shard_served(0);

@@ -1,52 +1,90 @@
 //! The on-disk S-view format: sorted runs of `(key, tuple-block)` records
-//! with a sparse in-memory fence index.
+//! with a sparse in-memory fence index, compressed per segment.
 //!
 //! One file holds one materialized view. Tuples are grouped by their
 //! projection onto the view's *link* variables (the key Online Yannakakis
 //! probes by), the groups are sorted by key, and each group is written as
-//! one record: the key values, the block length, then the block of full
-//! tuples. Every value is a little-endian `u64`, so the format needs no
-//! serialization dependency.
+//! one record. Since v2 the body is compressed at segment granularity
+//! while the header stays plain little-endian `u64`s, so the format still
+//! needs no serialization dependency:
 //!
 //! ```text
-//! header:  MAGIC  arity  var[0..arity]  link-varset  records  tuples
-//! record:  key[0..key_arity]  count  tuple[0] .. tuple[count-1]
+//! header:   MAGIC  arity  var[0..arity]  link-varset  records  tuples   (LE u64)
+//! segment:  up to FENCE_STRIDE records; fences point at segment starts
+//!   record 0:    key[i]  as plain LEB128 varints (absolute = the fence key)
+//!                count   as varint
+//!                block   non-link columns only, column-major:
+//!                        `count` varint values per column
+//!   record 1..:  key[i]  as zigzag varint deltas against record 0's key[i]
+//!                count + block as above
 //! ```
 //!
-//! At open time the file is scanned once and every `FENCE_STRIDE`-th
-//! record's `(first key, byte offset)` is retained in memory — the *fence
-//! index*, the only resident state. A probe binary-searches the fences for
-//! the segment that could hold the key, performs **one contiguous file
-//! read** of that segment (at most `FENCE_STRIDE` records), and walks the
-//! buffer until the key is found or passed. Probes take `&self` and are
-//! safe from many threads at once (positioned reads on Unix; a seek lock
-//! elsewhere), which is what lets a disk-resident view sit behind the same
-//! `Sync` serving surface as the in-memory indexes.
+//! Three compression levers stack: within a segment, sorted keys become
+//! tiny zigzag deltas against the segment head (which the fence already
+//! holds resident); every stored word is LEB128 varint-packed instead of
+//! a fixed 8 bytes; and the link columns of a block are not stored at all
+//! — every tuple in a record projects to the record's key, so those
+//! columns are reconstructed from the key at decode time. Decoding is
+//! **strict**: truncated and overlong (non-canonical) varints, a bad
+//! version byte, unsorted keys or trailing bytes all surface as `Err`
+//! from [`StoredView::open`] — which is also the compaction validator, so
+//! a torn rewrite can never replace a valid run.
+//!
+//! At open time the file is scanned (and fully validated) once and every
+//! `FENCE_STRIDE`-th record's `(first key, byte offset)` is retained in
+//! memory — the *fence index*, the only resident state. A probe
+//! binary-searches the fences for the segment that could hold the key,
+//! performs **one contiguous file read** of that segment (at most
+//! `FENCE_STRIDE` records, now a few hundred bytes instead of a few KB),
+//! and walks the buffer until the key is found or passed. Blocks decode
+//! straight into [`ColumnRun`] columns — the stored columns are already
+//! column-major on disk and the link columns splat from the key, so no
+//! intermediate row or `Tuple` ever exists on the columnar path. Probes
+//! take `&self` and are safe from many threads at once (positioned reads
+//! on Unix; a seek lock elsewhere), which is what lets a disk-resident
+//! view sit behind the same `Sync` serving surface as the in-memory
+//! indexes.
 
 use std::cell::RefCell;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-use cqap_common::{CqapError, FxHashMap, FxHashSet, Result, Tuple, Val, VarSet};
+use cqap_common::{varint, CqapError, FxHashMap, FxHashSet, Result, Tuple, Val, VarSet};
 use cqap_obs::{CounterId, MetricsSink, StageId, TraceStage};
 use cqap_relation::{Relation, Schema};
 use cqap_yannakakis::ColumnRun;
 
 thread_local! {
-    /// One segment read buffer per worker thread: probes resize it to the
-    /// segment length and decode out of it, so a warm serving worker reads
-    /// cold-tier segments without allocating. (Values scratch shares the
-    /// cell so a probe borrows both with one TLS access.)
-    static SEGMENT_SCRATCH: RefCell<(Vec<u8>, Vec<Val>)> =
-        const { RefCell::new((Vec::new(), Vec::new())) };
+    /// Per-worker probe scratch: the segment read buffer plus the decode
+    /// vectors (current key, segment-head key, block values, row
+    /// assembly). Probes resize them in place, so a warm serving worker
+    /// reads and decompresses cold-tier segments without allocating.
+    static SEGMENT_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
 }
 
-/// `b"CQAPSVW1"` — the format tag checked at open.
-const MAGIC: u64 = u64::from_le_bytes(*b"CQAPSVW1");
+#[derive(Default)]
+struct Scratch {
+    /// Raw segment bytes, straight off the file.
+    buf: Vec<u8>,
+    /// The current record's decoded key.
+    key: Vec<Val>,
+    /// The segment head's key (delta base for records 1..).
+    head: Vec<Val>,
+    /// Decoded block values, column-major (stored columns only).
+    block: Vec<Val>,
+    /// One row being assembled on the row-probe path.
+    row: Vec<Val>,
+}
+
+/// `b"CQAPSVW2"` — the format tag checked at open. Version 1 (plain
+/// little-endian `u64` records) is no longer readable; its magic is
+/// rejected like any other.
+const MAGIC: u64 = u64::from_le_bytes(*b"CQAPSVW2");
 
 /// Records per fence segment: a probe reads at most this many records in
-/// its one contiguous segment read.
+/// its one contiguous segment read, and key deltas never reach across a
+/// segment boundary.
 const FENCE_STRIDE: usize = 16;
 
 fn io_err(path: &Path, action: &str, error: std::io::Error) -> CqapError {
@@ -92,7 +130,7 @@ impl RandomAccess {
         }
         #[cfg(not(unix))]
         {
-            use std::io::{Seek, SeekFrom};
+            use std::io::{Read, Seek, SeekFrom};
             let mut file = self.file.lock().expect("file lock");
             file.seek(SeekFrom::Start(offset))?;
             file.read_exact(buf)
@@ -101,9 +139,58 @@ impl RandomAccess {
 }
 
 /// One fence: the key of the segment's first record plus its byte offset.
+/// The fence key doubles as the segment's delta base.
 struct Fence {
     key: Tuple,
     offset: u64,
+}
+
+/// Where a decoded column's values come from: link columns are implied by
+/// the record key, the rest are stored on disk.
+#[derive(Clone, Copy)]
+enum ColSource {
+    /// Column equals component `i` of the record's key.
+    Key(usize),
+    /// Column is stored column `c` of the on-disk block.
+    Stored(usize),
+}
+
+/// Per-view column layout derived from the schema and link variables:
+/// which schema positions form the key (in key order), which are stored
+/// in blocks (ascending), and the per-column source map used at decode.
+struct ColLayout {
+    key_positions: Vec<usize>,
+    stored_positions: Vec<usize>,
+    sources: Vec<ColSource>,
+}
+
+impl ColLayout {
+    fn new(schema: &Schema, link: VarSet) -> Result<Self> {
+        let key_positions = schema.positions_of_set(link)?;
+        let arity = schema.arity();
+        let mut sources = vec![ColSource::Stored(0); arity];
+        let mut is_key = vec![false; arity];
+        for (i, &p) in key_positions.iter().enumerate() {
+            sources[p] = ColSource::Key(i);
+            is_key[p] = true;
+        }
+        let mut stored_positions = Vec::with_capacity(arity - key_positions.len());
+        for (p, src) in sources.iter_mut().enumerate() {
+            if !is_key[p] {
+                *src = ColSource::Stored(stored_positions.len());
+                stored_positions.push(p);
+            }
+        }
+        Ok(ColLayout {
+            key_positions,
+            stored_positions,
+            sources,
+        })
+    }
+
+    fn stored_arity(&self) -> usize {
+        self.stored_positions.len()
+    }
 }
 
 /// The in-memory delta overlay of one stored view — the LSM-style delta
@@ -137,32 +224,33 @@ impl Overlay {
     }
 }
 
-/// A disk-resident S-view: a sorted run on disk plus the in-memory fence
-/// index. Probing never scans the file — a binary search over the fences
-/// narrows the key to one segment, which is fetched in a single contiguous
-/// read.
+/// A disk-resident S-view: a compressed sorted run on disk plus the
+/// in-memory fence index. Probing never scans the file — a binary search
+/// over the fences narrows the key to one segment, which is fetched in a
+/// single contiguous read and decoded out of per-thread scratch.
 pub struct StoredView {
     path: PathBuf,
     file: RandomAccess,
     schema: Schema,
     link: VarSet,
+    layout: ColLayout,
     fences: Vec<Fence>,
     num_tuples: usize,
     num_records: usize,
     file_bytes: u64,
     delete_on_drop: bool,
     overlay: Overlay,
-    /// Observability seam: segment reads/bytes, overlay-pending probes,
-    /// compaction count and duration. Disabled (free) unless attached via
-    /// [`StoredView::set_metrics_sink`].
+    /// Observability seam: segment reads, on-disk vs decoded bytes,
+    /// overlay-pending probes, compaction count and duration. Disabled
+    /// (free) unless attached via [`StoredView::set_metrics_sink`].
     sink: MetricsSink,
 }
 
-/// Validates the freshly written run at `tmp` (magic, counts, offsets —
-/// the full [`StoredView::open`] check) before renaming it over `base`.
-/// A torn or truncated temp file is removed and rejected, leaving the
-/// base run untouched, so a crash mid-compaction can never replace a
-/// valid run with garbage.
+/// Validates the freshly written run at `tmp` (magic, counts, every
+/// varint, key order — the full [`StoredView::open`] check) before
+/// renaming it over `base`. A torn or truncated temp file is removed and
+/// rejected, leaving the base run untouched, so a crash mid-compaction
+/// can never replace a valid run with garbage.
 fn validate_and_swap(base: &Path, tmp: &Path) -> Result<()> {
     match StoredView::open(tmp) {
         Ok(_) => std::fs::rename(tmp, base).map_err(|e| io_err(base, "swap compacted run", e)),
@@ -174,16 +262,19 @@ fn validate_and_swap(base: &Path, tmp: &Path) -> Result<()> {
 }
 
 /// Serializes `rel`, grouped and sorted by its projection onto `link`, to
-/// a new file at `path` (truncating any existing file).
+/// a new v2 compressed file at `path` (truncating any existing file).
 ///
 /// # Errors
 /// Fails if `link` is not a subset of the relation's variables, or on I/O
 /// errors.
 pub fn write_view(path: &Path, rel: &Relation, link: VarSet) -> Result<()> {
-    let key_positions = rel.schema().positions_of_set(link)?;
+    let layout = ColLayout::new(rel.schema(), link)?;
     let mut groups: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
     for t in rel.iter() {
-        groups.entry(t.project(&key_positions)).or_default().push(t);
+        groups
+            .entry(t.project(&layout.key_positions))
+            .or_default()
+            .push(t);
     }
     let mut keys: Vec<&Tuple> = groups.keys().collect();
     keys.sort_unstable_by(|a, b| a.as_slice().cmp(b.as_slice()));
@@ -202,25 +293,40 @@ pub fn write_view(path: &Path, rel: &Relation, link: VarSet) -> Result<()> {
     emit(link.0)?;
     emit(keys.len() as u64)?;
     emit(rel.len() as u64)?;
-    for key in keys {
-        let mut block = groups[key].clone();
+
+    let mut body: Vec<u8> = Vec::new();
+    let mut head: &[Val] = &[];
+    for (idx, key) in keys.iter().enumerate() {
+        if idx % FENCE_STRIDE == 0 {
+            // Segment head: absolute key, the delta base for the rest of
+            // the segment (and the fence key the open scan retains).
+            head = key.as_slice();
+            for &v in head {
+                varint::encode_u64(v, &mut body);
+            }
+        } else {
+            for (&base, &v) in head.iter().zip(key.as_slice()) {
+                varint::encode_delta(base, v, &mut body);
+            }
+        }
+        let mut block = groups[*key].clone();
         // Deterministic files: blocks are sorted too.
         block.sort_unstable_by(|a, b| a.as_slice().cmp(b.as_slice()));
-        for &v in key.as_slice() {
-            emit(v)?;
-        }
-        emit(block.len() as u64)?;
-        for t in block {
-            for &v in t.as_slice() {
-                emit(v)?;
+        varint::encode_u64(block.len() as u64, &mut body);
+        // Column-major, non-link columns only: the link columns of every
+        // tuple in this record equal the key and are not stored.
+        for &p in &layout.stored_positions {
+            for t in &block {
+                varint::encode_u64(t.get(p), &mut body);
             }
         }
     }
+    out.write_all(&body).map_err(|e| io_err(path, "write", e))?;
     out.flush().map_err(|e| io_err(path, "flush", e))?;
     Ok(())
 }
 
-/// Little-endian `u64` reader over an in-memory segment buffer.
+/// Strict varint reader over an in-memory segment (or body) buffer.
 struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -231,61 +337,74 @@ impl<'a> Cursor<'a> {
         Cursor { buf, pos: 0 }
     }
 
-    fn remaining_vals(&self) -> usize {
-        (self.buf.len() - self.pos) / 8
+    fn rest(&self) -> &'a [u8] {
+        self.buf.get(self.pos..).unwrap_or(&[])
     }
 
-    fn next(&mut self) -> Option<u64> {
-        let bytes = self.buf.get(self.pos..self.pos + 8)?;
-        self.pos += 8;
-        Some(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    /// Decodes one canonical varint; `None` on truncated or overlong
+    /// input.
+    fn read_varint(&mut self) -> Option<u64> {
+        let (v, used) = varint::decode_u64(self.rest())?;
+        self.pos += used;
+        Some(v)
     }
 
-    /// Reads `n` values into the caller's scratch vector (cleared first);
-    /// `false` on a truncated buffer.
-    fn read_vals(&mut self, n: usize, out: &mut Vec<Val>) -> bool {
+    /// Decodes a record key into `out`: absolute varints at a segment
+    /// head (`head == None`), zigzag deltas against the head key
+    /// otherwise.
+    fn read_key(&mut self, key_arity: usize, head: Option<&[Val]>, out: &mut Vec<Val>) -> bool {
         out.clear();
+        match head {
+            None => {
+                for _ in 0..key_arity {
+                    match self.read_varint() {
+                        Some(v) => out.push(v),
+                        None => return false,
+                    }
+                }
+            }
+            Some(base) => {
+                for &b in &base[..key_arity] {
+                    match self.read_varint() {
+                        Some(raw) => out.push(b.wrapping_add(varint::unzigzag(raw) as u64)),
+                        None => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Decodes `n` block values into `out` (cleared first) through the
+    /// 8-wide fast path of [`varint::decode_block`]; `false` on truncated
+    /// or overlong input.
+    fn read_block(&mut self, n: usize, out: &mut Vec<Val>) -> bool {
+        out.clear();
+        match varint::decode_block(self.rest(), n, out) {
+            Some(used) => {
+                self.pos += used;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances past `n` varints without decoding them (the values were
+    /// validated at open; only truncation is re-checked).
+    fn skip_varints(&mut self, n: usize) -> bool {
         for _ in 0..n {
-            match self.next() {
-                Some(v) => out.push(v),
-                None => return false,
+            loop {
+                match self.buf.get(self.pos) {
+                    Some(b) => {
+                        self.pos += 1;
+                        if b & 0x80 == 0 {
+                            break;
+                        }
+                    }
+                    None => return false,
+                }
             }
         }
-        true
-    }
-
-    /// Decodes a row-major block of `count × width` little-endian values
-    /// straight into the columns of `out`, advancing past the block;
-    /// `false` on a truncated buffer. The column-direct path of the cold
-    /// tier: each output column is filled by one strided walk over the
-    /// segment bytes, and no intermediate row (or `Tuple`) ever exists.
-    fn read_columns(&mut self, count: usize, width: usize, out: &mut ColumnRun) -> bool {
-        let bytes = count * width * 8;
-        if self.pos + bytes > self.buf.len() {
-            return false;
-        }
-        let buf = self.buf;
-        let base = self.pos;
-        out.append_columns(count, |j, col| {
-            col.reserve(count);
-            let mut p = base + j * 8;
-            for _ in 0..count {
-                col.push(u64::from_le_bytes(
-                    buf[p..p + 8].try_into().expect("8 bytes"),
-                ));
-                p += width * 8;
-            }
-        });
-        self.pos += bytes;
-        true
-    }
-
-    fn skip_vals(&mut self, n: usize) -> bool {
-        let bytes = n * 8;
-        if self.pos + bytes > self.buf.len() {
-            return false;
-        }
-        self.pos += bytes;
         true
     }
 
@@ -294,89 +413,103 @@ impl<'a> Cursor<'a> {
     }
 }
 
+fn read_u64_at(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let chunk = bytes.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(chunk.try_into().expect("8 bytes")))
+}
+
 impl StoredView {
-    /// Opens a view file, validating the header and building the fence
-    /// index with one sequential scan.
+    /// Opens a view file, validating the header and **every record** —
+    /// canonical varints, non-empty blocks, strictly ascending keys, the
+    /// tuple count, no trailing bytes — while building the fence index in
+    /// one sequential scan. Corruption of any kind (including a v1 or
+    /// otherwise wrong version tag, truncated or overlong varints) is an
+    /// error, never a panic.
     ///
     /// # Errors
     /// Fails on I/O errors or a malformed file.
     pub fn open(path: &Path) -> Result<Self> {
-        let file = File::open(path).map_err(|e| io_err(path, "open", e))?;
-        let file_bytes = file
-            .metadata()
-            .map_err(|e| io_err(path, "stat", e))?
-            .len();
-        let mut reader = BufReader::new(file);
-        let next = |reader: &mut BufReader<File>| -> Result<u64> {
-            let mut bytes = [0u8; 8];
-            reader
-                .read_exact(&mut bytes)
-                .map_err(|e| io_err(path, "read header/record", e))?;
-            Ok(u64::from_le_bytes(bytes))
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, "open", e))?;
+        let file_bytes = bytes.len() as u64;
+        let mut at = 0usize;
+        let mut next = |what: &str| -> Result<u64> {
+            read_u64_at(&bytes, &mut at).ok_or_else(|| corrupt(path, what))
         };
 
-        if next(&mut reader)? != MAGIC {
-            return Err(corrupt(path, "bad magic"));
+        if next("truncated header")? != MAGIC {
+            return Err(corrupt(path, "bad magic or unsupported format version"));
         }
-        let arity = next(&mut reader)? as usize;
+        let arity = next("truncated header")? as usize;
         if arity > 64 {
             return Err(corrupt(path, "implausible arity"));
         }
         let mut vars = Vec::with_capacity(arity);
         for _ in 0..arity {
-            vars.push(next(&mut reader)? as usize);
+            vars.push(next("truncated header")? as usize);
         }
         let schema = Schema::new(vars).map_err(|_| corrupt(path, "invalid schema"))?;
-        let link = VarSet(next(&mut reader)?);
+        let link = VarSet(next("truncated header")?);
         if !link.is_subset(schema.varset()) {
             return Err(corrupt(path, "link variables outside the schema"));
         }
-        let num_records = next(&mut reader)? as usize;
-        let num_tuples = next(&mut reader)? as usize;
-        let key_arity = link.len();
+        let num_records = next("truncated header")? as usize;
+        let num_tuples = next("truncated header")? as usize;
+        let header_bytes = at;
+        let layout =
+            ColLayout::new(&schema, link).map_err(|_| corrupt(path, "invalid link layout"))?;
+        let key_arity = layout.key_positions.len();
+        let stored_arity = layout.stored_arity();
 
-        // Sequential fence-building scan: remember every FENCE_STRIDE-th
-        // record's first key and offset, skip the blocks.
+        // Sequential validation scan: decode every key and block value
+        // (strict canonical varints), check key order, and remember every
+        // FENCE_STRIDE-th record's first key and offset.
         let mut fences = Vec::with_capacity(num_records.div_ceil(FENCE_STRIDE));
-        // Header words: magic, arity, the `arity` schema vars, link,
-        // record count, tuple count.
-        let mut offset = (5 + arity) as u64 * 8;
+        let mut cursor = Cursor::new(&bytes[header_bytes..]);
+        let mut head: Vec<Val> = Vec::with_capacity(key_arity);
+        let mut key: Vec<Val> = Vec::with_capacity(key_arity);
+        let mut prev_key: Vec<Val> = Vec::new();
+        let mut block: Vec<Val> = Vec::new();
         let mut seen_tuples = 0usize;
         for record in 0..num_records {
-            let mut key = Vec::with_capacity(key_arity);
-            for _ in 0..key_arity {
-                key.push(next(&mut reader)?);
+            let offset = header_bytes as u64 + cursor.pos as u64;
+            let segment_head = record % FENCE_STRIDE == 0;
+            let base = if segment_head { None } else { Some(head.as_slice()) };
+            if !cursor.read_key(key_arity, base, &mut key) {
+                return Err(corrupt(path, "truncated or overlong varint in key"));
             }
-            let count = next(&mut reader)? as usize;
-            if count == 0 {
-                return Err(corrupt(path, "empty record block"));
-            }
-            if record % FENCE_STRIDE == 0 {
+            if segment_head {
+                head.clear();
+                head.extend_from_slice(&key);
                 fences.push(Fence {
                     key: Tuple::from_slice(&key),
                     offset,
                 });
             }
-            let block_bytes = (count * arity) as u64 * 8;
-            std::io::copy(
-                &mut reader.by_ref().take(block_bytes),
-                &mut std::io::sink(),
-            )
-            .map_err(|e| io_err(path, "scan", e))
-            .and_then(|skipped| {
-                if skipped == block_bytes {
-                    Ok(())
-                } else {
-                    Err(corrupt(path, "truncated record block"))
-                }
-            })?;
-            offset += (key_arity + 1 + count * arity) as u64 * 8;
+            if record > 0 && prev_key.as_slice() >= key.as_slice() {
+                return Err(corrupt(path, "keys out of order"));
+            }
+            prev_key.clear();
+            prev_key.extend_from_slice(&key);
+            let count = cursor
+                .read_varint()
+                .ok_or_else(|| corrupt(path, "truncated or overlong varint in count"))?
+                as usize;
+            if count == 0 {
+                return Err(corrupt(path, "empty record block"));
+            }
+            if count > num_tuples {
+                return Err(corrupt(path, "block overruns tuple count"));
+            }
+            if !cursor.read_block(count * stored_arity, &mut block) {
+                return Err(corrupt(path, "truncated or overlong varint in block"));
+            }
             seen_tuples += count;
         }
         if seen_tuples != num_tuples {
             return Err(corrupt(path, "tuple count mismatch"));
         }
-        if offset != file_bytes {
+        if !cursor.at_end() {
             return Err(corrupt(path, "trailing bytes"));
         }
 
@@ -386,6 +519,7 @@ impl StoredView {
             file: RandomAccess::new(file),
             schema,
             link,
+            layout,
             fences,
             num_tuples,
             num_records,
@@ -396,8 +530,9 @@ impl StoredView {
         })
     }
 
-    /// Attaches a metrics sink: probes then count segment reads and bytes
-    /// read, overlay-pending probes, and compactions (count and duration).
+    /// Attaches a metrics sink: probes then count segment reads, on-disk
+    /// (compressed) and decoded (logical) bytes, overlay-pending probes,
+    /// and compactions (count and duration).
     pub fn set_metrics_sink(&mut self, sink: MetricsSink) {
         self.sink = sink;
     }
@@ -437,7 +572,8 @@ impl StoredView {
     /// Stored values — the same machine-independent space measure as
     /// [`cqap_relation::Relation::stored_values`], so disk-resident and
     /// in-memory views report comparable `S`. Overlay-aware: a maintained
-    /// view reports the same `S` as a fresh rebuild.
+    /// view reports the same `S` as a fresh rebuild. (The *physical*
+    /// compressed footprint is [`StoredView::disk_bytes`].)
     pub fn stored_values(&self) -> usize {
         self.len() * self.schema.arity()
     }
@@ -448,7 +584,8 @@ impl StoredView {
         self.overlay.len()
     }
 
-    /// Size of the backing file in bytes.
+    /// Size of the backing file in bytes — the *compressed* on-disk
+    /// footprint of the run.
     pub fn disk_bytes(&self) -> u64 {
         self.file_bytes
     }
@@ -471,17 +608,19 @@ impl StoredView {
         Ok(out)
     }
 
-    /// The shared segment walk behind [`StoredView::probe_into`] and
-    /// [`StoredView::contains_key`]: fence search, one contiguous segment
-    /// read into this worker thread's reused buffer, then a forward walk
-    /// of the sorted records (with block-bounds validation) that stops as
-    /// soon as the run passes `key`. `on_match(cursor, count, vals)` runs
-    /// at most once, positioned at the matching record's tuple block;
-    /// `Ok(None)` means no record matched.
+    /// The shared segment walk behind the probe entry points: fence
+    /// search, one contiguous segment read into this worker thread's
+    /// reused buffer, then a forward walk of the sorted records (decoding
+    /// each delta key against the segment head) that stops as soon as the
+    /// run passes `key`. `on_match(cursor, count, key_vals, scratch)`
+    /// runs at most once, positioned at the matching record's block;
+    /// `Ok(None)` means no record matched. Counts one segment read, its
+    /// on-disk (compressed) bytes, and the logical bytes the walked
+    /// records decode to.
     fn find_record<R>(
         &self,
         key: &Tuple,
-        on_match: impl FnOnce(&mut Cursor<'_>, usize, &mut Vec<Val>) -> Result<R>,
+        on_match: impl FnOnce(&mut Cursor<'_>, usize, &[Val], &mut Scratch) -> Result<R>,
     ) -> Result<Option<R>> {
         if key.arity() != self.link.len() {
             return Ok(None);
@@ -505,44 +644,82 @@ impl StoredView {
         // current thread serves a sampled trace, so unsampled probes skip
         // even the clock reads.
         let read_mark = self.sink.trace_mark();
+        let key_arity = self.link.len();
+        let arity = self.schema.arity();
+        let stored_arity = self.layout.stored_arity();
         SEGMENT_SCRATCH.with(|cell| {
-            let (buf, vals) = &mut *cell.borrow_mut();
+            let scratch = &mut *cell.borrow_mut();
+            // The buffer and key vectors move out of the scratch for the
+            // duration of the walk so the closure can still receive the
+            // remaining scratch (block/row) mutably; they move back in
+            // before returning, so their capacity is kept either way.
+            let mut buf = std::mem::take(&mut scratch.buf);
+            let mut kv = std::mem::take(&mut scratch.key);
+            let mut head = std::mem::take(&mut scratch.head);
+
             let len = (end - start) as usize;
             buf.resize(len, 0);
-            self.file
+            let mut result: Result<Option<R>> = self
+                .file
                 .read_exact_at(&mut buf[..len], start)
-                .map_err(|e| io_err(&self.path, "segment read", e))?;
-            self.sink
-                .trace_leaf(read_mark, TraceStage::SegmentRead, end - start);
-
-            let key_arity = self.link.len();
-            let arity = self.schema.arity();
-            let mut cursor = Cursor::new(&buf[..len]);
-            while !cursor.at_end() {
-                if !cursor.read_vals(key_arity, vals) {
-                    return Err(corrupt(&self.path, "truncated key"));
-                }
-                let count = cursor
-                    .next()
-                    .ok_or_else(|| corrupt(&self.path, "truncated count"))?
-                    as usize;
-                let block_vals = count
-                    .checked_mul(arity)
-                    .filter(|&b| b <= cursor.remaining_vals())
-                    .ok_or_else(|| corrupt(&self.path, "block overruns segment"))?;
-                match vals.as_slice().cmp(key.as_slice()) {
-                    std::cmp::Ordering::Less => {
-                        if !cursor.skip_vals(block_vals) {
-                            return Err(corrupt(&self.path, "truncated block"));
+                .map_err(|e| io_err(&self.path, "segment read", e))
+                .map(|()| None);
+            if result.is_ok() {
+                self.sink
+                    .trace_leaf(read_mark, TraceStage::SegmentRead, end - start);
+                let mut cursor = Cursor::new(&buf[..len]);
+                // Logical (uncompressed-equivalent) bytes represented by
+                // the records this walk visits: the decoded half of the
+                // compression-ratio pair.
+                let mut logical = 0u64;
+                let mut first = true;
+                while !cursor.at_end() {
+                    let base = if first { None } else { Some(head.as_slice()) };
+                    if !cursor.read_key(key_arity, base, &mut kv) {
+                        result = Err(corrupt(&self.path, "truncated key"));
+                        break;
+                    }
+                    if first {
+                        head.clear();
+                        head.extend_from_slice(&kv);
+                        first = false;
+                    }
+                    let count = match cursor.read_varint() {
+                        Some(c) => c as usize,
+                        None => {
+                            result = Err(corrupt(&self.path, "truncated count"));
+                            break;
+                        }
+                    };
+                    if count == 0 || count > self.num_tuples {
+                        result = Err(corrupt(&self.path, "block overruns segment"));
+                        break;
+                    }
+                    match kv.as_slice().cmp(key.as_slice()) {
+                        std::cmp::Ordering::Less => {
+                            logical += ((key_arity + 1 + count * arity) * 8) as u64;
+                            if !cursor.skip_varints(count * stored_arity) {
+                                result = Err(corrupt(&self.path, "truncated block"));
+                                break;
+                            }
+                        }
+                        std::cmp::Ordering::Equal => {
+                            logical += ((key_arity + 1 + count * arity) * 8) as u64;
+                            result = on_match(&mut cursor, count, &kv, scratch).map(Some);
+                            break;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            logical += ((key_arity + 1) * 8) as u64;
+                            break;
                         }
                     }
-                    std::cmp::Ordering::Equal => {
-                        return on_match(&mut cursor, count, vals).map(Some)
-                    }
-                    std::cmp::Ordering::Greater => break,
                 }
+                self.sink.add(CounterId::SegmentBytesDecoded, logical);
             }
-            Ok(None)
+            scratch.buf = buf;
+            scratch.key = kv;
+            scratch.head = head;
+            result
         })
     }
 
@@ -552,8 +729,8 @@ impl StoredView {
     /// the overlay's insert bucket for the key is appended after. A warm
     /// worker with a clean overlay performs the whole probe without
     /// allocating (beyond the output tuples it appends): the segment lands
-    /// in the thread's reused buffer and tuples decode through a reused
-    /// values scratch.
+    /// in the thread's reused buffer, the block decompresses into reused
+    /// scratch, and link columns rebuild from the key.
     ///
     /// # Errors
     /// Fails on I/O errors or if the segment bytes are malformed.
@@ -564,16 +741,24 @@ impl StoredView {
             self.sink.incr(CounterId::OverlayPendingProbes);
             self.sink.trace_mark()
         };
-        let arity = self.schema.arity();
         let path = &self.path;
         let deleted = &self.overlay.deleted;
-        self.find_record(key, |cursor, count, vals| {
+        let layout = &self.layout;
+        let stored_arity = layout.stored_arity();
+        self.find_record(key, |cursor, count, key_vals, scratch| {
+            if !cursor.read_block(count * stored_arity, &mut scratch.block) {
+                return Err(corrupt(path, "truncated tuple"));
+            }
             out.reserve(count);
-            for _ in 0..count {
-                if !cursor.read_vals(arity, vals) {
-                    return Err(corrupt(path, "truncated tuple"));
+            for r in 0..count {
+                scratch.row.clear();
+                for src in &layout.sources {
+                    scratch.row.push(match *src {
+                        ColSource::Key(i) => key_vals[i],
+                        ColSource::Stored(c) => scratch.block[c * count + r],
+                    });
                 }
-                let t = Tuple::from_slice(vals);
+                let t = Tuple::from_slice(&scratch.row);
                 if deleted.is_empty() || !deleted.contains(&t) {
                     out.push(t);
                 }
@@ -590,23 +775,38 @@ impl StoredView {
 
     /// Appends all stored tuples whose link projection equals `key` to the
     /// columns of `out` (which must be reset to the view's arity). The
-    /// matching record's block is decoded **column-directly** out of the
-    /// segment buffer — one strided walk per column, no `Tuple` boxing, no
-    /// values scratch — which is how the cold tier feeds the columnar
-    /// execution path.
+    /// matching record's block is decoded **column-directly**: stored
+    /// columns are already column-major on disk, so each decompresses
+    /// (8-wide varint fast path) into scratch and bulk-copies into its
+    /// output column, while link columns splat from the key — no `Tuple`
+    /// boxing, no row assembly. This is how the cold tier feeds the
+    /// columnar execution path.
     ///
     /// # Errors
     /// Fails on I/O errors or if the segment bytes are malformed.
     pub fn probe_columns(&self, key: &Tuple, out: &mut ColumnRun) -> Result<()> {
         debug_assert_eq!(out.width(), self.schema.arity());
-        let arity = self.schema.arity();
         let path = &self.path;
+        let layout = &self.layout;
+        let stored_arity = layout.stored_arity();
         if self.overlay.is_empty() {
             return self
-                .find_record(key, |cursor, count, _vals| {
-                    if !cursor.read_columns(count, arity, out) {
+                .find_record(key, |cursor, count, key_vals, scratch| {
+                    // Decode (and validate) the whole block first so a
+                    // malformed segment can never leave `out` with
+                    // half-appended, uneven columns.
+                    if !cursor.read_block(count * stored_arity, &mut scratch.block) {
                         return Err(corrupt(path, "truncated tuple"));
                     }
+                    let block = &scratch.block;
+                    out.append_columns(count, |j, col| match layout.sources[j] {
+                        ColSource::Key(i) => {
+                            col.extend(std::iter::repeat(key_vals[i]).take(count));
+                        }
+                        ColSource::Stored(c) => {
+                            col.extend_from_slice(&block[c * count..(c + 1) * count]);
+                        }
+                    });
                     Ok(())
                 })
                 .map(|_| ());
@@ -643,17 +843,25 @@ impl StoredView {
         let found = if self.overlay.added.get(key).is_some_and(|b| !b.is_empty()) {
             true
         } else if self.overlay.deleted.is_empty() {
-            self.find_record(key, |_, _, _| Ok(()))?.is_some()
+            self.find_record(key, |_, _, _, _| Ok(()))?.is_some()
         } else {
-            let arity = self.schema.arity();
             let path = &self.path;
+            let layout = &self.layout;
+            let stored_arity = layout.stored_arity();
             let deleted = &self.overlay.deleted;
-            self.find_record(key, |cursor, count, vals| {
-                for _ in 0..count {
-                    if !cursor.read_vals(arity, vals) {
-                        return Err(corrupt(path, "truncated tuple"));
+            self.find_record(key, |cursor, count, key_vals, scratch| {
+                if !cursor.read_block(count * stored_arity, &mut scratch.block) {
+                    return Err(corrupt(path, "truncated tuple"));
+                }
+                for r in 0..count {
+                    scratch.row.clear();
+                    for src in &layout.sources {
+                        scratch.row.push(match *src {
+                            ColSource::Key(i) => key_vals[i],
+                            ColSource::Stored(c) => scratch.block[c * count + r],
+                        });
                     }
-                    if !deleted.contains(&Tuple::from_slice(vals)) {
+                    if !deleted.contains(&Tuple::from_slice(&scratch.row)) {
                         return Ok(true);
                     }
                 }
@@ -679,9 +887,8 @@ impl StoredView {
     /// # Errors
     /// Fails on I/O errors from a triggered compaction.
     pub fn apply_delta(&mut self, inserts: &[Tuple], deletes: &[Tuple]) -> Result<()> {
-        let key_positions = self.schema.positions_of_set(self.link)?;
         for t in deletes {
-            let key = t.project(&key_positions);
+            let key = t.project(&self.layout.key_positions);
             let cancelled = match self.overlay.added.get_mut(&key) {
                 Some(bucket) => match bucket.iter().position(|b| b == t) {
                     Some(at) => {
@@ -704,7 +911,7 @@ impl StoredView {
             if self.overlay.deleted.remove(t) {
                 continue;
             }
-            let key = t.project(&key_positions);
+            let key = t.project(&self.layout.key_positions);
             self.overlay.added.entry(key).or_default().push(t.clone());
             self.overlay.added_len += 1;
         }
@@ -762,24 +969,41 @@ impl StoredView {
         let body = bytes
             .get(header..)
             .ok_or_else(|| corrupt(&self.path, "truncated header"))?;
-        let arity = self.schema.arity();
-        let key_arity = self.link.len();
+        let layout = &self.layout;
+        let key_arity = layout.key_positions.len();
+        let stored_arity = layout.stored_arity();
         let mut cursor = Cursor::new(body);
-        let mut vals = Vec::new();
+        let mut head: Vec<Val> = Vec::new();
+        let mut key: Vec<Val> = Vec::new();
+        let mut block: Vec<Val> = Vec::new();
+        let mut row: Vec<Val> = Vec::with_capacity(self.schema.arity());
         let mut tuples = Vec::with_capacity(self.len());
-        for _ in 0..self.num_records {
-            if !cursor.skip_vals(key_arity) {
+        for record in 0..self.num_records {
+            let segment_head = record % FENCE_STRIDE == 0;
+            let base = if segment_head { None } else { Some(head.as_slice()) };
+            if !cursor.read_key(key_arity, base, &mut key) {
                 return Err(corrupt(&self.path, "truncated key"));
             }
+            if segment_head {
+                head.clear();
+                head.extend_from_slice(&key);
+            }
             let count = cursor
-                .next()
+                .read_varint()
                 .ok_or_else(|| corrupt(&self.path, "truncated count"))?
                 as usize;
-            for _ in 0..count {
-                if !cursor.read_vals(arity, &mut vals) {
-                    return Err(corrupt(&self.path, "truncated tuple"));
+            if !cursor.read_block(count * stored_arity, &mut block) {
+                return Err(corrupt(&self.path, "truncated tuple"));
+            }
+            for r in 0..count {
+                row.clear();
+                for src in &layout.sources {
+                    row.push(match *src {
+                        ColSource::Key(i) => key[i],
+                        ColSource::Stored(c) => block[c * count + r],
+                    });
                 }
-                let t = Tuple::from_slice(&vals);
+                let t = Tuple::from_slice(&row);
                 if !self.overlay.deleted.contains(&t) {
                     tuples.push(t);
                 }
@@ -848,6 +1072,47 @@ mod tests {
     }
 
     #[test]
+    fn compression_shrinks_the_file() {
+        // 2000 tuples of two u64 columns = 32 KB logical (plus keys and
+        // counts); small sorted values must compress far below that.
+        let rel = Relation::binary("R", 0, 1, (0..2_000u64).map(|i| (i % 251, i)));
+        let path = scratch("compressed.sview");
+        write_view(&path, &rel, vars![1]).unwrap();
+        let view = StoredView::open(&path).unwrap();
+        let logical = (view.stored_values() * 8) as u64;
+        assert!(
+            view.disk_bytes() * 4 <= logical,
+            "disk {} vs logical {} — expected >= 4x compression",
+            view.disk_bytes(),
+            logical
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        // u64::MAX keys and values, zero, and every varint length class.
+        let pairs: Vec<(u64, u64)> = vec![
+            (0, 0),
+            (0, u64::MAX),
+            (1, 1 << 62),
+            (0x7f, 0x80),
+            (0x3fff, 0x4000),
+            (u64::MAX - 1, 0),
+            (u64::MAX, u64::MAX),
+        ];
+        let rel = Relation::binary("R", 0, 1, pairs.iter().copied());
+        let path = scratch("extremes.sview");
+        write_view(&path, &rel, vars![1]).unwrap();
+        let view = StoredView::open(&path).unwrap();
+        for &(k, v) in &pairs {
+            let got = view.probe(&Tuple::unary(k)).unwrap();
+            assert!(got.contains(&Tuple::pair(k, v)), "key {k} value {v}");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
     fn empty_relation_and_empty_link() {
         let empty = Relation::new("E", Schema::of([0, 1]));
         let path = scratch("empty.sview");
@@ -865,6 +1130,22 @@ mod tests {
         assert_eq!(view.num_keys(), 1);
         let all = view.probe(&Tuple::empty()).unwrap();
         assert_eq!(all.len(), 3);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn full_link_stores_no_block_columns() {
+        // Link covers both columns: records are key-only (count 1, empty
+        // blocks) and tuples rebuild entirely from their keys.
+        let rel = Relation::binary("R", 0, 1, (0..100u64).map(|i| (i, i + 7)));
+        let path = scratch("fulllink.sview");
+        write_view(&path, &rel, vars![1, 2]).unwrap();
+        let view = StoredView::open(&path).unwrap();
+        assert_eq!(view.num_keys(), 100);
+        for i in 0..100u64 {
+            let got = view.probe(&Tuple::pair(i, i + 7)).unwrap();
+            assert_eq!(got, vec![Tuple::pair(i, i + 7)]);
+        }
         cleanup(&path);
     }
 
@@ -904,10 +1185,58 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert!(StoredView::open(&path).is_err(), "bad magic");
 
+        // A v1-tagged file is an unsupported version, not a panic.
+        let mut v1 = std::fs::read(&path).unwrap();
+        v1[..8].copy_from_slice(b"CQAPSVW1");
+        std::fs::write(&path, &v1).unwrap();
+        assert!(StoredView::open(&path).is_err(), "v1 version byte");
+
         write_view(&path, &rel, vars![1]).unwrap();
         let bytes = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
         assert!(StoredView::open(&path).is_err(), "truncated file");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_rejected() {
+        let rel = Relation::binary("R", 0, 1, (0..50u64).map(|i| (2 * i, i + 3)));
+        let path = scratch("varint-corrupt.sview");
+        write_view(&path, &rel, vars![1]).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        let header = (5 + 2) * 8;
+
+        // Overlong: the first body byte is the first key (0 => 0x00);
+        // re-encode it as the two-byte overlong form 0x80 0x00.
+        let mut overlong = good.clone();
+        assert_eq!(overlong[header], 0x00);
+        overlong[header] = 0x80;
+        overlong.insert(header + 1, 0x00);
+        std::fs::write(&path, &overlong).unwrap();
+        let err = match StoredView::open(&path) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("overlong varint accepted"),
+        };
+        assert!(err.contains("overlong") || err.contains("corrupt"), "{err}");
+
+        // Truncated varint: a dangling continuation byte at the end.
+        let mut torn = good.clone();
+        torn.push(0x80);
+        std::fs::write(&path, &torn).unwrap();
+        assert!(StoredView::open(&path).is_err(), "dangling continuation");
+
+        // Unsorted keys: swap the first two records' key bytes (keys 0
+        // and 2 are single-byte varints at fixed offsets: the head key
+        // is absolute, the second is a zigzag delta; rewriting the head
+        // to a larger value makes the sequence non-ascending).
+        let mut unsorted = good.clone();
+        assert_eq!(unsorted[header], 0x00);
+        unsorted[header] = 0x63; // head key 99, still > next key 0 + delta
+        std::fs::write(&path, &unsorted).unwrap();
+        assert!(StoredView::open(&path).is_err(), "keys out of order");
+
+        std::fs::write(&path, &good).unwrap();
+        assert!(StoredView::open(&path).is_ok(), "pristine file reopens");
         cleanup(&path);
     }
 
@@ -989,7 +1318,7 @@ mod tests {
 
         // A truncated temp run (torn write): rejected, removed, base intact.
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &base_bytes[..base_bytes.len() - 8]).unwrap();
+        std::fs::write(&tmp, &base_bytes[..base_bytes.len() - 3]).unwrap();
         assert!(validate_and_swap(&path, &tmp).is_err());
         assert!(!tmp.exists(), "torn temp file is cleaned up");
         assert_eq!(std::fs::read(&path).unwrap(), base_bytes, "base untouched");
@@ -998,6 +1327,16 @@ mod tests {
         let mut garbled = base_bytes.clone();
         garbled[0] ^= 0xff;
         std::fs::write(&tmp, &garbled).unwrap();
+        assert!(validate_and_swap(&path, &tmp).is_err());
+        assert!(!tmp.exists());
+        assert_eq!(std::fs::read(&path).unwrap(), base_bytes);
+
+        // An overlong varint in the temp run's body: same rejection path.
+        let mut overlong = base_bytes.clone();
+        let header = (5 + 2) * 8;
+        overlong[header] = 0x80;
+        overlong.insert(header + 1, 0x00);
+        std::fs::write(&tmp, &overlong).unwrap();
         assert!(validate_and_swap(&path, &tmp).is_err());
         assert!(!tmp.exists());
         assert_eq!(std::fs::read(&path).unwrap(), base_bytes);
@@ -1042,4 +1381,3 @@ mod tests {
         cleanup(&path);
     }
 }
-

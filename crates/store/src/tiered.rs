@@ -331,8 +331,11 @@ impl TieredShardedIndex {
     }
 
     /// Publishes the RAM-resident footprint of each tier as absolute
-    /// gauges: hot S-view values and the cold shards' resident fence
-    /// values, both in bytes of [`cqap_common::Val`].
+    /// gauges — hot S-view values and the cold shards' resident fence
+    /// values, both in bytes of [`cqap_common::Val`] — plus the cold
+    /// tier's *compressed* on-disk bytes (the v2 run files' sizes), so
+    /// the exposition carries the physical footprint the byte budget
+    /// actually buys.
     fn publish_space_gauges(&self) {
         if !self.sink.is_enabled() {
             return;
@@ -345,6 +348,8 @@ impl TieredShardedIndex {
             GaugeId::ColdResidentBytes,
             space.cold_resident_values as i64 * val_bytes,
         );
+        self.sink
+            .gauge_set(GaugeId::ColdDiskBytes, space.cold_disk_bytes as i64);
     }
 
     /// The per-tier space breakdown.
@@ -622,6 +627,12 @@ mod tests {
             space.cold_resident_values as i64 * val_bytes
         );
         assert!(snap.gauge(GaugeId::ColdResidentBytes) > 0);
+        // The disk gauge carries the cold runs' *compressed* bytes: it
+        // matches the space report exactly and sits well under the
+        // logical (values x 8) footprint of the cold tier.
+        assert_eq!(snap.gauge(GaugeId::ColdDiskBytes), space.cold_disk_bytes as i64);
+        assert!(snap.gauge(GaugeId::ColdDiskBytes) > 0);
+        assert!(space.cold_disk_bytes < (space.cold_values * 8) as u64);
 
         // A delta re-publishes: gauges still match the current breakdown.
         let mut batch = DeltaBatch::new();
@@ -636,6 +647,7 @@ mod tests {
             snap.gauge(GaugeId::ColdResidentBytes),
             space.cold_resident_values as i64 * val_bytes
         );
+        assert_eq!(snap.gauge(GaugeId::ColdDiskBytes), space.cold_disk_bytes as i64);
 
         // All-hot: the cold gauge is zero and the hot gauge carries the
         // full S-view footprint.
@@ -652,6 +664,7 @@ mod tests {
         );
         assert!(snap.gauge(GaugeId::HotResidentBytes) > 0);
         assert_eq!(snap.gauge(GaugeId::ColdResidentBytes), 0);
+        assert_eq!(snap.gauge(GaugeId::ColdDiskBytes), 0);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! bit-for-bit identically to the single in-memory [`CqapIndex`] built
 //! over the whole database — the acceptance bar for the on-disk format
 //! and the placement invariants, mirroring `shard_equivalence.rs` one
-//! seam further down.
+//! seam further down. The disk tier runs the v2 delta+varint compressed
+//! format, so every case here also checks the compressed footprint
+//! undercuts the plain 8-bytes-per-value encoding.
 
 use cqap_common::Tuple;
 use cqap_decomp::families::pmtds_3reach_fig1;
@@ -104,6 +106,13 @@ proptest! {
         // disk): one equivalence class per request.
         let stored = StoredIndex::build_in_temp(&cqap, &db, &pmtds).unwrap();
         prop_assert_eq!(stored.space_used(), reference.space_used());
+        // The v2 delta+varint runs must beat the plain 8-bytes-per-value
+        // encoding on every random database, not just the benchmarks.
+        prop_assert!(
+            stored.disk_bytes() < (stored.space_used() * 8) as u64,
+            "compressed runs ({} B) not smaller than plain encoding of {} values",
+            stored.disk_bytes(), stored.space_used()
+        );
         for request in singles.iter().chain(&multis) {
             let expected = reference.answer(request).unwrap();
             prop_assert_eq!(
@@ -153,6 +162,18 @@ proptest! {
                 scratch_dir("proptest"),
             )
             .unwrap();
+            // Cold shards report their compressed on-disk footprint; it
+            // must undercut the logical size of the values they hold.
+            let space = tiered.space_used();
+            if space.cold_values > 0 {
+                prop_assert!(
+                    space.cold_disk_bytes < (space.cold_values * 8) as u64,
+                    "cold tier not compressed: {} B for {} values",
+                    space.cold_disk_bytes, space.cold_values
+                );
+            } else {
+                prop_assert_eq!(space.cold_disk_bytes, 0);
+            }
             for request in singles.iter().chain(&multis) {
                 prop_assert_eq!(
                     tiered.answer(request).unwrap(),
@@ -252,6 +273,13 @@ proptest! {
                 stored.space_used(),
                 rebuilt.space_used(),
                 "round {}: maintained disk S-view space diverged from a rebuild", round
+            );
+            // Compression must survive the full overlay / compaction
+            // cycle: base runs rewritten by compaction are still v2.
+            prop_assert!(
+                stored.disk_bytes() < (stored.space_used() * 8) as u64,
+                "round {}: maintained runs ({} B) not smaller than plain encoding",
+                round, stored.disk_bytes()
             );
             for request in &requests {
                 let expected = rebuilt.answer(request).unwrap();

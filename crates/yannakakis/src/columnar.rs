@@ -12,10 +12,12 @@
 //!   with a shared row count — filtering is a gather over row indices,
 //!   and a join output is a handful of bulk column copies driven by a
 //!   `(left row, right row)` pair list, never a per-row tuple clone;
-//! * probe keys are gathered column-wise into a reused buffer, hashed
-//!   **once** per occurrence ([`cqap_common::hash_vals`]) and grouped by
-//!   a [`KeyMemo`] so each *distinct* key probes the S-view backend a
-//!   single time across all accumulator rows;
+//! * probe keys are hashed **in batch** before the row loop
+//!   ([`ColumnRun::hash_rows_into`] folds one contiguous column at a
+//!   time through [`cqap_common::hash_fold_column`]'s 8-wide
+//!   `chunks_exact` kernel) and grouped by a [`KeyMemo`] so each
+//!   *distinct* key probes the S-view backend a single time across all
+//!   accumulator rows;
 //! * backends append probe results column-wise through
 //!   [`SViewProbe::probe_columns`] — the in-memory indexes scatter their
 //!   bucket slices, the disk backend decodes little-endian segments
@@ -31,7 +33,7 @@
 //! row-compiled and interpreted paths (proptest-enforced in
 //! `crates/yannakakis/tests`).
 
-use cqap_common::{hash_vals, CqapError, FxHashMap, Result, Tuple, Val};
+use cqap_common::{hash_fold_column, hash_vals, CqapError, FxHashMap, Result, Tuple, Val};
 use cqap_relation::{Relation, RelationBuilder};
 
 use crate::compiled::{
@@ -195,6 +197,21 @@ impl ColumnRun {
         buf.clear();
         buf.extend(self.cols[..self.width].iter().map(|col| col[r]));
     }
+
+    /// Batch key hashing: fills `hashes` with `hash_vals` of every row's
+    /// projection onto `positions`, without materializing any row. Each
+    /// position folds its entire contiguous column into the running
+    /// hashes ([`cqap_common::hash_fold_column`]'s 8-wide `chunks_exact`
+    /// loop), so the per-row gather-then-hash of the scalar path becomes
+    /// `positions.len()` sequential column sweeps the compiler can
+    /// vectorize.
+    pub fn hash_rows_into(&self, positions: &[usize], hashes: &mut Vec<u64>) {
+        hashes.clear();
+        hashes.resize(self.rows, 0);
+        for &p in positions {
+            hash_fold_column(hashes, &self.cols[p]);
+        }
+    }
 }
 
 /// A hash-grouping memo over variable-width value-slice keys, keyed by a
@@ -318,6 +335,8 @@ pub struct ColumnarScratch {
     build: KeyMemo<u32>,
     /// Hash-join row chains (`build_next[r]` = next row with `r`'s key).
     build_next: Vec<u32>,
+    /// Batch key-hash buffer (`hashes[r]` = hash of row `r`'s key).
+    hashes: Vec<u64>,
     /// Reused key-projection buffer.
     key_vals: Vec<Val>,
     /// Reused full-row buffer.
@@ -499,9 +518,10 @@ impl CompiledPlan {
                     let src = std::mem::replace(&mut slots[*parent], ColSlot::Empty);
                     {
                         let cr = src.run();
+                        cr.hash_rows_into(key_positions, &mut scratch.hashes);
                         for r in 0..cr.rows() {
                             cr.project_row_into(r, key_positions, &mut scratch.key_vals);
-                            let hash = hash_vals(&scratch.key_vals);
+                            let hash = scratch.hashes[r];
                             let hit = match scratch.semi.get(hash, &scratch.key_vals) {
                                 Some(&hit) => hit,
                                 None => {
@@ -529,9 +549,10 @@ impl CompiledPlan {
                     scratch.dedup.clear();
                     {
                         let cr = slots[*child].run();
+                        cr.hash_rows_into(child_key, &mut scratch.hashes);
                         for r in 0..cr.rows() {
                             cr.project_row_into(r, child_key, &mut scratch.key_vals);
-                            let hash = hash_vals(&scratch.key_vals);
+                            let hash = scratch.hashes[r];
                             scratch.dedup.insert_if_absent(hash, &scratch.key_vals);
                         }
                     }
@@ -539,9 +560,10 @@ impl CompiledPlan {
                     let src = std::mem::replace(&mut slots[*parent], ColSlot::Empty);
                     {
                         let cr = src.run();
+                        cr.hash_rows_into(parent_key, &mut scratch.hashes);
                         for r in 0..cr.rows() {
                             cr.project_row_into(r, parent_key, &mut scratch.key_vals);
-                            let hash = hash_vals(&scratch.key_vals);
+                            let hash = scratch.hashes[r];
                             if scratch.dedup.get(hash, &scratch.key_vals).is_some() {
                                 scratch.sel.push(r as u32);
                             }
@@ -583,9 +605,10 @@ impl CompiledPlan {
                     filtered.reset(*parent_arity);
                     {
                         let cr = slots[*child].run();
+                        cr.hash_rows_into(child_key, &mut scratch.hashes);
                         for r in 0..cr.rows() {
                             cr.project_row_into(r, child_key, &mut scratch.key_vals);
-                            let hash = hash_vals(&scratch.key_vals);
+                            let hash = scratch.hashes[r];
                             if scratch.dedup.insert_if_absent(hash, &scratch.key_vals) {
                                 if let Some(bucket) = index.get(scratch.key_vals.as_slice()) {
                                     filtered.extend_from_tuples(bucket);
@@ -603,9 +626,10 @@ impl CompiledPlan {
                     projected.reset(project.positions.len());
                     {
                         let cr = src.run();
+                        cr.hash_rows_into(&project.positions, &mut scratch.hashes);
                         for r in 0..cr.rows() {
                             cr.project_row_into(r, &project.positions, &mut scratch.row_buf);
-                            let hash = hash_vals(&scratch.row_buf);
+                            let hash = scratch.hashes[r];
                             if scratch.dedup.insert_if_absent(hash, &scratch.row_buf) {
                                 projected.push_row(&scratch.row_buf);
                             }
@@ -657,9 +681,10 @@ impl CompiledPlan {
                 reduced.reset(project.positions.len());
                 {
                     let cr = src.run();
+                    cr.hash_rows_into(&project.positions, &mut scratch.hashes);
                     for r in 0..cr.rows() {
                         cr.project_row_into(r, &project.positions, &mut scratch.row_buf);
-                        let hash = hash_vals(&scratch.row_buf);
+                        let hash = scratch.hashes[r];
                         if scratch.dedup.insert_if_absent(hash, &scratch.row_buf) {
                             reduced.push_row(&scratch.row_buf);
                         }
@@ -710,9 +735,10 @@ impl CompiledPlan {
             Some(project) => {
                 scratch.dedup.clear();
                 let mut builder = RelationBuilder::distinct("Q_ans", project.schema.clone());
+                acc.hash_rows_into(&project.positions, &mut scratch.hashes);
                 for r in 0..acc.rows() {
                     acc.project_row_into(r, &project.positions, &mut scratch.row_buf);
-                    let hash = hash_vals(&scratch.row_buf);
+                    let hash = scratch.hashes[r];
                     if scratch.dedup.insert_if_absent(hash, &scratch.row_buf) {
                         builder.push_row(&scratch.row_buf);
                     }
@@ -742,9 +768,10 @@ impl CompiledPlan {
         scratch.ranges.clear();
         scratch.pool.reset(join.rel_arity);
         scratch.pairs.clear();
+        acc_in.hash_rows_into(&join.key_positions, &mut scratch.hashes);
         for l in 0..acc_in.rows() {
             acc_in.project_row_into(l, &join.key_positions, &mut scratch.key_vals);
-            let hash = hash_vals(&scratch.key_vals);
+            let hash = scratch.hashes[l];
             let (start, end) = match scratch.ranges.get(hash, &scratch.key_vals) {
                 Some(&range) => range,
                 None => {
@@ -801,9 +828,10 @@ fn exec_hash_join_columnar(
     scratch.build.clear();
     scratch.build_next.clear();
     scratch.build_next.resize(build.rows(), u32::MAX);
+    build.hash_rows_into(&join.build_key, &mut scratch.hashes);
     for r in 0..build.rows() {
         build.project_row_into(r, &join.build_key, &mut scratch.key_vals);
-        let hash = hash_vals(&scratch.key_vals);
+        let hash = scratch.hashes[r];
         match scratch.build.get_mut(hash, &scratch.key_vals) {
             Some(head) => {
                 scratch.build_next[r] = *head;
@@ -813,9 +841,10 @@ fn exec_hash_join_columnar(
         }
     }
     scratch.pairs.clear();
+    acc_in.hash_rows_into(&join.probe_key, &mut scratch.hashes);
     for l in 0..acc_in.rows() {
         acc_in.project_row_into(l, &join.probe_key, &mut scratch.key_vals);
-        let hash = hash_vals(&scratch.key_vals);
+        let hash = scratch.hashes[l];
         if let Some(&head) = scratch.build.get(hash, &scratch.key_vals) {
             let mut r = head;
             while r != u32::MAX {
@@ -917,6 +946,28 @@ mod tests {
         assert_eq!(run.rows(), 3);
         assert_eq!(run.col(0), &[1, 10, 20]);
         assert_eq!(run.col(1), &[2, 11, 21]);
+    }
+
+    #[test]
+    fn batch_row_hashing_matches_scalar() {
+        // hash_rows_into must agree with hash_vals over the gathered row
+        // for every row — including past the 8-wide chunk boundary and
+        // for permuted / repeated projections.
+        let mut run = ColumnRun::new();
+        run.reset(3);
+        for i in 0..37u64 {
+            run.push_row(&[i, i.wrapping_mul(0x9e37_79b9), 1000 - i]);
+        }
+        let mut hashes = Vec::new();
+        let mut key = Vec::new();
+        for positions in [&[0usize][..], &[2, 0], &[1, 1, 2], &[]] {
+            run.hash_rows_into(positions, &mut hashes);
+            assert_eq!(hashes.len(), run.rows());
+            for r in 0..run.rows() {
+                run.project_row_into(r, positions, &mut key);
+                assert_eq!(hashes[r], hash_vals(&key), "row {r} at {positions:?}");
+            }
+        }
     }
 
     #[test]

@@ -76,6 +76,21 @@ fn main() {
         space.total_values(),
         100.0 * space.resident_values() as f64 / space.total_values().max(1) as f64,
     );
+    if space.cold_values > 0 {
+        // Cold runs are v2 delta+varint compressed: the on-disk footprint
+        // undercuts even the raw 8-byte encoding of the spilled values.
+        let logical = (space.cold_values * 8) as u64;
+        println!(
+            "       -> cold tier compressed: {} B on disk vs {} B logical ({:.2}x)",
+            space.cold_disk_bytes,
+            logical,
+            logical as f64 / space.cold_disk_bytes.max(1) as f64,
+        );
+        assert!(
+            space.cold_disk_bytes < logical,
+            "compressed cold tier must beat the plain encoding"
+        );
+    }
 
     // Serve through a stock runtime; the tiered index is just another
     // BatchAnswer.
