@@ -123,6 +123,7 @@ fn bench_online_latency(c: &mut Criterion) {
         ServeConfig {
             threads: 2,
             cache_capacity: 4_096,
+            ..ServeConfig::default()
         },
     );
     runtime.serve_batch(&requests).expect("cache warm-up");
@@ -154,6 +155,7 @@ fn bench_online_latency(c: &mut Criterion) {
         ServeConfig {
             threads: 2,
             cache_capacity: 4_096,
+            ..ServeConfig::default()
         },
         MetricsSink::recording().with_tracer(tracer),
     );

@@ -68,6 +68,7 @@ fn bench_driver_serving(c: &mut Criterion) {
         ServeConfig {
             threads,
             cache_capacity: 2_048,
+            ..ServeConfig::default()
         },
     );
     group.bench_with_input(

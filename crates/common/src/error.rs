@@ -46,8 +46,37 @@ pub enum CqapError {
         /// Tuples that would be required.
         required: usize,
     },
+    /// A serving runtime rejected the request because its admission
+    /// queue was full (load shedding / admission timeout).
+    Overloaded {
+        /// Requests already admitted when this one was rejected.
+        pending: usize,
+        /// The configured admission bound.
+        limit: usize,
+    },
+    /// A request's deadline passed before a backend probe could run;
+    /// the work was dropped instead of served late.
+    DeadlineExpired {
+        /// How far past the deadline the request was when dropped,
+        /// in nanoseconds.
+        late_ns: u64,
+    },
     /// Catch-all for other error conditions.
     Other(String),
+}
+
+impl CqapError {
+    /// Whether this is an admission rejection ([`CqapError::Overloaded`]).
+    #[inline]
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, CqapError::Overloaded { .. })
+    }
+
+    /// Whether this is a missed deadline ([`CqapError::DeadlineExpired`]).
+    #[inline]
+    pub fn is_deadline_expired(&self) -> bool {
+        matches!(self, CqapError::DeadlineExpired { .. })
+    }
 }
 
 impl fmt::Display for CqapError {
@@ -75,6 +104,15 @@ impl fmt::Display for CqapError {
                 f,
                 "space budget of {budget} tuples exceeded: {required} tuples required"
             ),
+            CqapError::Overloaded { pending, limit } => write!(
+                f,
+                "overloaded: {pending} requests pending at admission limit {limit}"
+            ),
+            CqapError::DeadlineExpired { late_ns } => write!(
+                f,
+                "deadline expired: request was {:.3} ms past its deadline when dropped",
+                *late_ns as f64 / 1e6
+            ),
             CqapError::Other(msg) => write!(f, "{msg}"),
         }
     }
@@ -101,6 +139,20 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CqapError>();
+    }
+
+    #[test]
+    fn overload_predicates_and_messages() {
+        let e = CqapError::Overloaded {
+            pending: 32,
+            limit: 32,
+        };
+        assert!(e.is_overloaded() && !e.is_deadline_expired());
+        assert!(e.to_string().contains("32"));
+        let e = CqapError::DeadlineExpired { late_ns: 2_500_000 };
+        assert!(e.is_deadline_expired() && !e.is_overloaded());
+        assert!(e.to_string().contains("2.500 ms"));
+        assert!(!CqapError::Other("x".into()).is_overloaded());
     }
 
     #[test]

@@ -47,11 +47,15 @@ pub enum StageId {
     DeltaApply,
     /// Rewriting a stored view's sorted run to fold its overlay in.
     Compaction,
+    /// Time a submitter spent blocked at the admission gate before its
+    /// request was accepted (only the `Block` and `SemaphoreGate`
+    /// policies can wait; shed requests record nothing here).
+    AdmissionWait,
 }
 
 impl StageId {
     /// Number of stages.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every stage, in canonical export order.
     pub const ALL: [StageId; Self::COUNT] = [
@@ -63,6 +67,7 @@ impl StageId {
         StageId::TicketDelivery,
         StageId::DeltaApply,
         StageId::Compaction,
+        StageId::AdmissionWait,
     ];
 
     /// Stable snake_case name used as the `stage` label in exports.
@@ -76,6 +81,7 @@ impl StageId {
             StageId::TicketDelivery => "ticket_delivery",
             StageId::DeltaApply => "delta_apply",
             StageId::Compaction => "compaction",
+            StageId::AdmissionWait => "admission_wait",
         }
     }
 
@@ -112,11 +118,20 @@ pub enum CounterId {
     DeltaNetDeletes,
     /// Probe-plan recompilations triggered by delta maintenance.
     PlanRecompiles,
+    /// Requests rejected at the admission gate (shed, or timed out
+    /// waiting for admission), counted per resolved ticket.
+    RequestsShed,
+    /// Requests dropped because their deadline passed before the
+    /// backend probe, counted per resolved ticket.
+    DeadlinesExpired,
+    /// Requests answered in degrade mode (cheapest plan only, past
+    /// the queue-depth watermark).
+    DegradedAnswers,
 }
 
 impl CounterId {
     /// Number of counters.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 13;
 
     /// Every counter, in canonical export order.
     pub const ALL: [CounterId; Self::COUNT] = [
@@ -130,6 +145,9 @@ impl CounterId {
         CounterId::DeltaNetInserts,
         CounterId::DeltaNetDeletes,
         CounterId::PlanRecompiles,
+        CounterId::RequestsShed,
+        CounterId::DeadlinesExpired,
+        CounterId::DegradedAnswers,
     ];
 
     /// Prometheus metric name (already `_total`-suffixed).
@@ -145,6 +163,9 @@ impl CounterId {
             CounterId::DeltaNetInserts => "cqap_delta_net_inserts_total",
             CounterId::DeltaNetDeletes => "cqap_delta_net_deletes_total",
             CounterId::PlanRecompiles => "cqap_delta_plan_recompiles_total",
+            CounterId::RequestsShed => "cqap_serve_shed_total",
+            CounterId::DeadlinesExpired => "cqap_serve_deadline_expired_total",
+            CounterId::DegradedAnswers => "cqap_serve_degraded_answers_total",
         }
     }
 
@@ -169,6 +190,15 @@ impl CounterId {
             CounterId::PlanRecompiles => {
                 "Probe-plan recompilations triggered by delta maintenance."
             }
+            CounterId::RequestsShed => {
+                "Requests rejected at the admission gate (shed or admission timeout)."
+            }
+            CounterId::DeadlinesExpired => {
+                "Requests dropped because their deadline passed before the backend probe."
+            }
+            CounterId::DegradedAnswers => {
+                "Requests answered in degrade mode (cheapest plan only) past the watermark."
+            }
         }
     }
 
@@ -191,11 +221,14 @@ pub enum GaugeId {
     /// Compressed on-disk bytes of the cold-tier runs (the v2 delta+
     /// varint format), as reported by the backing files' sizes.
     ColdDiskBytes,
+    /// Requests currently holding an admission permit (admitted but
+    /// not yet resolved); bounded by the configured admission limit.
+    AdmittedPending,
 }
 
 impl GaugeId {
     /// Number of gauges.
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Every gauge, in canonical export order.
     pub const ALL: [GaugeId; Self::COUNT] = [
@@ -203,6 +236,7 @@ impl GaugeId {
         GaugeId::HotResidentBytes,
         GaugeId::ColdResidentBytes,
         GaugeId::ColdDiskBytes,
+        GaugeId::AdmittedPending,
     ];
 
     /// Prometheus metric name.
@@ -212,6 +246,7 @@ impl GaugeId {
             GaugeId::HotResidentBytes => "cqap_store_hot_resident_bytes",
             GaugeId::ColdResidentBytes => "cqap_store_cold_resident_bytes",
             GaugeId::ColdDiskBytes => "cqap_store_cold_disk_bytes",
+            GaugeId::AdmittedPending => "cqap_serve_admitted_pending",
         }
     }
 
@@ -227,6 +262,9 @@ impl GaugeId {
             }
             GaugeId::ColdDiskBytes => {
                 "Compressed on-disk bytes of cold-tier stored runs (v2 delta+varint format)."
+            }
+            GaugeId::AdmittedPending => {
+                "Requests currently holding an admission permit (admitted, not yet resolved)."
             }
         }
     }

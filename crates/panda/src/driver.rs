@@ -27,6 +27,11 @@ use cqap_yannakakis::{naive_answer, OnlineYannakakis, PreprocessedViews, SViewPr
 use crate::compiled::{answer_with_compiled, answer_with_compiled_rows, AtomIndexCache, CompiledPmtd};
 use crate::delta::DeltaMaintenance;
 
+/// The relation name stamped onto answers produced by
+/// [`CqapIndex::answer_degraded`], so degraded (possibly partial)
+/// answers are always distinguishable from full ones.
+pub const DEGRADED_ANSWER_NAME: &str = "degraded";
+
 /// A materialized CQAP index over a set of PMTDs.
 pub struct CqapIndex {
     cqap: Cqap,
@@ -166,6 +171,34 @@ impl CqapIndex {
                 .map(|p| (p.compiled.as_ref(), &p.preprocessed)),
             request,
         )
+    }
+
+    /// Graceful-degradation online phase: answers from the single
+    /// *cheapest* plan — the PMTD with the most materialized values,
+    /// hence the least online work — skipping the cross-PMTD union.
+    ///
+    /// With several PMTDs the per-plan answers can be complementary
+    /// (e.g. heavy/light splits), so the degraded answer may be a
+    /// **subset** of [`CqapIndex::answer`]. The answer relation is
+    /// renamed to [`DEGRADED_ANSWER_NAME`] so callers can always tell it
+    /// apart from a full answer; with a single PMTD the contents are
+    /// identical (but still flagged). The serving runtime uses this past
+    /// its overload watermark and never caches the result.
+    ///
+    /// # Errors
+    /// Propagates the plan's evaluation errors.
+    pub fn answer_degraded(&self, request: &AccessRequest) -> Result<Relation> {
+        let plan = self
+            .plans
+            .iter()
+            .max_by_key(|p| p.preprocessed.stored_values())
+            .expect("build requires at least one PMTD");
+        let answer = answer_with_compiled(
+            &self.cqap,
+            std::iter::once((plan.compiled.as_ref(), &plan.preprocessed)),
+            request,
+        )?;
+        Ok(answer.with_name(DEGRADED_ANSWER_NAME))
     }
 
     /// The row-compiled online phase of PR 4 (tuple ping-pong instead of

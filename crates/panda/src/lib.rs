@@ -73,5 +73,5 @@ pub use compiled::{
     DriverScratch,
 };
 pub use delta::{DeltaMaintenance, DeltaOutcome};
-pub use driver::{answer_with_plans, online_t_views, CqapIndex};
+pub use driver::{answer_with_plans, online_t_views, CqapIndex, DEGRADED_ANSWER_NAME};
 pub use rules::{generate_rules, prune_rules, rule_of_choice, TwoPhaseRule};

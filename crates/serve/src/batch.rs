@@ -98,6 +98,21 @@ pub trait BatchAnswer: Send + Sync {
             "this index family does not coalesce requests".into(),
         ))
     }
+
+    /// A *degraded* (cheaper, possibly partial) answer, used by the
+    /// serving runtime past its overload watermark
+    /// (`ServeConfig::degrade_watermark`). `None` — the default — means
+    /// the structure has no cheaper plan to offer, and the runtime falls
+    /// back to [`BatchAnswer::answer_one`].
+    ///
+    /// Implementations returning `Some` must mark the answer as degraded
+    /// in a way the caller can observe (the framework driver renames the
+    /// answer relation), because the runtime hands it out in place of
+    /// the full answer. Degraded answers are never cached.
+    fn answer_degraded(&self, request: &Self::Request) -> Option<Result<Self::Answer>> {
+        let _ = request;
+        None
+    }
 }
 
 /// The coalescing class shared by every `AccessRequest`-keyed structure:
@@ -170,6 +185,14 @@ impl BatchAnswer for CqapIndex {
 
     fn extract(&self, bulk: &Self::Answer, request: &Self::Request) -> Result<Self::Answer> {
         extract_access_answer(bulk, request)
+    }
+
+    /// Past the runtime's overload watermark the driver answers from its
+    /// single cheapest PMTD (most materialization, least online work);
+    /// the answer relation is renamed to
+    /// [`DEGRADED_ANSWER_NAME`](cqap_panda::DEGRADED_ANSWER_NAME).
+    fn answer_degraded(&self, request: &Self::Request) -> Option<Result<Self::Answer>> {
+        Some(CqapIndex::answer_degraded(self, request))
     }
 }
 

@@ -26,6 +26,12 @@
 //!   batch serving with intra-batch deduplication, in-flight probe sharing
 //!   across concurrent submitters (no thundering herd on a hot key), and
 //!   [`ServeStats`] counters.
+//! * Overload safety — bounded admission with three policies
+//!   ([`AdmissionConfig`]: block with optional timeout, shed with a typed
+//!   [`ServeError::Overloaded`], FIFO semaphore), absolute deadlines
+//!   ([`ServeRuntime::submit_with_deadline`]) dropped before the backend
+//!   probe, client-side [`RetryPolicy`] backoff for shed requests, and an
+//!   optional cheapest-plan degrade mode past a queue-depth watermark.
 //!
 //! ## Worked example: serving a 1 000-request batch
 //!
@@ -56,7 +62,7 @@
 //!
 //! let runtime = ServeRuntime::with_config(
 //!     Arc::clone(&index),
-//!     ServeConfig { threads: 4, cache_capacity: 512 },
+//!     ServeConfig { threads: 4, cache_capacity: 512, ..ServeConfig::default() },
 //! );
 //! let answers = runtime.serve_batch(&requests).unwrap();
 //!
@@ -84,15 +90,19 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod batch;
 pub mod cache;
 pub mod pool;
 pub mod runtime;
 
+pub use admission::{
+    retry_overloaded, AdmissionConfig, AdmissionPolicy, RetryPolicy, ServeError,
+};
 pub use batch::BatchAnswer;
 pub use cache::LruCache;
 pub use pool::{default_threads, WorkStealingPool};
-pub use runtime::{ServeConfig, ServeRuntime, ServeStats, Ticket};
+pub use runtime::{ServeConfig, ServeRuntime, ServeStats, Ticket, WaitTimeout};
 
 use cqap_common::Result;
 

@@ -25,15 +25,41 @@
 //! exactly the paper's regime: the preprocessing phase fixes the
 //! materialized views within the space budget, and the online phase is
 //! read-only.
+//!
+//! ## Overload safety
+//!
+//! By default the front door is unbounded: an open-loop arrival stream
+//! faster than the service rate grows the pool queue (and every
+//! request's queue wait) without limit. Configuring
+//! [`ServeConfig::admission`] bounds it: every submission (and every
+//! dispatched batch probe) must take a permit from an admission gate
+//! first, and the configured [`AdmissionPolicy`](crate::AdmissionPolicy)
+//! decides what happens past the bound — block (with optional timeout),
+//! shed with a typed [`ServeError::Overloaded`](crate::ServeError),
+//! or FIFO-fair semaphore waiting. Rejections are counted in
+//! [`ServeStats::shed`]. Deadlines compose with it:
+//! [`ServeRuntime::submit_with_deadline`] threads an absolute deadline
+//! through the job and workers drop already-expired requests *before*
+//! the backend probe, resolving their tickets with
+//! [`CqapError::DeadlineExpired`] (counted in
+//! [`ServeStats::deadline_expired`] — a ticket never hangs).
+//! [`ServeRuntime::serve_batch_with_deadlines`] additionally dispatches
+//! probe groups earliest-deadline-first. Past an optional queue-depth
+//! watermark ([`ServeConfig::degrade_watermark`]) probes may answer
+//! from the index's cheapest plan ([`BatchAnswer::answer_degraded`]),
+//! flagged in the answer and kept out of the cache.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cqap_common::{CqapError, FxHashMap, Result};
-use cqap_obs::{MetricsSink, RequestSpan, StageId, StageTimer, TraceId, TraceScope, TraceStage};
+use cqap_obs::{
+    CounterId, MetricsSink, RequestSpan, StageId, StageTimer, TraceId, TraceScope, TraceStage,
+};
 
+use crate::admission::{retry_overloaded, AdmissionConfig, AdmissionGate, AdmissionPermit, RetryPolicy};
 use crate::batch::BatchAnswer;
 use crate::cache::LruCache;
 use crate::pool::{default_threads, WorkStealingPool};
@@ -46,6 +72,15 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Capacity of the LRU answer cache, in entries. Zero disables caching.
     pub cache_capacity: usize,
+    /// Bounded admission at the front door; `None` (the default) keeps
+    /// the legacy unbounded behavior. See [`AdmissionConfig`].
+    pub admission: Option<AdmissionConfig>,
+    /// Queue-depth watermark for graceful degradation: when set and the
+    /// pool's pending-job count exceeds it at dispatch time, a probe may
+    /// answer via [`BatchAnswer::answer_degraded`] (for multi-PMTD
+    /// driver indexes: the cheapest plan only, flagged in the answer and
+    /// never cached). `None` (the default) disables degrade mode.
+    pub degrade_watermark: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +88,8 @@ impl Default for ServeConfig {
         ServeConfig {
             threads: default_threads(),
             cache_capacity: 4_096,
+            admission: None,
+            degrade_watermark: None,
         }
     }
 }
@@ -87,6 +124,18 @@ pub struct ServeStats {
     /// Delta batches applied through [`ServeRuntime::apply_delta`]
     /// (including net no-ops, which leave the cache warm).
     pub deltas_applied: u64,
+    /// Requests rejected at the admission gate (shed policy, or a
+    /// `Block` admission timeout), counted per resolved ticket — a shed
+    /// batch probe group counts every position it would have answered,
+    /// and waiters fanned an `Overloaded` error count too.
+    pub shed: u64,
+    /// Requests dropped because their deadline had passed before the
+    /// backend probe ran, counted per resolved ticket (waiters joined
+    /// to an expired probe count too).
+    pub deadline_expired: u64,
+    /// Requests answered in degrade mode (cheapest-plan answers past
+    /// the queue-depth watermark).
+    pub degraded: u64,
 }
 
 impl ServeStats {
@@ -103,17 +152,20 @@ impl ServeStats {
             cache_misses: self.cache_misses + other.cache_misses,
             errors: self.errors + other.errors,
             deltas_applied: self.deltas_applied + other.deltas_applied,
+            shed: self.shed + other.shed,
+            deadline_expired: self.deadline_expired + other.deadline_expired,
+            degraded: self.degraded + other.degraded,
         }
     }
 }
 
 impl fmt::Display for ServeStats {
     /// One-line human-readable summary, e.g.
-    /// `served 512 | cache 100 | dedup 12 | in-flight 3 | coalesced 200 | misses 397 | errors 0 | deltas 1`.
+    /// `served 512 | cache 100 | dedup 12 | in-flight 3 | coalesced 200 | misses 397 | errors 0 | deltas 1 | shed 4 | expired 2 | degraded 0`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "served {} | cache {} | dedup {} | in-flight {} | coalesced {} | misses {} | errors {} | deltas {}",
+            "served {} | cache {} | dedup {} | in-flight {} | coalesced {} | misses {} | errors {} | deltas {} | shed {} | expired {} | degraded {}",
             self.served,
             self.cache_hits,
             self.dedup_hits,
@@ -122,6 +174,9 @@ impl fmt::Display for ServeStats {
             self.cache_misses,
             self.errors,
             self.deltas_applied,
+            self.shed,
+            self.deadline_expired,
+            self.degraded,
         )
     }
 }
@@ -136,6 +191,9 @@ struct StatsCells {
     cache_misses: AtomicU64,
     errors: AtomicU64,
     deltas_applied: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    degraded: AtomicU64,
 }
 
 impl StatsCells {
@@ -149,9 +207,37 @@ impl StatsCells {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
 }
+
+/// Why a [`Ticket::wait_timeout`] returned without an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitTimeout {
+    /// The timeout elapsed with the answer still pending. The ticket is
+    /// unchanged: wait again, poll later, or drop it — dropping never
+    /// leaks runtime state, because the pending-map entry belongs to the
+    /// in-flight probe (its worker removes the entry when it resolves;
+    /// the fan-out send to a dropped ticket is simply discarded).
+    Elapsed,
+    /// The request resolved, but to an error (admission rejection,
+    /// missed deadline, probe failure, or a torn-down runtime).
+    Failed(CqapError),
+}
+
+impl fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitTimeout::Elapsed => write!(f, "timed out waiting for the answer"),
+            WaitTimeout::Failed(error) => write!(f, "request failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
 
 /// A one-shot handle to the answer of a single submitted request.
 pub struct Ticket<A> {
@@ -168,6 +254,25 @@ impl<A> Ticket<A> {
         self.rx
             .recv()
             .unwrap_or_else(|_| Err(CqapError::Other("serve runtime dropped".into())))
+    }
+
+    /// Blocks until the answer is ready or `timeout` elapses, bounding
+    /// the caller's wait even without request deadlines.
+    ///
+    /// On [`WaitTimeout::Elapsed`] the ticket remains usable — call
+    /// again, [`try_wait`](Self::try_wait), or drop it (dropping a
+    /// timed-out ticket never leaks the runtime's pending-map entry;
+    /// see [`WaitTimeout::Elapsed`]). A request that resolved to an
+    /// error yields [`WaitTimeout::Failed`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<A, WaitTimeout> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(answer)) => Ok(answer),
+            Ok(Err(error)) => Err(WaitTimeout::Failed(error)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(WaitTimeout::Elapsed),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(WaitTimeout::Failed(
+                CqapError::Other("serve runtime dropped".into()),
+            )),
+        }
     }
 
     /// Non-blocking poll; `None` while the answer is still being computed.
@@ -203,6 +308,22 @@ fn answer_guarded<I: BatchAnswer>(index: &I, request: &I::Request) -> Result<I::
                 "request panicked: {}",
                 panic_message(panic)
             )))
+        })
+}
+
+/// [`BatchAnswer::answer_degraded`] with the same panic-to-error
+/// conversion as [`answer_guarded`]; `None` means the index offers no
+/// cheaper plan and the caller falls back to the full probe.
+fn degraded_guarded<I: BatchAnswer>(
+    index: &I,
+    request: &I::Request,
+) -> Option<Result<I::Answer>> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| index.answer_degraded(request)))
+        .unwrap_or_else(|panic| {
+            Some(Err(CqapError::Other(format!(
+                "degraded answer panicked: {}",
+                panic_message(panic)
+            ))))
         })
 }
 
@@ -257,6 +378,24 @@ enum Lookup<I: BatchAnswer> {
     Probe,
 }
 
+/// One dispatchable unit formed by `serve_batch`'s coalescing stage: a
+/// lone fresh probe, or a coalesced group probed in bulk. Either way the
+/// unit is one backend probe, and admission charges it one slot.
+enum BatchJob<I: BatchAnswer> {
+    /// A single fresh probe and its result channel.
+    Single(I::Request, mpsc::Sender<Result<Arc<I::Answer>>>),
+    /// A coalesced bulk request plus per-member `(request, channel,
+    /// deadline)` resolution parts.
+    Coalesced(
+        I::Request,
+        Vec<(
+            I::Request,
+            mpsc::Sender<Result<Arc<I::Answer>>>,
+            Option<Instant>,
+        )>,
+    ),
+}
+
 /// A concurrent, caching request-serving runtime over a shared immutable
 /// index.
 pub struct ServeRuntime<I: BatchAnswer + 'static> {
@@ -265,6 +404,8 @@ pub struct ServeRuntime<I: BatchAnswer + 'static> {
     state: Arc<Mutex<OnlineState<I>>>,
     stats: Arc<StatsCells>,
     sink: MetricsSink,
+    gate: Option<Arc<AdmissionGate>>,
+    degrade_watermark: Option<usize>,
 }
 
 impl<I: BatchAnswer + 'static> ServeRuntime<I> {
@@ -293,6 +434,10 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
                 pending: FxHashMap::default(),
             })),
             stats: Arc::new(StatsCells::default()),
+            gate: config
+                .admission
+                .map(|admission| AdmissionGate::new(admission, sink.clone())),
+            degrade_watermark: config.degrade_watermark,
             sink,
         }
     }
@@ -390,33 +535,98 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
     /// events. When `submitted` is set this probe owns the request's root:
     /// the trace is finished — before the resolving send, like the laps —
     /// with the total latency since submission.
+    ///
+    /// `deadline` is checked on the worker *before* the backend probe:
+    /// an expired request is dropped and its ticket (plus any joined
+    /// waiters) resolves with [`CqapError::DeadlineExpired`]. `permit`
+    /// is the request's admission slot; it rides in the closure and is
+    /// released when the job finishes — including on a panicking
+    /// backend, because the pool catches unwinds and drops the
+    /// closure's captures.
     fn dispatch_probe(
         &self,
         request: I::Request,
         tx: mpsc::Sender<Result<Arc<I::Answer>>>,
         trace: TraceId,
         submitted: Option<Instant>,
+        deadline: Option<Instant>,
+        permit: Option<AdmissionPermit>,
     ) {
         let index = Arc::clone(&self.index);
         let state = Arc::clone(&self.state);
         let stats = Arc::clone(&self.stats);
         let sink = self.sink.clone();
+        // Degrade decision at dispatch time: the submitter sees the queue
+        // depth this job is about to join, which is exactly the watermark
+        // signal (a worker-side check would see one job fewer).
+        let degrade = self
+            .degrade_watermark
+            .is_some_and(|watermark| self.pool.pending() > watermark);
         self.pool.execute_traced(trace, move || {
+            let _permit = permit;
             // Per-worker span over this probe's lifecycle: the probe
             // itself, then publishing + fan-out as ticket delivery.
             let mut span = RequestSpan::begin_traced(&sink, trace);
-            let result = {
+            // Deadline gate before the probe: serving an answer nobody
+            // is waiting for anymore only steals capacity from requests
+            // that can still make theirs.
+            if let Some(deadline) = deadline {
+                let now = Instant::now();
+                if now >= deadline {
+                    let late_ns =
+                        u64::try_from((now - deadline).as_nanos()).unwrap_or(u64::MAX);
+                    let result: Result<Arc<I::Answer>> =
+                        Err(CqapError::DeadlineExpired { late_ns });
+                    let waiters = {
+                        let mut state = state.lock().expect("state lock");
+                        state.pending.remove(&request).unwrap_or_default()
+                    };
+                    let dropped = 1 + waiters.len() as u64;
+                    stats.deadline_expired.fetch_add(dropped, Ordering::Relaxed);
+                    sink.add(CounterId::DeadlinesExpired, dropped);
+                    for waiter in waiters {
+                        let _ = waiter.send(clone_result(&result));
+                    }
+                    span.lap(StageId::TicketDelivery);
+                    if let Some(submitted) = submitted {
+                        sink.trace_finish(
+                            trace,
+                            u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                    }
+                    let _ = tx.send(result);
+                    return;
+                }
+            }
+            let (result, degraded) = {
                 let _scope = TraceScope::enter(trace);
-                answer_guarded(index.as_ref(), &request).map(Arc::new)
+                match degrade
+                    .then(|| degraded_guarded(index.as_ref(), &request))
+                    .flatten()
+                {
+                    Some(cheap) => (cheap.map(Arc::new), true),
+                    None => (
+                        answer_guarded(index.as_ref(), &request).map(Arc::new),
+                        false,
+                    ),
+                }
             };
             span.lap(StageId::BackendProbe);
+            if degraded {
+                stats.degraded.fetch_add(1, Ordering::Relaxed);
+                sink.incr(CounterId::DegradedAnswers);
+            }
             if result.is_err() {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
             }
             let waiters = {
                 let mut state = state.lock().expect("state lock");
-                if let Ok(answer) = &result {
-                    state.cache.insert(request.clone(), Arc::clone(answer));
+                // Degraded answers are never cached: a warm hit must not
+                // keep serving the cheap answer after the overload ends.
+                if !degraded {
+                    if let Ok(answer) = &result {
+                        state.cache.insert(request.clone(), Arc::clone(answer));
+                    }
                 }
                 state.pending.remove(&request).unwrap_or_default()
             };
@@ -443,38 +653,69 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
     /// to the cache under the member's own key, drains that key's pending
     /// waiters, and resolves the member's channel. A bulk failure fans the
     /// error out to every member (counted as one probe error).
+    ///
+    /// Each part carries its own optional deadline: the bulk probe is
+    /// skipped only when every member has expired, and an individually
+    /// late member resolves with [`CqapError::DeadlineExpired`] instead
+    /// of its extracted answer. The group holds one admission `permit`
+    /// (it is one backend probe), released when the job finishes.
     fn dispatch_coalesced(
         &self,
         bulk: I::Request,
-        parts: Vec<(I::Request, mpsc::Sender<Result<Arc<I::Answer>>>)>,
+        parts: Vec<(
+            I::Request,
+            mpsc::Sender<Result<Arc<I::Answer>>>,
+            Option<Instant>,
+        )>,
         trace: TraceId,
+        permit: Option<AdmissionPermit>,
     ) {
         let index = Arc::clone(&self.index);
         let state = Arc::clone(&self.state);
         let stats = Arc::clone(&self.stats);
         let sink = self.sink.clone();
         self.pool.execute_traced(trace, move || {
+            let _permit = permit;
             let mut span = RequestSpan::begin_traced(&sink, trace);
-            let bulk_answer = {
+            // The bulk probe runs unless *every* member's deadline has
+            // already passed: as long as one member can still use the
+            // answer, the group's work is not wasted.
+            let now = Instant::now();
+            let all_expired = !parts.is_empty()
+                && parts
+                    .iter()
+                    .all(|(_, _, deadline)| deadline.is_some_and(|d| now >= d));
+            let bulk_answer = if all_expired {
+                Err(CqapError::Other("coalesced group fully expired".into()))
+            } else {
                 let _scope = TraceScope::enter(trace);
                 answer_guarded(index.as_ref(), &bulk)
             };
             span.lap(StageId::BackendProbe);
-            if bulk_answer.is_err() {
+            if bulk_answer.is_err() && !all_expired {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
             }
             let mut resolved = Vec::with_capacity(parts.len());
-            for (request, tx) in parts {
-                let result = match &bulk_answer {
-                    Ok(answer) => {
+            for (request, tx, deadline) in parts {
+                // Per-member expiry before extraction: a member that is
+                // already late gets the typed deadline error even when
+                // the group's bulk answer exists.
+                let expired_ns = deadline.and_then(|deadline| {
+                    let now = Instant::now();
+                    (now >= deadline)
+                        .then(|| u64::try_from((now - deadline).as_nanos()).unwrap_or(u64::MAX))
+                });
+                let (result, expired) = match (expired_ns, &bulk_answer) {
+                    (Some(late_ns), _) => (Err(CqapError::DeadlineExpired { late_ns }), true),
+                    (None, Ok(answer)) => {
                         let extracted =
                             extract_guarded(index.as_ref(), answer, &request).map(Arc::new);
                         if extracted.is_err() {
                             stats.errors.fetch_add(1, Ordering::Relaxed);
                         }
-                        extracted
+                        (extracted, false)
                     }
-                    Err(error) => Err(error.clone()),
+                    (None, Err(error)) => (Err(error.clone()), false),
                 };
                 let waiters = {
                     let mut state = state.lock().expect("state lock");
@@ -483,6 +724,11 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
                     }
                     state.pending.remove(&request).unwrap_or_default()
                 };
+                if expired {
+                    let dropped = 1 + waiters.len() as u64;
+                    stats.deadline_expired.fetch_add(dropped, Ordering::Relaxed);
+                    sink.add(CounterId::DeadlinesExpired, dropped);
+                }
                 for waiter in waiters {
                     let _ = waiter.send(clone_result(&result));
                 }
@@ -503,13 +749,19 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
     /// Cache hits resolve immediately without entering the pool, and
     /// concurrent submits of one key share a single index probe.
     ///
+    /// With admission configured ([`ServeConfig::admission`]) the submit
+    /// passes the gate first: under the shed policy an over-limit
+    /// request's ticket resolves immediately with
+    /// [`CqapError::Overloaded`] (see [`ServeStats::shed`]); under the
+    /// blocking policies this call waits for a slot before returning.
+    ///
     /// When the sink carries a flight recorder, a trace id is allocated
     /// per the sampling policy and the request's whole lifecycle (queue
     /// wait, probe, delivery, store-side leaf events) records against it.
     pub fn submit(&self, request: I::Request) -> Ticket<Arc<I::Answer>> {
         let trace = self.sink.trace_begin();
         let submitted = trace.is_sampled().then(Instant::now);
-        self.submit_inner(request, trace, submitted)
+        self.submit_inner(request, trace, submitted, None)
     }
 
     /// [`submit`](Self::submit) against a caller-allocated trace id, so a
@@ -520,7 +772,53 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
     /// id, so the caller finishes the trace once the whole request (all
     /// legs) resolves. This call only attributes the leg's events to it.
     pub fn submit_traced(&self, request: I::Request, trace: TraceId) -> Ticket<Arc<I::Answer>> {
-        self.submit_inner(request, trace, None)
+        self.submit_inner(request, trace, None, None)
+    }
+
+    /// [`submit`](Self::submit) with an absolute deadline.
+    ///
+    /// If the request is still queued when `deadline` passes, the worker
+    /// drops it *before* the backend probe and the ticket resolves with
+    /// [`CqapError::DeadlineExpired`] — a late request never hangs its
+    /// ticket and never costs a probe the caller no longer wants. A
+    /// request that arrives already expired is rejected at submission,
+    /// before the admission gate. Cache hits and joins of in-flight
+    /// probes ignore the deadline: the answer is already paid for.
+    pub fn submit_with_deadline(
+        &self,
+        request: I::Request,
+        deadline: Instant,
+    ) -> Ticket<Arc<I::Answer>> {
+        let trace = self.sink.trace_begin();
+        let submitted = trace.is_sampled().then(Instant::now);
+        self.submit_inner(request, trace, submitted, Some(deadline))
+    }
+
+    /// Submits `request` and waits for its answer, retrying shed
+    /// submissions ([`CqapError::Overloaded`]) under `policy`'s jittered
+    /// exponential backoff. Any other error — including deadline expiry —
+    /// propagates immediately without a retry.
+    ///
+    /// # Errors
+    /// The last `Overloaded` once the retry budget is exhausted, or the
+    /// first non-overload error.
+    pub fn submit_with_retry(
+        &self,
+        request: I::Request,
+        policy: RetryPolicy,
+    ) -> Result<Arc<I::Answer>> {
+        retry_overloaded(policy, || self.submit(request.clone()).wait())
+    }
+
+    /// Commits the root total for a submit that owns its trace (see
+    /// [`submit`](Self::submit)); a no-op for caller-allocated traces.
+    fn finish_root(&self, trace: TraceId, submitted: Option<Instant>) {
+        if let Some(submitted) = submitted {
+            self.sink.trace_finish(
+                trace,
+                u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
     }
 
     fn submit_inner(
@@ -528,23 +826,51 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         request: I::Request,
         trace: TraceId,
         submitted: Option<Instant>,
+        deadline: Option<Instant>,
     ) -> Ticket<Arc<I::Answer>> {
         let (tx, rx) = mpsc::channel();
         self.stats.served.fetch_add(1, Ordering::Relaxed);
+        // A request that arrives already expired is dropped before the
+        // admission gate — no point holding a slot for it.
+        if let Some(deadline) = deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                let late_ns = u64::try_from((now - deadline).as_nanos()).unwrap_or(u64::MAX);
+                self.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                self.sink.incr(CounterId::DeadlinesExpired);
+                self.finish_root(trace, submitted);
+                let _ = tx.send(Err(CqapError::DeadlineExpired { late_ns }));
+                return Ticket { rx };
+            }
+        }
+        // Admission before lookup: one slot per submitted request, held
+        // from the gate to resolution. Hits and joins release theirs
+        // right away below; probes carry theirs into the worker.
+        let permit = match &self.gate {
+            Some(gate) => match gate.admit(trace) {
+                Ok(permit) => Some(permit),
+                Err(error) => {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    self.sink.incr(CounterId::RequestsShed);
+                    self.finish_root(trace, submitted);
+                    let _ = tx.send(Err(error));
+                    return Ticket { rx };
+                }
+            },
+            None => None,
+        };
         match self.lookup(&request, &tx) {
             Lookup::Hit(answer) => {
+                drop(permit);
                 // A root-owning submit commits the hit's (tiny) total, so
                 // cache hits still show up as committed traces.
-                if let Some(submitted) = submitted {
-                    self.sink.trace_finish(
-                        trace,
-                        u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                    );
-                }
+                self.finish_root(trace, submitted);
                 let _ = tx.send(Ok(answer));
             }
-            Lookup::Joined => {}
-            Lookup::Probe => self.dispatch_probe(request, tx, trace, submitted),
+            Lookup::Joined => drop(permit),
+            Lookup::Probe => {
+                self.dispatch_probe(request, tx, trace, submitted, deadline, permit);
+            }
         }
         Ticket { rx }
     }
@@ -562,12 +888,52 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
     /// # Errors
     /// Fails if any request fails (the first error in input order wins).
     pub fn serve_batch(&self, requests: &[I::Request]) -> Result<Vec<Arc<I::Answer>>> {
+        // Collecting short-circuits on the first `Err` in iteration
+        // order, which is input order — the documented contract.
+        self.serve_batch_inner(requests, None).into_iter().collect()
+    }
+
+    /// [`serve_batch`](Self::serve_batch) with one absolute deadline per
+    /// request, returning per-position results instead of failing the
+    /// whole batch on the first error.
+    ///
+    /// Deadlines shape the batch in two ways. Dispatch is
+    /// earliest-deadline-first: probe jobs (coalesced groups and
+    /// singles) enter the pool ordered by their earliest member
+    /// deadline, so the most urgent work queues first. And expiry is
+    /// checked on the worker before each probe: a request whose deadline
+    /// passed while queued resolves as [`CqapError::DeadlineExpired`]
+    /// without costing a backend probe (for a deduplicated group, only
+    /// once every duplicate position has expired). Positions that join a
+    /// probe already in flight take that probe's outcome; their own
+    /// deadline does not cancel work another caller still wants.
+    ///
+    /// # Panics
+    /// Panics if `deadlines.len() != requests.len()`.
+    pub fn serve_batch_with_deadlines(
+        &self,
+        requests: &[I::Request],
+        deadlines: &[Instant],
+    ) -> Vec<Result<Arc<I::Answer>>> {
+        assert_eq!(
+            requests.len(),
+            deadlines.len(),
+            "one deadline per request"
+        );
+        self.serve_batch_inner(requests, Some(deadlines))
+    }
+
+    fn serve_batch_inner(
+        &self,
+        requests: &[I::Request],
+        deadlines: Option<&[Instant]>,
+    ) -> Vec<Result<Arc<I::Answer>>> {
         // One trace id covers the whole batch: its lookup/coalesce laps
         // and every probe it dispatches share the id, and the root spans
         // submission to the last gathered answer.
         let trace = self.sink.trace_begin();
         let submitted = trace.is_sampled().then(Instant::now);
-        let mut answers: Vec<Option<Arc<I::Answer>>> = vec![None; requests.len()];
+        let mut answers: Vec<Option<Result<Arc<I::Answer>>>> = vec![None; requests.len()];
         self.stats
             .served
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
@@ -618,27 +984,30 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         }
         for (answer, positions) in hits {
             for position in positions {
-                answers[position] = Some(Arc::clone(&answer));
+                answers[position] = Some(Ok(Arc::clone(&answer)));
             }
         }
 
-        let mut first_error: Option<(usize, CqapError)> = None;
-        let mut record = |result: Result<Arc<I::Answer>>,
-                          positions: Vec<usize>,
-                          answers: &mut Vec<Option<Arc<I::Answer>>>| {
-            match result {
-                Ok(answer) => {
-                    for position in positions {
-                        answers[position] = Some(Arc::clone(&answer));
-                    }
-                }
-                Err(error) => {
-                    let position = positions[0];
-                    if first_error.as_ref().is_none_or(|(p, _)| position < *p) {
-                        first_error = Some((position, error));
-                    }
-                }
+        let record = |result: Result<Arc<I::Answer>>,
+                      positions: Vec<usize>,
+                      answers: &mut Vec<Option<Result<Arc<I::Answer>>>>| {
+            for position in positions {
+                answers[position] = Some(clone_result(&result));
             }
+        };
+
+        // The dedup group's deadline window: earliest member for EDF
+        // ordering, latest member for the worker-side drop check (the
+        // probe still runs while anyone in the group can use it).
+        let group_deadline = |positions: &[usize], earliest: bool| -> Option<Instant> {
+            deadlines.map(|ds| {
+                let per_position = positions.iter().map(|&p| ds[p]);
+                if earliest {
+                    per_position.min().expect("non-empty group")
+                } else {
+                    per_position.max().expect("non-empty group")
+                }
+            })
         };
 
         // Coalesce (§6.4): distinct fresh probes sharing a coalescing
@@ -660,6 +1029,10 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         };
         let coalesce_started = if had_probes { lookup_started.map(|_| Instant::now()) } else { None };
         let mut own: Vec<(mpsc::Receiver<Result<Arc<I::Answer>>>, Vec<usize>)> =
+            Vec::with_capacity(probes.len());
+        // Probe jobs awaiting dispatch as `(EDF key, worker-side drop
+        // deadline, job)`; built first so dispatch can order by urgency.
+        let mut jobs: Vec<(Option<Instant>, Option<Instant>, BatchJob<I>)> =
             Vec::with_capacity(probes.len());
         let mut singles: Vec<(I::Request, Vec<usize>)> = Vec::new();
         let mut classes: FxHashMap<u64, Vec<(I::Request, Vec<usize>)>> = FxHashMap::default();
@@ -697,24 +1070,67 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
                         .coalesced
                         .fetch_add(group.len() as u64, Ordering::Relaxed);
                     let mut parts = Vec::with_capacity(group.len());
+                    let mut edf: Option<Instant> = None;
                     for (request, positions) in group {
+                        let member_deadline = group_deadline(&positions, false);
+                        edf = match (edf, group_deadline(&positions, true)) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, None) => a,
+                            (None, b) => b,
+                        };
                         let (ptx, prx) = mpsc::channel();
-                        parts.push((request, ptx));
+                        parts.push((request, ptx, member_deadline));
                         own.push((prx, positions));
                     }
-                    self.dispatch_coalesced(bulk, parts, trace);
+                    jobs.push((edf, None, BatchJob::Coalesced(bulk, parts)));
                 }
                 // The index refused the merge: dispatch the group one
                 // probe per request, as if it never coalesced.
                 Err(_) => singles.extend(group),
             }
         }
-        // Dispatch the remaining probes individually; results come back
-        // tagged with their position group via a side channel per probe.
         for (request, positions) in singles {
+            let edf = group_deadline(&positions, true);
+            let drop_deadline = group_deadline(&positions, false);
             let (ptx, prx) = mpsc::channel();
-            self.dispatch_probe(request, ptx, trace, None);
             own.push((prx, positions));
+            jobs.push((edf, drop_deadline, BatchJob::Single(request, ptx)));
+        }
+        // Earliest-deadline-first dispatch: the most urgent job enters
+        // the pool's queue first. Jobs without a deadline go last; the
+        // no-deadline batch path keeps its original dispatch order.
+        if deadlines.is_some() {
+            jobs.sort_by(|(a, _, _), (b, _, _)| match (a, b) {
+                (Some(a), Some(b)) => a.cmp(b),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            });
+        }
+        // Dispatch in EDF order, charging admission one slot per probe
+        // job (a coalesced group is one backend probe). A shed job
+        // resolves all its members with the gate's error instead of
+        // dispatching; results still come back through each group's
+        // side channel, keeping the gather loop uniform.
+        for (_, drop_deadline, job) in jobs {
+            let permit = match &self.gate {
+                Some(gate) => match gate.admit(trace) {
+                    Ok(permit) => Some(permit),
+                    Err(error) => {
+                        self.shed_batch_job(job, &error);
+                        continue;
+                    }
+                },
+                None => None,
+            };
+            match job {
+                BatchJob::Single(request, ptx) => {
+                    self.dispatch_probe(request, ptx, trace, None, drop_deadline, permit);
+                }
+                BatchJob::Coalesced(bulk, parts) => {
+                    self.dispatch_coalesced(bulk, parts, trace, permit);
+                }
+            }
         }
         self.sink.stop(coalesce_timer, StageId::Coalesce);
         if let Some(started) = coalesce_started {
@@ -725,7 +1141,7 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
         for (prx, positions) in own.into_iter().chain(joined) {
             let result = prx
                 .recv()
-                .map_err(|_| CqapError::Other("serve worker disappeared".into()))?;
+                .unwrap_or_else(|_| Err(CqapError::Other("serve worker disappeared".into())));
             record(result, positions, &mut answers);
         }
         // The batch owns its trace root: finish once every leg gathered,
@@ -736,13 +1152,37 @@ impl<I: BatchAnswer + 'static> ServeRuntime<I> {
                 u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
             );
         }
-        if let Some((_, error)) = first_error {
-            return Err(error);
-        }
-        Ok(answers
+        answers
             .into_iter()
             .map(|a| a.expect("every position answered or errored"))
-            .collect())
+            .collect()
+    }
+
+    /// Resolves every member of a batch job that failed admission: the
+    /// members' pending entries are removed, waiters that joined since
+    /// the batch's lookup pass fan the same error, and each resolved
+    /// ticket (member channel or waiter) counts as shed.
+    fn shed_batch_job(&self, job: BatchJob<I>, error: &CqapError) {
+        let members: Vec<(I::Request, mpsc::Sender<Result<Arc<I::Answer>>>)> = match job {
+            BatchJob::Single(request, tx) => vec![(request, tx)],
+            BatchJob::Coalesced(_, parts) => {
+                parts.into_iter().map(|(r, tx, _)| (r, tx)).collect()
+            }
+        };
+        for (request, tx) in members {
+            let waiters = {
+                let mut state = self.state.lock().expect("state lock");
+                state.pending.remove(&request).unwrap_or_default()
+            };
+            let dropped = 1 + waiters.len() as u64;
+            self.stats.shed.fetch_add(dropped, Ordering::Relaxed);
+            self.sink.add(CounterId::RequestsShed, dropped);
+            let result: Result<Arc<I::Answer>> = Err(error.clone());
+            for waiter in waiters {
+                let _ = waiter.send(clone_result(&result));
+            }
+            let _ = tx.send(result);
+        }
     }
 }
 
@@ -774,6 +1214,7 @@ mod tests {
             ServeConfig {
                 threads: 4,
                 cache_capacity: 16,
+                ..ServeConfig::default()
             },
         );
         let parallel = runtime.serve_batch(&requests).unwrap();
@@ -805,6 +1246,7 @@ mod tests {
             ServeConfig {
                 threads: 2,
                 cache_capacity: 64,
+                ..ServeConfig::default()
             },
         );
         let repeated: Vec<AccessRequest> = std::iter::repeat(requests[0].clone()).take(50).collect();
@@ -861,6 +1303,7 @@ mod tests {
             ServeConfig {
                 threads: 2,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         );
         let error = runtime.submit(13).wait().expect_err("poison key fails");
@@ -928,6 +1371,7 @@ mod tests {
             ServeConfig {
                 threads: 4,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         );
         // Ten submits of the hot key while the first probe is blocked on
@@ -957,6 +1401,7 @@ mod tests {
             ServeConfig {
                 threads: 4,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         ));
         // A submit starts a gated probe of key 7...
@@ -999,6 +1444,7 @@ mod tests {
             ServeConfig {
                 threads: 2,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         );
         // Both submits of the poison key are registered while the single
@@ -1061,6 +1507,7 @@ mod tests {
             ServeConfig {
                 threads: 2,
                 cache_capacity: 16,
+                ..ServeConfig::default()
             },
         );
         let batch: Vec<Vec<u64>> = vec![vec![1], vec![2], vec![3], vec![4, 5]];
@@ -1095,6 +1542,7 @@ mod tests {
             ServeConfig {
                 threads: 4,
                 cache_capacity: 256,
+                ..ServeConfig::default()
             },
         );
         let answers = runtime.serve_batch(&requests).unwrap();
@@ -1114,6 +1562,7 @@ mod tests {
             ServeConfig {
                 threads: 4,
                 cache_capacity: 256,
+                ..ServeConfig::default()
             },
             sink.clone(),
         );
@@ -1160,6 +1609,7 @@ mod tests {
             ServeConfig {
                 threads: 2,
                 cache_capacity: 64,
+                ..ServeConfig::default()
             },
             sink.clone(),
         );
@@ -1203,6 +1653,7 @@ mod tests {
             ServeConfig {
                 threads: 2,
                 cache_capacity: 64,
+                ..ServeConfig::default()
             },
             sink.clone(),
         );
@@ -1260,5 +1711,395 @@ mod tests {
         let mut batch = requests[..3].to_vec();
         batch.push(wrong_vars);
         assert!(runtime.serve_batch(&batch).is_err());
+    }
+
+    // ----- Overload safety: admission, deadlines, degrade (PR 10) -----
+
+    #[test]
+    fn shed_admission_rejects_and_recovers() {
+        let (index, gate) = GatedIndex::new();
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 8,
+                admission: Some(AdmissionConfig::shed(2)),
+                ..ServeConfig::default()
+            },
+        );
+        // Admission happens on the submitting thread, so after these two
+        // return, both slots are held by gated probes...
+        let first = runtime.submit(1);
+        let second = runtime.submit(2);
+        // ...and the third submit sheds with the typed error.
+        let error = runtime.submit(3).wait().expect_err("over the limit");
+        assert!(error.is_overloaded(), "got: {error}");
+        assert_eq!(runtime.stats().shed, 1);
+        // Draining the gated probes frees the slots: the runtime recovers.
+        gate.send(()).expect("worker waiting");
+        gate.send(()).expect("worker waiting");
+        assert_eq!(*first.wait().unwrap(), 10);
+        assert_eq!(*second.wait().unwrap(), 20);
+        let retry = runtime.submit(3);
+        gate.send(()).expect("worker waiting");
+        assert_eq!(*retry.wait().unwrap(), 30);
+        assert_eq!(runtime.stats().shed, 1, "the retry was admitted");
+        // Three probes total — keys 1, 2, and the retried 3. The shed
+        // submit never reached the backend.
+        assert_eq!(index.probes.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn block_admission_backpressures_until_a_slot_frees() {
+        let (index, gate) = GatedIndex::new();
+        let runtime = Arc::new(ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 8,
+                admission: Some(AdmissionConfig::block(1, None)),
+                ..ServeConfig::default()
+            },
+        ));
+        let first = runtime.submit(1); // holds the only slot at the gate
+        let blocked_runtime = Arc::clone(&runtime);
+        let blocked = std::thread::spawn(move || blocked_runtime.submit(2).wait());
+        // The blocked submitter admits only after key 1's probe finishes,
+        // so until the first gate token is sent, exactly one probe runs.
+        let patience = Instant::now() + Duration::from_secs(10);
+        while index.probes.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < patience, "first probe never started");
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(index.probes.load(Ordering::Relaxed), 1, "key 2 still gated out");
+        gate.send(()).expect("worker waiting");
+        gate.send(()).expect("worker waiting");
+        assert_eq!(*first.wait().unwrap(), 10);
+        assert_eq!(*blocked.join().unwrap().unwrap(), 20);
+        assert_eq!(runtime.stats().shed, 0, "blocking admission sheds nothing");
+    }
+
+    #[test]
+    fn queued_request_past_its_deadline_is_dropped_before_the_probe() {
+        let (index, gate) = GatedIndex::new();
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 1,
+                cache_capacity: 8,
+                ..ServeConfig::default()
+            },
+        );
+        // Key 1 holds the single worker at the gate, so key 2's short
+        // deadline passes while it sits queued.
+        let first = runtime.submit(1);
+        let second =
+            runtime.submit_with_deadline(2, Instant::now() + Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(40));
+        gate.send(()).expect("worker waiting");
+        assert_eq!(*first.wait().unwrap(), 10);
+        let error = second.wait().expect_err("deadline passed in the queue");
+        assert!(error.is_deadline_expired(), "got: {error}");
+        // One probe total: the expired request was dropped before the
+        // backend (no second gate token was ever needed).
+        assert_eq!(index.probes.load(Ordering::Relaxed), 1);
+        let stats = runtime.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.errors, 0, "expiry is not a probe error");
+    }
+
+    #[test]
+    fn already_expired_submit_is_rejected_at_the_door() {
+        let (index, requests) = small_index();
+        let runtime = ServeRuntime::new(index);
+        let ticket = runtime.submit_with_deadline(
+            requests[0].clone(),
+            Instant::now() - Duration::from_millis(5),
+        );
+        let error = ticket.wait().expect_err("expired on arrival");
+        assert!(error.is_deadline_expired(), "got: {error}");
+        let stats = runtime.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.cache_misses, 0, "the lookup was never consulted");
+    }
+
+    #[test]
+    fn wait_timeout_bounds_the_wait_and_keeps_the_ticket_usable() {
+        let (index, gate) = GatedIndex::new();
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 1,
+                cache_capacity: 8,
+                ..ServeConfig::default()
+            },
+        );
+        let ticket = runtime.submit(4);
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_millis(10)),
+            Err(WaitTimeout::Elapsed)
+        ));
+        gate.send(()).expect("worker waiting");
+        // The timed-out ticket is still live: the answer arrives on the
+        // same channel once the probe completes, and dropping it instead
+        // would not leak the pending-map entry (the worker removed it
+        // when publishing).
+        assert_eq!(*ticket.wait_timeout(Duration::from_secs(10)).unwrap(), 40);
+    }
+
+    #[test]
+    fn submit_with_retry_rides_out_a_transient_overload() {
+        let (index, gate) = GatedIndex::new();
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 1,
+                cache_capacity: 8,
+                admission: Some(AdmissionConfig::shed(1)),
+                ..ServeConfig::default()
+            },
+        );
+        let first = runtime.submit(1); // holds the only slot at the gate
+        // A plain submit sheds deterministically while the slot is held.
+        let error = runtime.submit(2).wait().expect_err("slot held");
+        assert!(error.is_overloaded());
+        // Free the slot mid-backoff; the second token pre-buffers for the
+        // retry's own probe.
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(15));
+            gate.send(()).expect("worker waiting");
+            gate.send(()).expect("second token buffers for the retry");
+        });
+        let policy = RetryPolicy {
+            max_retries: 200,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+            jitter_seed: 42,
+        };
+        let answer = runtime.submit_with_retry(2, policy).unwrap();
+        assert_eq!(*answer, 20);
+        assert!(runtime.stats().shed >= 1);
+        assert_eq!(*first.wait().unwrap(), 10);
+        release.join().unwrap();
+    }
+
+    /// An index that records the order keys are probed in, gated so the
+    /// queue builds up behind the first probe.
+    struct OrderIndex {
+        gate: Mutex<mpsc::Receiver<()>>,
+        order: Mutex<Vec<u64>>,
+    }
+
+    impl crate::BatchAnswer for OrderIndex {
+        type Request = u64;
+        type Answer = u64;
+
+        fn answer_one(&self, request: &u64) -> cqap_common::Result<u64> {
+            self.gate
+                .lock()
+                .expect("gate lock")
+                .recv()
+                .expect("gate open");
+            self.order.lock().expect("order lock").push(*request);
+            Ok(request * 10)
+        }
+    }
+
+    #[test]
+    fn batch_dispatch_is_earliest_deadline_first() {
+        let (tx, rx) = mpsc::channel();
+        let index = Arc::new(OrderIndex {
+            gate: Mutex::new(rx),
+            order: Mutex::new(Vec::new()),
+        });
+        // One worker drains its queue in FIFO order, so the recorded
+        // probe order is exactly the dispatch order.
+        let runtime = Arc::new(ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 1,
+                cache_capacity: 8,
+                ..ServeConfig::default()
+            },
+        ));
+        let now = Instant::now();
+        let requests = vec![1u64, 2, 3];
+        let deadlines = vec![
+            now + Duration::from_secs(60),
+            now + Duration::from_secs(30),
+            now + Duration::from_secs(10),
+        ];
+        let batch_runtime = Arc::clone(&runtime);
+        let batch = std::thread::spawn(move || {
+            batch_runtime.serve_batch_with_deadlines(&requests, &deadlines)
+        });
+        for _ in 0..3 {
+            tx.send(()).expect("worker waiting");
+        }
+        let results = batch.join().unwrap();
+        for (position, result) in results.iter().enumerate() {
+            assert_eq!(**result.as_ref().unwrap(), (position as u64 + 1) * 10);
+        }
+        assert_eq!(
+            *index.order.lock().unwrap(),
+            vec![3, 2, 1],
+            "the earliest deadline probes first"
+        );
+    }
+
+    #[test]
+    fn batch_admission_sheds_per_position_without_failing_the_batch() {
+        let (index, gate) = GatedIndex::new();
+        let runtime = Arc::new(ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 8,
+                admission: Some(AdmissionConfig::shed(1)),
+                ..ServeConfig::default()
+            },
+        ));
+        let far = Instant::now() + Duration::from_secs(60);
+        let batch_runtime = Arc::clone(&runtime);
+        let batch = std::thread::spawn(move || {
+            batch_runtime.serve_batch_with_deadlines(&[1, 2], &[far, far])
+        });
+        // One slot: the first job dispatches and gates, the second sheds.
+        let patience = Instant::now() + Duration::from_secs(10);
+        while runtime.stats().shed == 0 {
+            assert!(Instant::now() < patience, "second job never shed");
+            std::thread::yield_now();
+        }
+        gate.send(()).expect("worker waiting");
+        let results = batch.join().unwrap();
+        assert_eq!(**results[0].as_ref().unwrap(), 10);
+        assert!(results[1].as_ref().is_err_and(|e| e.is_overloaded()));
+        assert_eq!(runtime.stats().shed, 1);
+        assert_eq!(index.probes.load(Ordering::Relaxed), 1, "shed members never probe");
+    }
+
+    /// A gated index with a cheap ungated degraded path, flagged by `+1`.
+    struct DegradableIndex {
+        gate: Mutex<mpsc::Receiver<()>>,
+        probes: AtomicU64,
+        degraded_probes: AtomicU64,
+    }
+
+    impl crate::BatchAnswer for DegradableIndex {
+        type Request = u64;
+        type Answer = u64;
+
+        fn answer_one(&self, request: &u64) -> cqap_common::Result<u64> {
+            self.probes.fetch_add(1, Ordering::Relaxed);
+            self.gate
+                .lock()
+                .expect("gate lock")
+                .recv()
+                .expect("gate open");
+            Ok(request * 10)
+        }
+
+        fn answer_degraded(&self, request: &u64) -> Option<cqap_common::Result<u64>> {
+            self.degraded_probes.fetch_add(1, Ordering::Relaxed);
+            Some(Ok(request * 10 + 1))
+        }
+    }
+
+    #[test]
+    fn degrade_mode_past_the_watermark_answers_cheaply_and_skips_the_cache() {
+        let (tx, rx) = mpsc::channel();
+        let index = Arc::new(DegradableIndex {
+            gate: Mutex::new(rx),
+            probes: AtomicU64::new(0),
+            degraded_probes: AtomicU64::new(0),
+        });
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 1,
+                cache_capacity: 8,
+                degrade_watermark: Some(0),
+                ..ServeConfig::default()
+            },
+        );
+        // Key 1 occupies the single worker (the queue was empty at its
+        // dispatch, so it is served in full)...
+        let first = runtime.submit(1);
+        let patience = Instant::now() + Duration::from_secs(10);
+        while index.probes.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < patience, "first probe never started");
+            std::thread::yield_now();
+        }
+        // ...key 2 queues behind it (queue still empty at dispatch time:
+        // key 1 was already picked up)...
+        let second = runtime.submit(2);
+        // ...and key 3 dispatches with key 2 sitting queued — past the
+        // watermark, so it degrades to the cheap plan.
+        let third = runtime.submit(3);
+        tx.send(()).expect("worker waiting");
+        tx.send(()).expect("worker waiting");
+        assert_eq!(*first.wait().unwrap(), 10);
+        assert_eq!(*second.wait().unwrap(), 20);
+        assert_eq!(*third.wait().unwrap(), 31, "degraded answer is flagged");
+        let stats = runtime.stats();
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(index.degraded_probes.load(Ordering::Relaxed), 1);
+        // Degraded answers are never cached: a calm re-submit of key 3
+        // runs the full probe and returns the full answer.
+        let retry = runtime.submit(3);
+        tx.send(()).expect("worker waiting");
+        assert_eq!(*retry.wait().unwrap(), 30);
+        assert_eq!(runtime.stats().degraded, 1);
+    }
+
+    /// PR-10 acceptance: enabling admission must not re-introduce
+    /// allocation on the warm single-request path (counter-enforced, as
+    /// in the sink/tracer variants above).
+    #[test]
+    fn warm_submit_with_admission_stays_allocation_free() {
+        let (index, requests) = small_index();
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 64,
+                admission: Some(AdmissionConfig::shed(32)),
+                ..ServeConfig::default()
+            },
+        );
+        let cold = runtime.submit(requests[0].clone()).wait().unwrap();
+        let dedup_before = cqap_relation::instrument::dedup_inserts();
+        let boxes_before = cqap_common::tuple::instrument::heap_boxings();
+        let warm = runtime.submit(requests[0].clone()).wait().unwrap();
+        assert_eq!(
+            cqap_relation::instrument::dedup_inserts(),
+            dedup_before,
+            "warm cache hit through the admission gate performs no dedup inserts"
+        );
+        assert_eq!(
+            cqap_common::tuple::instrument::heap_boxings(),
+            boxes_before,
+            "warm cache hit through the admission gate boxes no tuples"
+        );
+        assert_eq!(warm, cold);
+        assert_eq!(runtime.stats().cache_hits, 1);
+        assert_eq!(runtime.stats().shed, 0);
+    }
+
+    #[test]
+    fn driver_degraded_answer_is_flagged_and_contained() {
+        let (index, requests) = small_index();
+        for request in requests.iter().take(10) {
+            let full = index.answer(request).unwrap();
+            let degraded = index.answer_degraded(request).unwrap();
+            assert_eq!(degraded.name(), cqap_panda::DEGRADED_ANSWER_NAME);
+            for tuple in degraded.iter() {
+                assert!(
+                    full.contains(&tuple),
+                    "degraded answers only ever under-report"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,163 @@
+//! Property test: overload control **conserves requests**.
+//!
+//! Under every admission policy, request mix, and deadline mix, each
+//! submitted request resolves to exactly one of {answered, shed,
+//! deadline-expired} — nothing is double-counted, nothing vanishes, and
+//! no ticket is left unresolved at shutdown. The runtime's own counters
+//! must agree exactly with the client-side classification, and every
+//! answered request must equal the unthrottled reference answer: load
+//! shedding may drop work, but it must never corrupt it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cqap_indexes::TwoReachIndex;
+use cqap_query::workload::{zipf_pair_requests, Graph};
+use cqap_serve::{AdmissionConfig, ServeConfig, ServeRuntime};
+use proptest::prelude::*;
+
+/// The three gate policies under test, by case index. `Block` gets a
+/// generous timeout so a pathologically slow CI machine degrades into
+/// shedding rather than wedging the test.
+fn admission(policy: usize, max_pending: usize) -> AdmissionConfig {
+    match policy {
+        0 => AdmissionConfig::shed(max_pending),
+        1 => AdmissionConfig::block(max_pending, Some(Duration::from_secs(10))),
+        _ => AdmissionConfig::semaphore(max_pending),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation: `submitted == answered + shed + deadline_expired`,
+    /// exactly, on both the client's ledger and the runtime's counters —
+    /// across policies, tiny gate limits, and a mixed deadline stream.
+    #[test]
+    fn every_request_is_answered_shed_or_expired(
+        seed in 0u64..10_000,
+        n in 100usize..300,
+        max_pending in 1usize..6,
+        policy in 0usize..3,
+    ) {
+        let graph = Graph::random(50, 220, seed);
+        let index = Arc::new(TwoReachIndex::build(&graph, 20_000));
+        let requests = zipf_pair_requests(&graph, n, 1.1, seed ^ 0xbeef);
+        let reference: Vec<bool> =
+            requests.iter().map(|&(u, v)| index.query(u, v)).collect();
+
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 32,
+                admission: Some(admission(policy, max_pending)),
+                ..ServeConfig::default()
+            },
+        );
+
+        // Mixed deadline stream: most requests are deadline-free, every
+        // 5th carries a comfortable deadline, every 10th an immediate one
+        // (already or nearly expired at the gate). Whether a given ticket
+        // lands in `answered` or `expired` is timing-dependent; the
+        // conservation identity must hold either way.
+        let tickets: Vec<_> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, &request)| {
+                if i % 10 == 9 {
+                    runtime.submit_with_deadline(request, Instant::now())
+                } else if i % 5 == 4 {
+                    runtime.submit_with_deadline(
+                        request,
+                        Instant::now() + Duration::from_secs(30),
+                    )
+                } else {
+                    runtime.submit(request)
+                }
+            })
+            .collect();
+
+        // Every ticket resolves — `wait` returning at all is the "no
+        // request vanishes" half of the property.
+        let (mut answered, mut shed, mut expired) = (0u64, 0u64, 0u64);
+        for (position, ticket) in tickets.into_iter().enumerate() {
+            match ticket.wait() {
+                Ok(answer) => {
+                    answered += 1;
+                    prop_assert_eq!(
+                        *answer, reference[position],
+                        "throttled answer diverged at position {}", position
+                    );
+                }
+                Err(error) if error.is_overloaded() => shed += 1,
+                Err(error) if error.is_deadline_expired() => expired += 1,
+                Err(error) => prop_assert!(false, "unexpected error: {}", error),
+            }
+        }
+
+        // Client ledger conserves by construction; the runtime's counters
+        // must agree with it exactly (shed and expired tickets are counted
+        // per resolved ticket, answered is the remainder).
+        prop_assert_eq!(answered + shed + expired, n as u64);
+        let stats = runtime.stats();
+        prop_assert_eq!(stats.served, n as u64);
+        prop_assert_eq!(stats.shed, shed);
+        prop_assert_eq!(stats.deadline_expired, expired);
+        prop_assert_eq!(stats.errors, 0);
+        // Answered requests were really served by the backend stack.
+        // Every request that passed both the gate and the door-side
+        // deadline check shows up as exactly one cache hit, miss, or
+        // in-flight join — so the backend totals cover the answered
+        // count, overshooting only by tickets that expired *after*
+        // lookup (queued past their deadline).
+        let backend = stats.cache_hits + stats.cache_misses + stats.inflight_hits;
+        prop_assert!(backend >= answered, "backend {} < answered {}", backend, answered);
+        prop_assert!(
+            backend <= answered + expired,
+            "backend {} > answered {} + expired {}", backend, answered, expired
+        );
+    }
+
+    /// Shutdown flushes, never strands: tickets still unresolved when the
+    /// runtime drops are answered (or typed-failed) by the drain — a
+    /// `wait` after drop returns rather than hanging.
+    #[test]
+    fn no_ticket_is_left_unresolved_at_shutdown(
+        seed in 0u64..10_000,
+        policy in 0usize..3,
+    ) {
+        let graph = Graph::random(40, 160, seed);
+        let index = Arc::new(TwoReachIndex::build(&graph, 20_000));
+        let requests = zipf_pair_requests(&graph, 64, 1.1, seed ^ 0x50de);
+        let reference: Vec<bool> =
+            requests.iter().map(|&(u, v)| index.query(u, v)).collect();
+
+        let runtime = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: 2,
+                cache_capacity: 16,
+                admission: Some(admission(policy, 4)),
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|&request| runtime.submit(request))
+            .collect();
+        // Drop with every ticket still in hand: the pool drains its queue
+        // before the workers join, so in-flight probes complete.
+        drop(runtime);
+        for (position, ticket) in tickets.into_iter().enumerate() {
+            match ticket.wait() {
+                Ok(answer) => prop_assert_eq!(*answer, reference[position]),
+                Err(error) => prop_assert!(
+                    error.is_overloaded(),
+                    "post-shutdown ticket resolved with unexpected error: {}",
+                    error
+                ),
+            }
+        }
+    }
+}

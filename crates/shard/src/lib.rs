@@ -45,7 +45,7 @@
 //! // Serving: per-shard runtimes behind a router, behind a front cache.
 //! let runtime = ServeRuntime::with_config(
 //!     Arc::new(ShardRouter::new(sharded)),
-//!     ServeConfig { threads: 2, cache_capacity: 256 },
+//!     ServeConfig { threads: 2, cache_capacity: 256, ..ServeConfig::default() },
 //! );
 //! let requests: Vec<AccessRequest> = zipf_pair_requests(&graph, 300, 1.1, 7)
 //!     .into_iter()

@@ -28,7 +28,9 @@ use cqap_obs::{trace, MetricsSink, StageId, TraceStage};
 use cqap_panda::CqapIndex;
 use cqap_query::AccessRequest;
 use cqap_relation::Relation;
-use cqap_serve::{default_threads, BatchAnswer, ServeConfig, ServeRuntime, ServeStats};
+use cqap_serve::{
+    default_threads, AdmissionConfig, BatchAnswer, ServeConfig, ServeRuntime, ServeStats,
+};
 
 use crate::index::ShardedIndex;
 use crate::partition::ShardSpec;
@@ -42,6 +44,14 @@ pub struct ShardRouterConfig {
     pub threads_per_shard: usize,
     /// Capacity of each shard's LRU answer cache, in entries.
     pub cache_capacity: usize,
+    /// Per-shard admission control, applied verbatim to every shard
+    /// runtime (each shard gets its own gate of `max_pending` slots —
+    /// the router-wide bound is `shards × max_pending`). `None` (the
+    /// default) serves unbounded, as before.
+    pub admission: Option<AdmissionConfig>,
+    /// Per-shard degrade watermark (see `ServeConfig::degrade_watermark`);
+    /// `None` disables degrade mode.
+    pub degrade_watermark: Option<usize>,
 }
 
 impl Default for ShardRouterConfig {
@@ -49,6 +59,8 @@ impl Default for ShardRouterConfig {
         ShardRouterConfig {
             threads_per_shard: 0,
             cache_capacity: 1_024,
+            admission: None,
+            degrade_watermark: None,
         }
     }
 }
@@ -97,6 +109,8 @@ impl ShardRouter {
                     ServeConfig {
                         threads,
                         cache_capacity: config.cache_capacity,
+                        admission: config.admission,
+                        degrade_watermark: config.degrade_watermark,
                     },
                     sink.with_shard_label(shard as u16),
                 )
@@ -269,6 +283,7 @@ mod tests {
             ServeConfig {
                 threads: 4,
                 cache_capacity: 64,
+                ..ServeConfig::default()
             },
         );
         let answers = runtime.serve_batch(&requests).unwrap();

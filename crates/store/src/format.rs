@@ -1350,6 +1350,44 @@ mod tests {
     }
 
     #[test]
+    fn compaction_write_failure_keeps_base_and_overlay_serving() {
+        let rel = Relation::binary("R", 0, 1, (0..30u64).map(|i| (i, i + 1)));
+        let path = scratch("writefail.sview");
+        write_view(&path, &rel, vars![1]).unwrap();
+        let base_bytes = std::fs::read(&path).unwrap();
+        let mut view = StoredView::open(&path).unwrap();
+        view.apply_delta(&[Tuple::pair(700, 500)], &[Tuple::pair(3, 4)]).unwrap();
+        assert!(view.overlay_len() > 0, "delta buffered in the overlay");
+
+        // Fault injection on the write side: a directory squatting on the
+        // temp path makes `write_view`'s `File::create` fail (EISDIR)
+        // before a single byte of the new run exists.
+        let tmp = path.with_extension("tmp");
+        std::fs::create_dir(&tmp).unwrap();
+        let err = view.compact().unwrap_err();
+        assert!(err.to_string().contains("writefail"), "I/O error names the file: {err}");
+
+        // The failed compaction changed nothing durable and lost nothing
+        // volatile: base bytes are untouched, the overlay is retained, and
+        // probes still see base minus tombstones plus inserts.
+        assert_eq!(std::fs::read(&path).unwrap(), base_bytes, "base untouched");
+        assert!(view.overlay_len() > 0, "overlay retained after failure");
+        assert_eq!(view.probe(&Tuple::unary(700)).unwrap(), vec![Tuple::pair(700, 500)]);
+        assert!(view.probe(&Tuple::unary(3)).unwrap().is_empty(), "tombstone holds");
+        assert_eq!(view.probe(&Tuple::unary(10)).unwrap(), vec![Tuple::pair(10, 11)]);
+
+        // Once the fault clears, the same view compacts successfully and
+        // the merged run serves identically with an empty overlay.
+        std::fs::remove_dir(&tmp).unwrap();
+        view.compact().unwrap();
+        assert_eq!(view.overlay_len(), 0);
+        assert_eq!(view.len(), 30, "30 base - 1 tombstone + 1 insert");
+        assert_eq!(view.probe(&Tuple::unary(700)).unwrap(), vec![Tuple::pair(700, 500)]);
+        assert!(view.probe(&Tuple::unary(3)).unwrap().is_empty());
+        cleanup(&path);
+    }
+
+    #[test]
     fn oversized_overlay_triggers_automatic_compaction() {
         let rel = Relation::binary("R", 0, 1, [(1, 2)]);
         let path = scratch("autocompact.sview");

@@ -1,0 +1,215 @@
+//! Overload control: bounded admission tames an open-loop flash crowd.
+//!
+//! ```sh
+//! cargo run --release --example overload_control
+//! ```
+//!
+//! An **unbounded** serving runtime under open-loop overload has no good
+//! failure mode: every arrival is queued, the backlog (and with it the
+//! queue-wait tail) grows without limit, and *every* request — including
+//! the ones a well-provisioned system would have answered instantly —
+//! pays for the burst. Bounded admission trades completeness for
+//! predictability: requests beyond the gate's `max_pending` are shed with
+//! a typed [`ServeError::Overloaded`] the client can retry, and the
+//! requests that *are* admitted see a queue of at most `max_pending`.
+//!
+//! This example measures that trade directly:
+//!
+//! 1. the 3-reachability driver index is built once, and its closed-loop
+//!    **service capacity** is estimated by timing a warm-up batch;
+//! 2. a **flash-crowd arrival schedule** (`flash_crowd_arrivals_ns`) is
+//!    generated: a baseline Poisson stream at 2× the estimated capacity
+//!    with a mid-run burst window at 10× — offered load the 2-thread
+//!    pool cannot possibly absorb;
+//! 3. the same schedule is replayed open-loop twice, against two fresh
+//!    runtimes with separate metrics sinks: **unbounded** (the legacy
+//!    configuration) and **bounded** (`AdmissionConfig::shed`);
+//! 4. the per-run `queue_wait` histograms are compared. The example
+//!    asserts the bounded run shed work (the gate engaged), **conserved**
+//!    every request (`answered + shed == submitted`, and the runtime's
+//!    own counters agree), answered bit-for-bit correctly, and kept its
+//!    p99 queue wait strictly below the unbounded run's. Both runs also
+//!    print the PR-8 tail-attribution report (a flight recorder rides
+//!    each sink), so the before/after shows up in the same format
+//!    `trace_tails` established: queue-wait domination before, gone (or
+//!    greatly diminished) after.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cqap_suite::decomp::families::pmtds_3reach_fig1;
+use cqap_suite::obs::{tail_attribution, FlightRecorder, SamplingPolicy, StageId};
+use cqap_suite::prelude::*;
+use cqap_suite::query::workload::{flash_crowd_arrivals_ns, zipf_pair_requests};
+
+const THREADS: usize = 2;
+const REQUESTS: usize = 600;
+/// Admitted-work bound for the shed run: enough to keep both workers busy
+/// through arrival jitter, small enough that an admitted request never
+/// waits behind more than a few probes.
+const MAX_PENDING: usize = 2 * THREADS;
+
+fn main() {
+    let (cqap, pmtds) = pmtds_3reach_fig1().expect("paper PMTDs are valid");
+    let graph = Graph::skewed(500, 3_000, 8, 200, 7);
+    let db = graph.as_path_database(3);
+    let index = Arc::new(CqapIndex::build(&cqap, &db, &pmtds).expect("preprocessing"));
+
+    let requests: Vec<AccessRequest> = zipf_pair_requests(&graph, REQUESTS, 1.1, 23)
+        .into_iter()
+        .map(|(u, v)| AccessRequest::single(cqap.access(), &[u, v]).expect("valid request"))
+        .collect();
+    let reference: Vec<Relation> = requests
+        .iter()
+        .map(|request| index.answer(request).expect("reference answer"))
+        .collect();
+
+    // Closed-loop capacity estimate: time a batch through a throwaway
+    // runtime (cold cache, same thread count), then take requests/second.
+    // A closed loop self-throttles to service capacity, so this is the
+    // rate the pool can actually sustain.
+    let capacity_per_sec = {
+        let warmup = ServeRuntime::with_config(
+            Arc::clone(&index),
+            ServeConfig {
+                threads: THREADS,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+        );
+        let started = Instant::now();
+        warmup.serve_batch(&requests).expect("warm-up batch");
+        REQUESTS as f64 / started.elapsed().as_secs_f64()
+    };
+    println!("estimated closed-loop capacity: {capacity_per_sec:.0} req/s over {THREADS} threads");
+
+    // The overload schedule: 2× capacity baseline, with a 10× flash crowd
+    // occupying the middle of the run. At 2× the baseline alone already
+    // outruns the pool; the burst turns the backlog into a cliff.
+    let run_secs = REQUESTS as f64 / (2.0 * capacity_per_sec);
+    let arrivals = flash_crowd_arrivals_ns(
+        REQUESTS,
+        2.0 * capacity_per_sec,
+        10.0 * capacity_per_sec,
+        run_secs * 0.3,
+        run_secs * 0.3,
+        41,
+    );
+
+    // Replay 1: unbounded (the legacy configuration). Every arrival is
+    // queued; nothing is ever refused. A flight recorder rides each
+    // sink so the PR-8 tail-attribution report shows the before/after.
+    let unbounded_tracer = Arc::new(FlightRecorder::new(1 << 14, SamplingPolicy::Always));
+    let unbounded_sink =
+        MetricsSink::recording().with_tracer(Arc::clone(&unbounded_tracer));
+    let unbounded = ServeRuntime::with_metrics(
+        Arc::clone(&index),
+        ServeConfig {
+            threads: THREADS,
+            cache_capacity: 64,
+            ..ServeConfig::default()
+        },
+        unbounded_sink.clone(),
+    );
+    let (answered, shed) = replay(&unbounded, &requests, &arrivals, &reference);
+    assert_eq!(answered, REQUESTS as u64, "unbounded answers everything");
+    assert_eq!(shed, 0, "unbounded has nothing to shed");
+    drop(unbounded);
+
+    // Replay 2: bounded admission, shed policy. The gate refuses work
+    // beyond MAX_PENDING admitted requests; refusals resolve immediately
+    // with a typed `Overloaded` error.
+    let bounded_tracer = Arc::new(FlightRecorder::new(1 << 14, SamplingPolicy::Always));
+    let bounded_sink = MetricsSink::recording().with_tracer(Arc::clone(&bounded_tracer));
+    let bounded = ServeRuntime::with_metrics(
+        Arc::clone(&index),
+        ServeConfig {
+            threads: THREADS,
+            cache_capacity: 64,
+            admission: Some(AdmissionConfig::shed(MAX_PENDING)),
+            ..ServeConfig::default()
+        },
+        bounded_sink.clone(),
+    );
+    let (answered, shed) = replay(&bounded, &requests, &arrivals, &reference);
+    let stats = bounded.stats();
+    drop(bounded);
+
+    // Conservation: the client's ledger covers every submission exactly
+    // once, and the runtime's counters agree with it.
+    assert_eq!(answered + shed, REQUESTS as u64, "every request resolves exactly once");
+    assert_eq!(stats.served, REQUESTS as u64);
+    assert_eq!(stats.shed, shed, "runtime's shed counter matches the client ledger");
+    assert!(shed > 0, "a 2x-capacity flash crowd must engage the gate");
+    println!(
+        "bounded run: {answered} answered + {shed} shed = {REQUESTS} submitted (conserved)"
+    );
+
+    // The payoff: what an *admitted* request experiences. The unbounded
+    // run's queue wait compounds with the backlog; the bounded run's is
+    // capped by the gate.
+    let unbounded_p99 = queue_wait_p99_ns(&unbounded_sink);
+    let bounded_p99 = queue_wait_p99_ns(&bounded_sink);
+    println!("queue-wait p99: unbounded {unbounded_p99} ns, bounded {bounded_p99} ns");
+
+    // The before/after in the PR-8 tail-attribution format: the same
+    // report `trace_tails` uses, over the slowest 20% of each run.
+    println!("\n--- tail attribution, unbounded ---");
+    println!("{}", tail_attribution(&unbounded_tracer.drain(), 0.2));
+    println!("--- tail attribution, bounded (shed {MAX_PENDING}) ---");
+    println!("{}", tail_attribution(&bounded_tracer.drain(), 0.2));
+    assert!(
+        bounded_p99 < unbounded_p99,
+        "bounded admission must beat the unbounded queue-wait tail \
+         ({bounded_p99} ns vs {unbounded_p99} ns)"
+    );
+    println!(
+        "overload control confirmed: shedding {shed} of {REQUESTS} requests kept the \
+         admitted p99 queue wait {:.1}x below unbounded.",
+        unbounded_p99 as f64 / bounded_p99.max(1) as f64
+    );
+}
+
+/// Replays the arrival schedule open-loop against `runtime`: sleep until
+/// each request's scheduled arrival, submit without waiting, then wait
+/// all tickets and classify. Answered requests are verified bit-for-bit
+/// against the sequential reference; returns `(answered, shed)`.
+fn replay(
+    runtime: &ServeRuntime<CqapIndex>,
+    requests: &[AccessRequest],
+    arrivals: &[u64],
+    reference: &[Relation],
+) -> (u64, u64) {
+    let started = Instant::now();
+    let mut tickets = Vec::with_capacity(requests.len());
+    for (request, &at_ns) in requests.iter().zip(arrivals) {
+        if let Some(ahead) = Duration::from_nanos(at_ns).checked_sub(started.elapsed()) {
+            std::thread::sleep(ahead);
+        }
+        tickets.push(runtime.submit(request.clone()));
+    }
+    let (mut answered, mut shed) = (0u64, 0u64);
+    for (position, ticket) in tickets.into_iter().enumerate() {
+        match ticket.wait() {
+            Ok(answer) => {
+                assert_eq!(
+                    answer.as_ref(),
+                    &reference[position],
+                    "throttled answer diverged at position {position}"
+                );
+                answered += 1;
+            }
+            Err(error) if error.is_overloaded() => shed += 1,
+            Err(error) => panic!("unexpected serving error: {error}"),
+        }
+    }
+    (answered, shed)
+}
+
+/// The p99 of the `queue_wait` stage recorded in `sink`, in nanoseconds.
+fn queue_wait_p99_ns(sink: &MetricsSink) -> u64 {
+    let snapshot = sink.snapshot().expect("sink is recording");
+    let hist = snapshot.stage(StageId::QueueWait);
+    assert!(hist.count > 0, "the run recorded queue waits");
+    hist.p99()
+}

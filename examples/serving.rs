@@ -70,6 +70,7 @@ fn main() {
         ServeConfig {
             threads,
             cache_capacity: 1_024,
+            ..ServeConfig::default()
         },
     );
     let start = Instant::now();

@@ -60,6 +60,7 @@ fn main() {
         ServeConfig {
             threads: cqap_suite::serve::default_threads(),
             cache_capacity: 1_024,
+            ..ServeConfig::default()
         },
     );
 

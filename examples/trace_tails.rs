@@ -100,6 +100,7 @@ fn main() {
         ServeConfig {
             threads: THREADS,
             cache_capacity: 64,
+            ..ServeConfig::default()
         },
         sink.clone(),
     );

@@ -28,7 +28,8 @@
 //!   [`BatchAnswer`](serve::BatchAnswer) trait every index family
 //!   implements, a work-stealing thread pool, an `Arc`-valued LRU answer
 //!   cache with in-flight probe sharing, and
-//!   [`ServeRuntime`](serve::ServeRuntime).
+//!   [`ServeRuntime`](serve::ServeRuntime) — overload-safe via bounded
+//!   admission, request deadlines, load shedding and degrade mode.
 //! * [`shard`] — hash-sharded serving: [`ShardedIndex`](shard::ShardedIndex)
 //!   partitions the database by routing-variable hash into independently
 //!   built `CqapIndex` shards, and [`ShardRouter`](shard::ShardRouter)
@@ -91,7 +92,10 @@ pub mod prelude {
     pub use cqap_query::workload::{Graph, SetFamily};
     pub use cqap_query::{AccessRequest, ConjunctiveQuery, Cqap, Hypergraph};
     pub use cqap_relation::{Database, Relation, Schema};
-    pub use cqap_serve::{BatchAnswer, ServeConfig, ServeRuntime};
+    pub use cqap_serve::{
+        AdmissionConfig, AdmissionPolicy, BatchAnswer, RetryPolicy, ServeConfig, ServeError,
+        ServeRuntime,
+    };
     pub use cqap_shard::{ShardRouter, ShardRouterConfig, ShardSpec, ShardedIndex};
     pub use cqap_store::{PlacementPolicy, ShardTier, StoredIndex, TieredShardedIndex};
     pub use cqap_yannakakis::{naive_answer, OnlineYannakakis};
